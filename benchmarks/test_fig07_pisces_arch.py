@@ -1,0 +1,15 @@
+"""Fig 7 — Pisces architecture audit (dedicated cores, shared LLC)."""
+
+from repro.experiments import fig07
+
+from conftest import emit
+
+
+def test_fig07_pisces_arch(benchmark):
+    result = benchmark.pedantic(
+        fig07.run, kwargs=dict(num_ticks=60), rounds=1, iterations=1
+    )
+    emit(fig07.format_report(result))
+    assert result.cores_disjoint
+    assert all(d == 1.0 for d in result.duty_cycle.values())
+    assert result.llc_shared

@@ -1,0 +1,20 @@
+"""Fig 8 — Kyoto vs Pisces: execution time alone vs colocated."""
+
+from repro.experiments import fig08
+
+from conftest import emit
+
+
+def test_fig08_pisces(benchmark):
+    result = benchmark.pedantic(
+        fig08.run, kwargs=dict(work_instructions=2.0e9), rounds=1, iterations=1
+    )
+    emit(fig08.format_report(result))
+    # Pisces alone does not ensure predictability under LLC sharing
+    # (paper: ~24% difference)...
+    assert result.pisces_interference_percent > 10.0
+    # ...while KS4Pisces restores most of it.
+    assert (
+        result.ks4pisces_interference_percent
+        < result.pisces_interference_percent * 0.7
+    )

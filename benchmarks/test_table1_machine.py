@@ -1,0 +1,14 @@
+"""Table 1 — experimental machine (regenerated from the model)."""
+
+from repro.experiments import tables
+
+from conftest import emit
+
+
+def test_table1_machine(benchmark):
+    result = benchmark.pedantic(tables.run_table1, rounds=3, iterations=1)
+    report = tables.format_table1(result)
+    emit(report)
+    assert "8096 MB" in report
+    assert "10 MB, 20-way" in report
+    assert "4 Cores/socket" in report

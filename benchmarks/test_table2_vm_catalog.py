@@ -1,0 +1,14 @@
+"""Table 2 — experiment VM catalog (vsen1..3 / vdis1..3)."""
+
+from repro.experiments import tables
+
+from conftest import emit
+
+
+def test_table2_vm_catalog(benchmark):
+    result = benchmark.pedantic(tables.run_table2, rounds=3, iterations=1)
+    report = tables.format_table2(result)
+    emit(report)
+    assert result.mapping["vsen1"] == "gcc"
+    assert result.mapping["vdis2"] == "blockie"
+    assert len(result.mapping) == 6

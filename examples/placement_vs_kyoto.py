@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Cache-aware placement vs Kyoto (the related-work comparison).
+
+The first family of LLC-contention solutions places VMs so polluters and
+sensitive VMs never share a socket.  The paper's critique: placement is
+NP-hard, requires knowing what runs inside VMs, and stops working the
+moment the cluster is too full to segregate.  Kyoto instead *prices* the
+shared cache, working at any packing density.
+
+This example schedules a fleet of eight VMs (four sensitive, four
+disruptive) onto two 4-core hosts under three placement policies, then
+re-runs the *worst* placement with KS4Xen enabled — showing that permits
+recover what clever placement achieves, without needing the cluster
+slack or the application knowledge.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.ks4xen import KS4Xen
+from repro.placement import (
+    VmDescriptor,
+    balance_pollution_placement,
+    evaluate_placement,
+    round_robin_placement,
+    segregate_placement,
+)
+
+#: Pollution values are each application's solo equation-1 level (Fig 4).
+FLEET = [
+    VmDescriptor("web-1", "gcc", 130_000, sensitive=True),
+    VmDescriptor("web-2", "omnetpp", 110_000, sensitive=True),
+    VmDescriptor("solver-1", "soplex", 232_000, sensitive=True),
+    VmDescriptor("solver-2", "omnetpp", 110_000, sensitive=True),
+    VmDescriptor("batch-1", "lbm", 419_000),
+    VmDescriptor("batch-2", "blockie", 400_000),
+    VmDescriptor("batch-3", "mcf", 260_000),
+    VmDescriptor("batch-4", "milc", 268_000),
+]
+
+
+def main() -> None:
+    placements = {
+        "round robin": round_robin_placement(FLEET, 2),
+        "balance pollution": balance_pollution_placement(FLEET, 2),
+        "segregate": segregate_placement(FLEET, 2),
+    }
+    rows = []
+    worst_label, worst_eval = None, None
+    for label, placement in placements.items():
+        evaluation = evaluate_placement(placement)
+        rows.append(
+            [
+                label,
+                evaluation.mean_sensitive_degradation,
+                evaluation.max_degradation,
+            ]
+        )
+        if worst_eval is None or (
+            evaluation.mean_sensitive_degradation
+            > worst_eval.mean_sensitive_degradation
+        ):
+            worst_label, worst_eval = label, evaluation
+
+    # The paper's answer: keep the bad placement, add permits.
+    kyoto_eval = evaluate_placement(
+        placements[worst_label],
+        scheduler_factory=KS4Xen,
+        llc_cap_of=lambda d: 250_000.0 if d.sensitive else 100_000.0,
+    )
+    rows.append(
+        [
+            f"{worst_label} + Kyoto",
+            kyoto_eval.mean_sensitive_degradation,
+            kyoto_eval.max_degradation,
+        ]
+    )
+    print(
+        format_table(
+            ["strategy", "mean sensitive degradation %", "max degradation %"],
+            rows,
+            title="Eight VMs on two 4-core hosts",
+        )
+    )
+    print(
+        "\nSegregation works only while the cluster has slack; Kyoto "
+        "recovers sensitive-VM performance on the worst placement by "
+        "making polluters pay — no application knowledge, no bin-packing."
+    )
+
+
+if __name__ == "__main__":
+    main()

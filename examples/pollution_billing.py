@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Pay-per-use pollution billing: charging the LLC like any resource.
+
+The paper's economic thesis is that cache utilisation should be billed in
+the pay-per-use spirit of the cloud.  This example runs a mixed tenant
+population for ten simulated seconds under two regimes and prints the
+provider's invoices:
+
+* **metering only (XCS)** — tenants pollute freely and the meter bills
+  their overage; the sensitive tenant also pays in *performance*.
+* **metering + enforcement (KS4Xen)** — polluters are held to their
+  permits, overage (and the victim's degradation) largely disappears:
+  what remains is the flat permit price each tenant chose up front.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.billing import PollutionBiller, PricingPlan
+from repro.core.ks4xen import KS4Xen
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.schedulers.credit import CreditScheduler
+from repro.workloads.profiles import application_workload
+
+TENANTS = [
+    ("analytics", "soplex", 250_000.0, 0),
+    ("render-farm", "lbm", 100_000.0, 1),
+    ("ci-runner", "blockie", 100_000.0, 2),
+    ("web-tier", "hmmer", 50_000.0, 3),
+]
+
+
+def run_regime(scheduler):
+    system = VirtualizedSystem(scheduler)
+    plan = PricingPlan(
+        permit_price_per_kmiss_hour=0.02, overage_price_per_gmiss=0.50
+    )
+    biller = PollutionBiller(system, plan)
+    for name, app, permit, core in TENANTS:
+        system.create_vm(
+            VmConfig(
+                name=name,
+                workload=application_workload(app),
+                llc_cap=permit,
+                pinned_cores=[core],
+            )
+        )
+    system.run_msec(10_000)
+    return biller.invoices()
+
+
+def print_invoices(title, invoices) -> None:
+    rows = [
+        [
+            inv.vm_name,
+            inv.booked_llc_cap,
+            inv.total_misses / 1e9,
+            inv.overage_misses / 1e9,
+            inv.permit_cost,
+            inv.overage_cost,
+            inv.total_cost,
+        ]
+        for inv in invoices
+    ]
+    print(
+        format_table(
+            ["tenant", "permit (miss/ms)", "metered (G-miss)",
+             "overage (G-miss)", "permit $", "overage $", "total $"],
+            rows,
+            title=title,
+        )
+    )
+    print()
+
+
+def main() -> None:
+    print_invoices(
+        "Regime 1: metering only (XCS) — 10 simulated seconds",
+        run_regime(CreditScheduler()),
+    )
+    print_invoices(
+        "Regime 2: metering + enforcement (KS4Xen)",
+        run_regime(KS4Xen()),
+    )
+    print(
+        "Enforcement turns surprise overage bills into the flat, "
+        "predictable permit price — and protects the tenants who paid "
+        "for low pollution neighbourhoods."
+    )
+
+
+if __name__ == "__main__":
+    main()

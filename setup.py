@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Keeps ``pip install -e .`` working on environments whose setuptools/pip
+lack PEP 660 editable-wheel support (no ``wheel`` package available); all
+real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

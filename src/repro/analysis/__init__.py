@@ -1,0 +1,56 @@
+"""Analysis: Kendall's tau, degradation metrics, aggressiveness campaigns
+and plain-text reporting."""
+
+from .aggressiveness import (
+    AggressivenessReport,
+    CampaignConfig,
+    OrderingComparison,
+    SoloProfile,
+    compare_orderings,
+    run_campaign,
+    run_pair_degradation,
+    run_solo,
+)
+from .calibration import (
+    CalibrationEntry,
+    CalibrationReport,
+    SOLO_TARGETS,
+    format_calibration,
+    run_calibration,
+)
+from .kendall import kendall_tau, ranking_from_scores
+from .metrics import (
+    SeriesStats,
+    degradation_percent,
+    normalized_performance,
+    slowdown_percent,
+)
+from .reporting import format_series, format_table
+from .statistics import LinearFit, linear_fit, mean_confidence_interval
+
+__all__ = [
+    "AggressivenessReport",
+    "CalibrationEntry",
+    "CalibrationReport",
+    "CampaignConfig",
+    "LinearFit",
+    "SOLO_TARGETS",
+    "format_calibration",
+    "linear_fit",
+    "mean_confidence_interval",
+    "run_calibration",
+    "OrderingComparison",
+    "SeriesStats",
+    "SoloProfile",
+    "compare_orderings",
+    "degradation_percent",
+    "format_series",
+    "format_table",
+    "kendall_tau",
+    "normalized_performance",
+    "ranking_from_scores",
+    "run_campaign",
+    "run_pair_degradation",
+    "run_solo",
+    "slowdown_percent",
+]

@@ -1,0 +1,174 @@
+"""Aggressiveness campaigns (the machinery behind Figs 4 and 11).
+
+Section 4.2's methodology:
+
+1. run each application **alone** and compute its pollution indicators —
+   the naive LLCM (misses per kilo-instruction of the sampling window) and
+   equation 1 (misses per millisecond);
+2. run each application **in parallel with each other application** and
+   measure the performance degradation it inflicts; the application's
+   *real aggressiveness* is the average degradation it causes;
+3. compare the indicator-induced orderings to the real one with Kendall's
+   tau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.equation import llc_cap_act, llcm_indicator
+from repro.hardware.specs import MachineSpec, paper_machine
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.schedulers.credit import CreditScheduler
+from repro.workloads.profiles import application_workload
+
+from .kendall import kendall_tau, ranking_from_scores
+from .metrics import degradation_percent
+
+
+@dataclass
+class SoloProfile:
+    """Indicators measured while an application runs alone."""
+
+    app: str
+    ipc: float
+    llcm: float       # misses per kilo-instruction
+    equation1: float  # misses per millisecond
+
+
+@dataclass
+class AggressivenessReport:
+    """Everything Fig 4 plots for one application."""
+
+    app: str
+    solo: SoloProfile
+    #: victim app -> degradation (%) this app caused in parallel co-run.
+    degradation_caused: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def real_aggressiveness(self) -> float:
+        """Average degradation caused across all victims."""
+        if not self.degradation_caused:
+            return 0.0
+        return sum(self.degradation_caused.values()) / len(self.degradation_caused)
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of an aggressiveness campaign."""
+
+    warmup_ticks: int = 20
+    measure_ticks: int = 60
+    machine: Optional[MachineSpec] = None
+
+    def resolved_machine(self) -> MachineSpec:
+        return self.machine if self.machine is not None else paper_machine()
+
+
+def run_solo(app: str, config: Optional[CampaignConfig] = None) -> SoloProfile:
+    """Run ``app`` alone on core 0 and measure its indicators."""
+    if config is None:
+        config = CampaignConfig()
+    system = VirtualizedSystem(CreditScheduler(), config.resolved_machine())
+    vm = system.create_vm(
+        VmConfig(name=app, workload=application_workload(app), pinned_cores=[0])
+    )
+    system.run_ticks(config.warmup_ticks)
+    vm.reset_metrics()
+    system.run_ticks(config.measure_ticks)
+    vcpu = vm.vcpus[0]
+    return SoloProfile(
+        app=app,
+        ipc=vcpu.ipc,
+        llcm=llcm_indicator(vcpu.llc_misses, vcpu.instructions_retired),
+        equation1=llc_cap_act(vcpu.llc_misses, vcpu.cycles_run, system.freq_khz),
+    )
+
+
+def run_pair_degradation(
+    aggressor: str,
+    victim: str,
+    victim_solo_ipc: float,
+    config: Optional[CampaignConfig] = None,
+) -> float:
+    """Degradation (%) ``aggressor`` inflicts on ``victim`` in parallel.
+
+    The two VMs run pinned to different cores of the same socket — the
+    paper's "parallel execution" situation.
+    """
+    if config is None:
+        config = CampaignConfig()
+    system = VirtualizedSystem(CreditScheduler(), config.resolved_machine())
+    victim_vm = system.create_vm(
+        VmConfig(name=victim, workload=application_workload(victim), pinned_cores=[0])
+    )
+    system.create_vm(
+        VmConfig(
+            name=aggressor,
+            workload=application_workload(aggressor),
+            pinned_cores=[1],
+        )
+    )
+    system.run_ticks(config.warmup_ticks)
+    victim_vm.reset_metrics()
+    system.run_ticks(config.measure_ticks)
+    return degradation_percent(victim_solo_ipc, victim_vm.vcpus[0].ipc)
+
+
+def run_campaign(
+    apps: Sequence[str], config: Optional[CampaignConfig] = None
+) -> Dict[str, AggressivenessReport]:
+    """Full Fig 4 campaign over ``apps``: solo profiles + all pairs."""
+    if config is None:
+        config = CampaignConfig()
+    if len(set(apps)) != len(apps):
+        raise ValueError(f"duplicate applications in {apps}")
+    solos = {app: run_solo(app, config) for app in apps}
+    reports = {app: AggressivenessReport(app=app, solo=solos[app]) for app in apps}
+    for aggressor in apps:
+        for victim in apps:
+            if victim == aggressor:
+                continue
+            caused = run_pair_degradation(
+                aggressor, victim, solos[victim].ipc, config
+            )
+            reports[aggressor].degradation_caused[victim] = caused
+    return reports
+
+
+@dataclass
+class OrderingComparison:
+    """The Fig 4 conclusion: which indicator tracks reality better."""
+
+    real_order: List[str]
+    llcm_order: List[str]
+    equation1_order: List[str]
+    tau_llcm: float
+    tau_equation1: float
+
+    @property
+    def equation1_wins(self) -> bool:
+        """True when equation 1's ordering is closer to the real one."""
+        return self.tau_equation1 > self.tau_llcm
+
+
+def compare_orderings(
+    reports: Dict[str, AggressivenessReport]
+) -> OrderingComparison:
+    """Derive o1/o2/o3 and their Kendall taus from campaign reports."""
+    real = ranking_from_scores(
+        {app: r.real_aggressiveness for app, r in reports.items()}
+    )
+    llcm = ranking_from_scores({app: r.solo.llcm for app, r in reports.items()})
+    eq1 = ranking_from_scores(
+        {app: r.solo.equation1 for app, r in reports.items()}
+    )
+    return OrderingComparison(
+        real_order=real,
+        llcm_order=llcm,
+        equation1_order=eq1,
+        tau_llcm=kendall_tau(real, llcm),
+        tau_equation1=kendall_tau(real, eq1),
+    )

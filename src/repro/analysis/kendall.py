@@ -1,0 +1,66 @@
+"""Kendall's tau rank correlation (implemented from scratch).
+
+Section 4.2 uses Kendall's tau [36] to decide which pollution indicator's
+ordering is closer to the real aggressiveness ordering.  We implement the
+tau-a statistic over two orderings of the same items: the fraction of
+concordant minus discordant pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def _rank_map(order: Sequence[T]) -> Dict[T, int]:
+    ranks = {}
+    for rank, item in enumerate(order):
+        if item in ranks:
+            raise ValueError(f"duplicate item in ordering: {item!r}")
+        ranks[item] = rank
+    return ranks
+
+
+def kendall_tau(order_a: Sequence[T], order_b: Sequence[T]) -> float:
+    """Kendall's tau-a between two orderings of the same item set.
+
+    Returns +1.0 for identical orderings, -1.0 for exactly reversed ones.
+    Raises if the orderings do not contain the same items.
+    """
+    if len(order_a) != len(order_b):
+        raise ValueError(
+            f"orderings differ in length: {len(order_a)} vs {len(order_b)}"
+        )
+    if len(order_a) < 2:
+        raise ValueError("need at least two items to correlate")
+    ranks_a = _rank_map(order_a)
+    ranks_b = _rank_map(order_b)
+    if set(ranks_a) != set(ranks_b):
+        raise ValueError(
+            "orderings must contain the same items; "
+            f"only-in-a={set(ranks_a) - set(ranks_b)}, "
+            f"only-in-b={set(ranks_b) - set(ranks_a)}"
+        )
+    items = list(ranks_a)
+    concordant = 0
+    discordant = 0
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            a_sign = ranks_a[items[i]] - ranks_a[items[j]]
+            b_sign = ranks_b[items[i]] - ranks_b[items[j]]
+            product = a_sign * b_sign
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    num_pairs = len(items) * (len(items) - 1) // 2
+    return (concordant - discordant) / num_pairs
+
+
+def ranking_from_scores(scores: Dict[T, float], descending: bool = True) -> List[T]:
+    """Items ordered by score (ties broken by item repr for determinism)."""
+    return sorted(
+        scores,
+        key=lambda item: (-scores[item] if descending else scores[item], repr(item)),
+    )

@@ -1,0 +1,75 @@
+"""Performance metrics used across the experiments.
+
+The paper's headline metric is IPC-based *performance degradation*
+(Section 2.2.3): how much slower an application runs in some situation
+than when it runs alone.  Normalised performance (Figs 5, 6) is its
+complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def degradation_percent(baseline_ipc: float, observed_ipc: float) -> float:
+    """Percent performance degradation relative to a solo baseline.
+
+    0 means unaffected; 50 means the application retired instructions at
+    half its solo rate while running.  Negative values (speed-ups) are
+    clamped to 0, as in the paper's plots.
+    """
+    if baseline_ipc <= 0:
+        raise ValueError(f"baseline IPC must be positive, got {baseline_ipc}")
+    if observed_ipc < 0:
+        raise ValueError(f"observed IPC cannot be negative: {observed_ipc}")
+    return max(0.0, 100.0 * (1.0 - observed_ipc / baseline_ipc))
+
+
+def normalized_performance(baseline_ipc: float, observed_ipc: float) -> float:
+    """Observed / baseline IPC (1.0 = unaffected), as in Figs 5-6."""
+    if baseline_ipc <= 0:
+        raise ValueError(f"baseline IPC must be positive, got {baseline_ipc}")
+    if observed_ipc < 0:
+        raise ValueError(f"observed IPC cannot be negative: {observed_ipc}")
+    return observed_ipc / baseline_ipc
+
+
+def slowdown_percent(baseline_time: float, observed_time: float) -> float:
+    """Percent execution-time increase (Figs 8, 9)."""
+    if baseline_time <= 0:
+        raise ValueError(f"baseline time must be positive, got {baseline_time}")
+    if observed_time < 0:
+        raise ValueError(f"observed time cannot be negative: {observed_time}")
+    return max(0.0, 100.0 * (observed_time / baseline_time - 1.0))
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary statistics of a measurement series."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SeriesStats":
+        if not values:
+            raise ValueError("cannot summarise an empty series")
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(
+            mean=mean,
+            minimum=min(values),
+            maximum=max(values),
+            stddev=variance ** 0.5,
+        )
+
+    @property
+    def spread_percent(self) -> float:
+        """(max - min) / mean, in percent — a predictability measure."""
+        if self.mean == 0:
+            return 0.0
+        return 100.0 * (self.maximum - self.minimum) / self.mean

@@ -1,0 +1,74 @@
+"""Small statistics helpers (implemented from scratch).
+
+Linear regression backs the Fig 3 claim ("degradation linearly increases
+with the disruptor's computing power") with a quantitative R²; the
+confidence-interval helper summarises repeated measurements in the
+examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary-least-squares fit of y = slope * x + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """OLS fit with the coefficient of determination.
+
+    Raises on degenerate input (fewer than two points, or zero variance
+    in x).  A constant-y series fits perfectly with slope 0.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit a line")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("x values are all identical; slope undefined")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_total = sum((y - mean_y) ** 2 for y in ys)
+    if ss_total == 0:
+        r_squared = 1.0  # constant y: the flat line explains everything
+    else:
+        ss_residual = sum(
+            (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+        )
+        r_squared = 1.0 - ss_residual / ss_total
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def mean_confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> Tuple[float, float, float]:
+    """(mean, low, high) using a normal approximation.
+
+    ``z`` defaults to the 95% quantile.  With a single sample the
+    interval collapses to the point.
+    """
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, mean, mean
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half_width = z * math.sqrt(variance / n)
+    return mean, mean - half_width, mean + half_width

@@ -1,0 +1,100 @@
+"""Multi-level cache hierarchy.
+
+Chains private L1/L2 caches with the (possibly shared) LLC and accounts
+which level services each access, translating that into access cycles with
+the machine's :class:`~repro.hardware.latency.LatencyModel`.  Used by the
+trace-replay path (mcsim) and by hierarchy-level validation tests; the
+machine-scale contention simulation uses the occupancy model instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.hardware.latency import LatencyModel
+from repro.hardware.specs import SocketSpec
+
+from .replacement import ReplacementPolicy, make_policy
+from .setassoc import NO_OWNER, SetAssociativeCache
+
+
+class ServiceLevel(Enum):
+    """Which level of the hierarchy serviced an access."""
+
+    L1 = "L1"
+    L2 = "L2"
+    LLC = "LLC"
+    MEMORY = "MEMORY"
+
+
+@dataclass
+class HierarchyAccess:
+    """Outcome of one access through the full hierarchy."""
+
+    level: ServiceLevel
+    cycles: int
+    llc_miss: bool
+
+
+class CacheHierarchy:
+    """Private L1D + L2 in front of a shared LLC.
+
+    Several hierarchies (one per core) may share the same ``llc`` object,
+    which is exactly how LLC contention arises.
+    """
+
+    def __init__(
+        self,
+        socket_spec: SocketSpec,
+        latency: LatencyModel,
+        llc: Optional[SetAssociativeCache] = None,
+        llc_policy: str = "lru",
+    ) -> None:
+        self.latency = latency
+        self.l1 = SetAssociativeCache(socket_spec.l1d)
+        self.l2 = SetAssociativeCache(socket_spec.l2)
+        self.llc = (
+            llc
+            if llc is not None
+            else SetAssociativeCache(socket_spec.llc, make_policy(llc_policy))
+        )
+        self.level_counts: Dict[ServiceLevel, int] = {
+            level: 0 for level in ServiceLevel
+        }
+
+    def access(
+        self, address: int, owner: int = NO_OWNER, remote_memory: bool = False
+    ) -> HierarchyAccess:
+        """Send one load through L1 → L2 → LLC → memory.
+
+        All levels are filled on the way back (inclusive hierarchy).
+        """
+        if self.l1.access(address, owner).hit:
+            level = ServiceLevel.L1
+            cycles = self.latency.l1_cycles
+            llc_miss = False
+        elif self.l2.access(address, owner).hit:
+            level = ServiceLevel.L2
+            cycles = self.latency.l2_cycles
+            llc_miss = False
+        elif self.llc.access(address, owner).hit:
+            level = ServiceLevel.LLC
+            cycles = self.latency.llc_cycles
+            llc_miss = False
+        else:
+            level = ServiceLevel.MEMORY
+            cycles = self.latency.memory_cycles_for(remote_memory)
+            llc_miss = True
+        self.level_counts[level] += 1
+        return HierarchyAccess(level=level, cycles=cycles, llc_miss=llc_miss)
+
+    @property
+    def llc_misses(self) -> int:
+        """Number of accesses that had to go to memory."""
+        return self.level_counts[ServiceLevel.MEMORY]
+
+    def reset_counts(self) -> None:
+        """Zero the per-level service counters (cache contents preserved)."""
+        self.level_counts = {level: 0 for level in ServiceLevel}

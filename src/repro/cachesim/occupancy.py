@@ -1,0 +1,281 @@
+"""Analytical shared-LLC occupancy model.
+
+Simulating a 10 MB LLC access-by-access for seconds of machine time is far
+too slow in pure Python, and unnecessary: the contention phenomena the
+paper measures (Figs 1-6, 8) are driven by *line ownership dynamics* —
+who holds how much of the LLC, and how fast competitors erode it.  This
+module models exactly that:
+
+* Each owner (a vCPU) holds a fractional number of LLC lines.
+* A miss inserts one line.  If the cache has free lines the insertion
+  consumes one; otherwise one resident line is evicted, chosen
+  proportionally to current per-owner occupancy — the mean-field behaviour
+  of LRU/random replacement under well-mixed set indices.
+* An owner's footprint is capped at its working-set size: once its whole
+  working set is resident, further (streaming) misses churn its own lines
+  and keep pressuring everyone else without net growth.
+
+Descheduled owners keep their lines but lose them to running owners'
+insertions, which reproduces the paper's Fig 2 zigzag: after each time
+slice spent descheduled, a VM restarts with a cold(er) cache and pays a
+burst of reload misses.
+
+The model is deliberately deterministic (expected-value dynamics); the
+stochastic fine structure is available from the faithful simulator in
+:mod:`repro.cachesim.setassoc` when needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+
+@dataclass
+class InsertionOutcome:
+    """Bookkeeping for one batch of insertions.
+
+    Attributes:
+        inserted: number of lines the owner attempted to insert.
+        from_free: insertions satisfied from free (invalid) lines.
+        evicted_by_owner: lines evicted from each owner (inserter included).
+    """
+
+    inserted: float
+    from_free: float
+    evicted_by_owner: Dict[int, float]
+
+
+class LlcOccupancyDomain:
+    """Shared-LLC line-ownership state for one socket."""
+
+    def __init__(self, total_lines: int) -> None:
+        if total_lines <= 0:
+            raise ValueError(f"total_lines must be positive, got {total_lines}")
+        self.total_lines = float(total_lines)
+        self._occupancy: Dict[int, float] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def used_lines(self) -> float:
+        """Total resident lines across all owners."""
+        return sum(self._occupancy.values())
+
+    @property
+    def free_lines(self) -> float:
+        """Lines not owned by anyone."""
+        return max(0.0, self.total_lines - self.used_lines)
+
+    def occupancy_of(self, owner: int) -> float:
+        """Lines currently held by ``owner`` (0.0 if unknown)."""
+        return self._occupancy.get(owner, 0.0)
+
+    def share_of(self, owner: int) -> float:
+        """Fraction of the whole LLC held by ``owner``."""
+        return self.occupancy_of(owner) / self.total_lines
+
+    def owners(self) -> Iterable[int]:
+        """Owners with non-zero occupancy."""
+        return [o for o, occ in self._occupancy.items() if occ > 0.0]
+
+    def snapshot(self) -> Dict[int, float]:
+        """Copy of the per-owner occupancy map."""
+        return dict(self._occupancy)
+
+    # -- mutations -----------------------------------------------------------
+
+    def insert(
+        self,
+        owner: int,
+        n_lines: float,
+        footprint_cap: Optional[float] = None,
+    ) -> InsertionOutcome:
+        """Insert ``n_lines`` lines on behalf of ``owner``.
+
+        ``footprint_cap`` bounds the owner's resident footprint (its
+        working-set size in lines).  Insertions beyond the cap still evict
+        other owners' lines (churn pressure) but do not grow the owner.
+        """
+        if n_lines < 0:
+            raise ValueError(f"cannot insert a negative line count: {n_lines}")
+        if n_lines == 0:
+            return InsertionOutcome(0.0, 0.0, {})
+
+        from_free = min(n_lines, self.free_lines)
+        overflow = n_lines - from_free
+        evicted: Dict[int, float] = {}
+
+        if overflow > 0:
+            used = self.used_lines
+            if used > 0:
+                # Evict proportionally to occupancy; eviction amount cannot
+                # exceed what an owner actually holds.
+                scale = min(1.0, overflow / used)
+                for victim, occ in list(self._occupancy.items()):
+                    loss = occ * scale
+                    if loss > 0:
+                        self._occupancy[victim] = occ - loss
+                        evicted[victim] = evicted.get(victim, 0.0) + loss
+
+        gained = from_free + sum(evicted.values())
+        self._occupancy[owner] = self._occupancy.get(owner, 0.0) + gained
+
+        if footprint_cap is not None and self._occupancy[owner] > footprint_cap:
+            # Streaming churn: the owner replaced its own lines instead of
+            # growing; excess becomes free space again.
+            self._occupancy[owner] = footprint_cap
+
+        self._prune()
+        return InsertionOutcome(
+            inserted=n_lines, from_free=from_free, evicted_by_owner=evicted
+        )
+
+    def evict_owner(self, owner: int, n_lines: float) -> float:
+        """Forcefully remove up to ``n_lines`` of ``owner``; returns removed."""
+        if n_lines < 0:
+            raise ValueError(f"cannot evict a negative line count: {n_lines}")
+        occ = self._occupancy.get(owner, 0.0)
+        removed = min(occ, n_lines)
+        if removed > 0:
+            self._occupancy[owner] = occ - removed
+            self._prune()
+        return removed
+
+    def flush_owner(self, owner: int) -> float:
+        """Drop every line of ``owner`` (e.g. after a socket migration)."""
+        return self.evict_owner(owner, self.occupancy_of(owner))
+
+    def reset(self) -> None:
+        """Empty the cache entirely."""
+        self._occupancy.clear()
+
+    def _prune(self, epsilon: float = 1e-9) -> None:
+        for owner in [o for o, occ in self._occupancy.items() if occ <= epsilon]:
+            del self._occupancy[owner]
+
+    # -- continuous-time relaxation (the machine simulation's fast path) ------
+
+    def relax(
+        self,
+        pressures: Mapping[int, float],
+        footprint_caps: Mapping[int, float],
+        active: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Advance the occupancy state after a batch of insertions.
+
+        ``pressures[owner]`` is the number of lines the owner inserted
+        during the elapsed interval (its misses); ``footprint_caps[owner]``
+        bounds its resident footprint (working-set size in lines);
+        ``active`` lists the owners currently *executing* (defaults to the
+        keys of ``pressures``).
+
+        The naive per-batch exchange (:meth:`insert`) is numerically
+        unstable once the batch size approaches the cache size — at
+        realistic miss rates the whole LLC turns over in well under a
+        millisecond, so a tick-level simulation would oscillate.  Instead
+        the update mirrors the mean-field behaviour of LRU replacement:
+
+        * **dead lines first** — lines of inactive (descheduled) owners
+          are never re-touched, drift to the LRU end, and absorb eviction
+          pressure before anyone else's; they are consumed linearly, which
+          is what makes a VM restart cold after a time slice spent
+          descheduled (the paper's Fig 2 zigzag);
+        * **growth is insertion-bounded** — an owner gains at most as many
+          lines as it actually inserted, so a cold working set reloads
+          linearly (one lap of the pointer chain), not instantaneously;
+        * **contention among active owners** relaxes toward a waterfilled
+          equilibrium: shares proportional to insertion pressure, capped
+          by footprints, with one cache-capacity's worth of insertions as
+          the exponential time constant.
+        """
+        total_insertions = sum(pressures.values())
+        if total_insertions < 0:
+            raise ValueError(f"negative total insertion pressure: {pressures}")
+        if total_insertions == 0:
+            return
+        active_set = set(pressures) if active is None else set(active)
+
+        # Phase 1: eviction pressure beyond free space consumes inactive
+        # owners' (dead) lines first, proportionally among them.
+        overflow = max(0.0, total_insertions - self.free_lines)
+        dead = {
+            owner: occ
+            for owner, occ in self._occupancy.items()
+            if owner not in active_set and occ > 0.0
+        }
+        dead_total = sum(dead.values())
+        from_dead = min(overflow, dead_total)
+        if from_dead > 0:
+            for owner, occ in dead.items():
+                self._occupancy[owner] = occ - from_dead * occ / dead_total
+
+        # Phase 2: active owners move toward the waterfilled equilibrium
+        # of the capacity not pinned down by surviving dead lines.
+        surviving_dead = dead_total - from_dead
+        capacity_active = max(1.0, self.total_lines - surviving_dead)
+        equilibrium = waterfill_allocation(
+            capacity_active, pressures, footprint_caps
+        )
+        survive = math.exp(-total_insertions / capacity_active)
+        for owner in set(equilibrium) | (set(self._occupancy) & active_set):
+            current = self._occupancy.get(owner, 0.0)
+            target = equilibrium.get(owner, 0.0)
+            if target >= current:
+                grow = min(target - current, pressures.get(owner, 0.0))
+                self._occupancy[owner] = current + grow
+            else:
+                self._occupancy[owner] = target + (current - target) * survive
+
+        # Conservation guard: insertion-bounded growth plus exponential
+        # shrink can transiently oversubscribe; squeeze proportionally.
+        used = self.used_lines
+        if used > self.total_lines:
+            scale = self.total_lines / used
+            for owner in self._occupancy:
+                self._occupancy[owner] *= scale
+        self._prune()
+
+
+def waterfill_allocation(
+    capacity: float,
+    pressures: Mapping[int, float],
+    footprint_caps: Mapping[int, float],
+) -> Dict[int, float]:
+    """Steady-state cache allocation under proportional replacement.
+
+    Each owner with positive insertion pressure receives a share of
+    ``capacity`` proportional to its pressure, except that no owner can
+    hold more than its footprint cap; capacity freed by saturated owners
+    is redistributed among the rest (classic waterfilling).
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    active = {
+        owner: pressure
+        for owner, pressure in pressures.items()
+        if pressure > 0 and footprint_caps.get(owner, capacity) > 0
+    }
+    allocation: Dict[int, float] = {}
+    remaining = capacity
+    while active and remaining > 0:
+        total_pressure = sum(active.values())
+        saturated = {
+            owner
+            for owner, pressure in active.items()
+            if footprint_caps.get(owner, capacity)
+            <= remaining * pressure / total_pressure
+        }
+        if not saturated:
+            for owner, pressure in active.items():
+                allocation[owner] = remaining * pressure / total_pressure
+            return allocation
+        for owner in saturated:
+            cap = footprint_caps.get(owner, capacity)
+            allocation[owner] = cap
+            remaining -= cap
+            del active[owner]
+    for owner in active:
+        allocation.setdefault(owner, 0.0)
+    return allocation

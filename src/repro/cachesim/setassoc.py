@@ -1,0 +1,199 @@
+"""Faithful set-associative cache simulator.
+
+Simulates a cache at the granularity of individual line addresses, with a
+pluggable replacement policy.  This is the substrate behind the
+McSimA+-style replay service (:mod:`repro.mcsim`) and the micro-benchmark
+validation experiments; the full-machine simulation uses the much cheaper
+occupancy model (:mod:`repro.cachesim.occupancy`) instead.
+
+Addresses are byte addresses; the cache maps them to ``(set, tag)`` using
+the line size and number of sets from its :class:`~repro.hardware.specs.
+CacheSpec`.  Every access is tagged with an *owner* id (a vCPU) so that
+per-VM attribution — Kyoto's central measurement problem — can be studied
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.specs import CacheSpec
+
+from .replacement import DipPolicy, LruPolicy, ReplacementPolicy, SetState
+from .stats import CacheStats
+
+#: Owner id used for lines whose owner is unknown/irrelevant.
+NO_OWNER = -1
+
+
+@dataclass
+class CacheLine:
+    """One cache line: its tag and the owner that brought it in."""
+
+    tag: int
+    owner: int
+
+
+class AccessResult:
+    """Outcome of one cache access."""
+
+    __slots__ = ("hit", "evicted_tag", "evicted_owner", "set_index")
+
+    def __init__(
+        self,
+        hit: bool,
+        set_index: int,
+        evicted_tag: Optional[int] = None,
+        evicted_owner: int = NO_OWNER,
+    ) -> None:
+        self.hit = hit
+        self.set_index = set_index
+        self.evicted_tag = evicted_tag
+        self.evicted_owner = evicted_owner
+
+
+class SetAssociativeCache:
+    """A single-level set-associative cache with owner attribution."""
+
+    def __init__(
+        self,
+        spec: CacheSpec,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        self.spec = spec
+        self.policy = policy if policy is not None else LruPolicy()
+        self.num_sets = spec.num_sets
+        self.assoc = spec.associativity
+        self.line_bytes = spec.line_bytes
+        # ways[s][w] is the CacheLine in way w of set s, or None.
+        self._ways: List[List[Optional[CacheLine]]] = [
+            [None] * self.assoc for _ in range(self.num_sets)
+        ]
+        self._states: List[SetState] = [
+            self.policy.make_set_state(self.assoc) for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+        if isinstance(self.policy, DipPolicy):
+            self.policy.assign_set_roles(self.num_sets)
+
+    # -- address mapping ---------------------------------------------------
+
+    def index_of(self, address: int) -> Tuple[int, int]:
+        """Map a byte address to ``(set_index, tag)``."""
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    # -- lookup / access ---------------------------------------------------
+
+    def probe(self, address: int) -> bool:
+        """Check residency without touching stats or recency state."""
+        set_index, tag = self.index_of(address)
+        return any(
+            line is not None and line.tag == tag
+            for line in self._ways[set_index]
+        )
+
+    def access(self, address: int, owner: int = NO_OWNER) -> AccessResult:
+        """Perform one access; fill on miss; return hit/eviction info."""
+        set_index, tag = self.index_of(address)
+        ways = self._ways[set_index]
+        state = self._states[set_index]
+
+        for way, line in enumerate(ways):
+            if line is not None and line.tag == tag:
+                self._policy_on_hit(state, way, set_index)
+                self.stats.record_access(owner, hit=True)
+                return AccessResult(hit=True, set_index=set_index)
+
+        # Miss: find a free way or evict.
+        self.stats.record_access(owner, hit=False)
+        self._policy_record_miss(set_index)
+        evicted_tag: Optional[int] = None
+        evicted_owner = NO_OWNER
+        fill_way = next((w for w, line in enumerate(ways) if line is None), None)
+        if fill_way is None:
+            fill_way = self._policy_victim(state, set_index)
+            victim = ways[fill_way]
+            assert victim is not None
+            evicted_tag = victim.tag
+            evicted_owner = victim.owner
+            state.recency.remove(fill_way)
+            self.stats.record_eviction(victim_owner=victim.owner, cause_owner=owner)
+        ways[fill_way] = CacheLine(tag=tag, owner=owner)
+        self._policy_on_fill(state, fill_way, set_index)
+        return AccessResult(
+            hit=False,
+            set_index=set_index,
+            evicted_tag=evicted_tag,
+            evicted_owner=evicted_owner,
+        )
+
+    # -- owner queries -----------------------------------------------------
+
+    def occupancy_of(self, owner: int) -> int:
+        """Number of lines currently owned by ``owner``."""
+        return sum(
+            1
+            for ways in self._ways
+            for line in ways
+            if line is not None and line.owner == owner
+        )
+
+    def occupancy_by_owner(self) -> Dict[int, int]:
+        """Mapping owner -> resident line count."""
+        counts: Dict[int, int] = {}
+        for ways in self._ways:
+            for line in ways:
+                if line is not None:
+                    counts[line.owner] = counts.get(line.owner, 0) + 1
+        return counts
+
+    def resident_lines(self) -> int:
+        """Total number of valid lines."""
+        return sum(
+            1 for ways in self._ways for line in ways if line is not None
+        )
+
+    def flush(self) -> None:
+        """Invalidate every line (stats are preserved)."""
+        self._ways = [[None] * self.assoc for _ in range(self.num_sets)]
+        self._states = [
+            self.policy.make_set_state(self.assoc) for _ in range(self.num_sets)
+        ]
+
+    def flush_owner(self, owner: int) -> int:
+        """Invalidate all lines of one owner; returns how many were dropped."""
+        dropped = 0
+        for set_index, ways in enumerate(self._ways):
+            state = self._states[set_index]
+            for way, line in enumerate(ways):
+                if line is not None and line.owner == owner:
+                    ways[way] = None
+                    if way in state.recency:
+                        state.recency.remove(way)
+                    dropped += 1
+        return dropped
+
+    # -- policy dispatch (DIP needs the set index) --------------------------
+
+    def _policy_on_hit(self, state: SetState, way: int, set_index: int) -> None:
+        if isinstance(self.policy, DipPolicy):
+            self.policy.on_hit_set(state, way, set_index)
+        else:
+            self.policy.on_hit(state, way)
+
+    def _policy_on_fill(self, state: SetState, way: int, set_index: int) -> None:
+        if isinstance(self.policy, DipPolicy):
+            self.policy.on_fill_set(state, way, set_index)
+        else:
+            self.policy.on_fill(state, way)
+
+    def _policy_victim(self, state: SetState, set_index: int) -> int:
+        if isinstance(self.policy, DipPolicy):
+            return self.policy.victim_set(state, self.assoc, set_index)
+        return self.policy.victim(state, self.assoc)
+
+    def _policy_record_miss(self, set_index: int) -> None:
+        if isinstance(self.policy, DipPolicy):
+            self.policy.record_miss(set_index)

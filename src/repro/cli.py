@@ -1,0 +1,141 @@
+"""Command-line interface.
+
+Run any of the paper's reproduced experiments from a shell::
+
+    python -m repro list
+    python -m repro run fig05
+    python -m repro run table1 fig02
+    python -m repro run all
+
+Each experiment prints the same rows/series the paper's figure or table
+reports (see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import (
+    fig01, fig02, fig03, fig04, fig05, fig06,
+    fig07, fig08, fig09, fig10, fig11, fig12, tables,
+)
+
+#: name -> (description, runner returning the printable report).
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
+    "table1": (
+        "experimental machine",
+        lambda: tables.format_table1(tables.run_table1()),
+    ),
+    "table2": (
+        "experimental VMs",
+        lambda: tables.format_table2(tables.run_table2()),
+    ),
+    "fig01": (
+        "LLC contention impact matrix",
+        lambda: fig01.format_report(fig01.run()),
+    ),
+    "fig02": (
+        "LLC misses per tick (v2_rep)",
+        lambda: fig02.format_report(fig02.run()),
+    ),
+    "fig03": (
+        "the processor is a good lever",
+        lambda: fig03.format_report(fig03.run()),
+    ),
+    "fig04": (
+        "equation 1 vs LLCM indicators",
+        lambda: fig04.format_report(fig04.run()),
+    ),
+    "fig05": (
+        "KS4Xen effectiveness",
+        lambda: fig05.format_report(fig05.run()),
+    ),
+    "fig06": (
+        "KS4Xen scalability",
+        lambda: fig06.format_report(fig06.run()),
+    ),
+    "fig07": (
+        "Pisces architecture audit",
+        lambda: fig07.format_report(fig07.run()),
+    ),
+    "fig08": (
+        "Kyoto vs Pisces",
+        lambda: fig08.format_report(fig08.run()),
+    ),
+    "fig09": (
+        "vCPU migration overhead",
+        lambda: fig09.format_report(fig09.run()),
+    ),
+    "fig10": (
+        "when isolation can be skipped",
+        lambda: fig10.format_report(fig10.run()),
+    ),
+    "fig11": (
+        "dedication vs no dedication",
+        lambda: fig11.format_report(fig11.run()),
+    ),
+    "fig12": (
+        "KS4Xen overhead",
+        lambda: fig12.format_report(fig12.run()),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Mitigating performance unpredictability in "
+            "the IaaS using the Kyoto principle' (Middleware 2016)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list the available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (see 'list'), or 'all'",
+    )
+    return parser
+
+
+def list_experiments() -> str:
+    lines = ["available experiments:"]
+    for name, (description, __) in EXPERIMENTS.items():
+        lines.append(f"  {name:8s} {description}")
+    lines.append("  all      run everything")
+    return "\n".join(lines)
+
+
+def run_experiments(names: List[str], out=sys.stdout) -> int:
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        out.write(
+            f"unknown experiment(s): {', '.join(unknown)}\n{list_experiments()}\n"
+        )
+        return 2
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        out.write(f"== {name}: {description} ==\n")
+        start = time.time()
+        out.write(runner())
+        out.write(f"\n[{time.time() - start:.1f}s]\n\n")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(list_experiments())
+        return 0
+    return run_experiments(args.experiments)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The Kyoto contribution: pollution permits, equation 1, monitoring, and
+the KS4Xen / KS4Linux scheduler extensions."""
+
+from .billing import Invoice, PollutionBiller, PricingPlan
+from .engine import KyotoEngine
+from .equation import llc_cap_act, llcm_indicator
+from .instances import (
+    CATALOG,
+    InstanceType,
+    LLC_CAP_PER_MEM_RATIO,
+    catalog_by_family,
+    instance,
+    llc_cap_for,
+)
+from .ks4linux import KS4Linux
+from .ks4rtds import KS4RTDS
+from .memguard import BandwidthBudget, MemGuardScheduler
+from .ks4xen import KS4Xen
+from .monitor import (
+    DirectPmcMonitor,
+    IsolationPolicy,
+    McSimReplayMonitor,
+    PollutionMonitor,
+    SocketDedicationSampler,
+)
+from .pollution import PollutionAccount
+
+__all__ = [
+    "BandwidthBudget",
+    "CATALOG",
+    "DirectPmcMonitor",
+    "Invoice",
+    "MemGuardScheduler",
+    "PollutionBiller",
+    "PricingPlan",
+    "InstanceType",
+    "IsolationPolicy",
+    "KS4Linux",
+    "KS4RTDS",
+    "KS4Xen",
+    "KyotoEngine",
+    "LLC_CAP_PER_MEM_RATIO",
+    "McSimReplayMonitor",
+    "PollutionAccount",
+    "PollutionMonitor",
+    "SocketDedicationSampler",
+    "catalog_by_family",
+    "instance",
+    "llc_cap_act",
+    "llc_cap_for",
+    "llcm_indicator",
+]

@@ -1,0 +1,130 @@
+"""Pay-per-use pollution billing.
+
+The paper's economic argument is that LLC utilisation should be "charged
+to cloud users in the same way as coarse-grained resources".  KS4Xen
+enforces the booked level; this module completes the loop with the
+provider-side metering: each VM's measured pollution is accumulated over
+time, its prepaid permit covers pollution up to ``llc_cap``, and
+out-of-permit pollution (possible when enforcement is disabled, or within
+the quota-bank slack) is billed at an overage rate — the cloud-billing
+analogue of burstable instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.system import VirtualizedSystem
+    from repro.hypervisor.vm import VirtualMachine
+
+
+@dataclass(frozen=True)
+class PricingPlan:
+    """Provider pricing for LLC pollution.
+
+    Attributes:
+        permit_price_per_kmiss_hour: price of booking 1k misses/ms of
+            permit for one hour (paid regardless of use, like a reserved
+            instance).
+        overage_price_per_gmiss: price per billion misses emitted beyond
+            the prepaid permit volume.
+        currency: label used in invoices.
+    """
+
+    permit_price_per_kmiss_hour: float = 0.02
+    overage_price_per_gmiss: float = 0.5
+    currency: str = "USD"
+
+    def __post_init__(self) -> None:
+        if self.permit_price_per_kmiss_hour < 0 or self.overage_price_per_gmiss < 0:
+            raise ValueError("prices cannot be negative")
+
+
+@dataclass
+class Invoice:
+    """One VM's pollution bill for a metering window."""
+
+    vm_name: str
+    window_hours: float
+    booked_llc_cap: float
+    total_misses: float
+    included_misses: float
+    overage_misses: float
+    permit_cost: float
+    overage_cost: float
+    currency: str
+
+    @property
+    def total_cost(self) -> float:
+        return self.permit_cost + self.overage_cost
+
+
+class PollutionBiller:
+    """Meters per-VM LLC misses and produces invoices.
+
+    Attach to a system; it accumulates each vCPU's misses per tick (from
+    the simulation's truth counters — the provider's trusted meter).
+    """
+
+    def __init__(
+        self,
+        system: "VirtualizedSystem",
+        plan: Optional[PricingPlan] = None,
+    ) -> None:
+        self.system = system
+        self.plan = plan if plan is not None else PricingPlan()
+        self._misses_by_vm: Dict[int, float] = {}
+        self._metered_usec = 0
+        system.add_tick_observer(self._on_tick)
+
+    def _on_tick(self, system: "VirtualizedSystem", tick_index: int) -> None:
+        self._metered_usec += system.tick_usec
+        for vm in system.vms:
+            total = sum(
+                system.last_tick_misses.get(vcpu.gid, 0.0) for vcpu in vm.vcpus
+            )
+            if total:
+                self._misses_by_vm[vm.vm_id] = (
+                    self._misses_by_vm.get(vm.vm_id, 0.0) + total
+                )
+
+    @property
+    def metered_hours(self) -> float:
+        return self._metered_usec / 3_600e6
+
+    def misses_of(self, vm: "VirtualMachine") -> float:
+        """Total metered misses of a VM so far."""
+        return self._misses_by_vm.get(vm.vm_id, 0.0)
+
+    def invoice(self, vm: "VirtualMachine") -> Invoice:
+        """Bill a VM for the metered window so far."""
+        booked = vm.llc_cap if vm.llc_cap is not None else 0.0
+        window_ms = self._metered_usec / 1000.0
+        included = booked * window_ms  # permit is a *rate*: misses/ms
+        total = self.misses_of(vm)
+        overage = max(0.0, total - included)
+        hours = self.metered_hours
+        permit_cost = (booked / 1000.0) * self.plan.permit_price_per_kmiss_hour * hours
+        overage_cost = (overage / 1e9) * self.plan.overage_price_per_gmiss
+        return Invoice(
+            vm_name=vm.name,
+            window_hours=hours,
+            booked_llc_cap=booked,
+            total_misses=total,
+            included_misses=included,
+            overage_misses=overage,
+            permit_cost=permit_cost,
+            overage_cost=overage_cost,
+            currency=self.plan.currency,
+        )
+
+    def invoices(self) -> List[Invoice]:
+        """Invoices for every VM on the system."""
+        return [self.invoice(vm) for vm in self.system.vms]
+
+    def reset(self) -> None:
+        """Start a new metering window."""
+        self._misses_by_vm.clear()
+        self._metered_usec = 0

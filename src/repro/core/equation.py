@@ -1,0 +1,46 @@
+"""Equation 1 of the paper.
+
+``llc_cap_act = llc_misses * cpu_freq_khz / unhalted_core_cycles``
+
+With the frequency in kHz, ``freq_khz`` equals the number of cycles per
+millisecond, so the quantity is **LLC misses per millisecond of unhalted
+execution** — the paper's pollution level.  Section 4.2 shows this beats
+raw miss counts (LLCM) as an aggressiveness indicator because it accounts
+for how fast the VM actually runs: a VM with huge misses per instruction
+but a terrible IPC pollutes more slowly than its miss volume suggests.
+"""
+
+from __future__ import annotations
+
+
+def llc_cap_act(
+    llc_misses: float, unhalted_core_cycles: float, cpu_freq_khz: int
+) -> float:
+    """Pollution level (misses/ms) from PMC readings — the paper's eq. 1.
+
+    Returns 0.0 when the VM did not run (zero unhalted cycles), matching
+    the scheduler's behaviour of not debiting idle VMs.
+    """
+    if llc_misses < 0 or unhalted_core_cycles < 0:
+        raise ValueError(
+            f"PMC readings cannot be negative: misses={llc_misses}, "
+            f"cycles={unhalted_core_cycles}"
+        )
+    if cpu_freq_khz <= 0:
+        raise ValueError(f"cpu_freq_khz must be positive, got {cpu_freq_khz}")
+    if unhalted_core_cycles == 0:
+        return 0.0
+    return llc_misses * cpu_freq_khz / unhalted_core_cycles
+
+
+def llcm_indicator(llc_misses: float, instructions: float) -> float:
+    """The naive LLCM indicator Fig 4 compares against: misses per
+    kilo-instruction of the sampling window."""
+    if llc_misses < 0 or instructions < 0:
+        raise ValueError(
+            f"readings cannot be negative: misses={llc_misses}, "
+            f"instructions={instructions}"
+        )
+    if instructions == 0:
+        return 0.0
+    return llc_misses * 1000.0 / instructions

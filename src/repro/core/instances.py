@@ -1,0 +1,95 @@
+"""Instance-type catalog (Section 5 of the paper).
+
+How does a user choose a VM's ``llc_cap``?  The paper's answer: the
+provider attaches a pollution permit to each *instance type*, proportional
+to the instance's memory-to-compute ratio — memory-optimised R3 instances
+get a large permit, compute-optimised C3/C4 instances a small one.
+
+This module provides an EC2-inspired catalog and the derivation rule, so
+examples and tests can exercise the full provider-facing workflow: pick an
+instance type → get vCPUs, memory *and* an llc_cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One bookable instance type.
+
+    Attributes:
+        name: e.g. ``"r3.large"``.
+        vcpus: number of vCPUs.
+        memory_gib: memory allocation.
+        family: marketing family ("general", "compute", "memory").
+    """
+
+    name: str
+    vcpus: int
+    memory_gib: float
+    family: str
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0:
+            raise ValueError(f"{self.name}: vcpus must be positive")
+        if self.memory_gib <= 0:
+            raise ValueError(f"{self.name}: memory must be positive")
+
+    @property
+    def memory_per_vcpu_gib(self) -> float:
+        return self.memory_gib / self.vcpus
+
+
+#: EC2-inspired catalog (sizes from the generation the paper cites).
+CATALOG: Dict[str, InstanceType] = {
+    t.name: t
+    for t in [
+        InstanceType("m4.large", 2, 8.0, "general"),
+        InstanceType("m4.xlarge", 4, 16.0, "general"),
+        InstanceType("m4.2xlarge", 8, 32.0, "general"),
+        InstanceType("c4.large", 2, 3.75, "compute"),
+        InstanceType("c4.xlarge", 4, 7.5, "compute"),
+        InstanceType("c4.2xlarge", 8, 15.0, "compute"),
+        InstanceType("r3.large", 2, 15.25, "memory"),
+        InstanceType("r3.xlarge", 4, 30.5, "memory"),
+        InstanceType("r3.2xlarge", 8, 61.0, "memory"),
+    ]
+}
+
+#: Pollution permit granted per GiB-of-memory-per-vCPU (misses/ms).
+#: Calibrated so an r3 instance books roughly the level of the paper's
+#: Fig 5 experiments (250k) and a c4 instance books a small permit.
+LLC_CAP_PER_MEM_RATIO = 33_000.0
+
+
+def llc_cap_for(instance: InstanceType, per_ratio: float = LLC_CAP_PER_MEM_RATIO) -> float:
+    """Derive the booked llc_cap of an instance type.
+
+    The paper: "we can assume that [llc_cap] is proportional to the amount
+    of memory assigned to the instance" relative to its compute — R3
+    instances get much more than C3/C4 instances.
+    """
+    if per_ratio <= 0:
+        raise ValueError(f"per_ratio must be positive, got {per_ratio}")
+    return instance.memory_per_vcpu_gib * per_ratio
+
+
+def instance(name: str) -> InstanceType:
+    """Look an instance type up by name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown instance type '{name}'; known: {sorted(CATALOG)}"
+        ) from None
+
+
+def catalog_by_family(family: str) -> List[InstanceType]:
+    """All instance types of one family, smallest first."""
+    members = [t for t in CATALOG.values() if t.family == family]
+    if not members:
+        raise ValueError(f"unknown family '{family}'")
+    return sorted(members, key=lambda t: t.vcpus)

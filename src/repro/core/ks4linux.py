@@ -1,0 +1,63 @@
+"""KS4Linux: the Kyoto scheduler for Linux/KVM.
+
+The paper's second implementation ports Kyoto to the Linux CFS scheduler
+(KVM VMs are ordinary processes under CFS).  Enforcement uses the same
+pollution accounts; the lever is CFS-bandwidth-style *throttling*: a VM
+whose quota is negative is removed from the runqueue until a time-slice
+refill turns its quota positive again.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.schedulers.cfs import CfsScheduler
+
+from .engine import KyotoEngine
+from .monitor import PollutionMonitor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.system import VirtualizedSystem
+    from repro.hypervisor.vcpu import VCpu
+
+
+class KS4Linux(CfsScheduler):
+    """CFS + pollution permits."""
+
+    name = "ks4linux"
+
+    def __init__(
+        self,
+        monitor: Optional[PollutionMonitor] = None,
+        quota_max_factor: float = 3.0,
+        monitor_period_ticks: int = 1,
+    ) -> None:
+        super().__init__()
+        self._monitor = monitor
+        self._quota_max_factor = quota_max_factor
+        self._monitor_period_ticks = monitor_period_ticks
+        self.kyoto: Optional[KyotoEngine] = None
+
+    def attach(self, system: "VirtualizedSystem") -> None:
+        super().attach(system)
+        self.kyoto = KyotoEngine(
+            system,
+            monitor=self._monitor,
+            quota_max_factor=self._quota_max_factor,
+            monitor_period_ticks=self._monitor_period_ticks,
+        )
+
+    def on_vcpu_registered(self, vcpu: "VCpu", core_id: int) -> None:
+        super().on_vcpu_registered(vcpu, core_id)
+        self.kyoto.register_vm(vcpu.vm)
+
+    def is_parked(self, vcpu: "VCpu") -> bool:
+        return self.kyoto.is_parked(vcpu.vm)
+
+    def on_tick_end(self, tick_index: int) -> None:
+        super().on_tick_end(tick_index)
+        self.kyoto.on_tick_end(tick_index)
+
+    def on_accounting(self, tick_index: int) -> None:
+        super().on_accounting(tick_index)
+        self.kyoto.on_accounting(tick_index)

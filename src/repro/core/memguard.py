@@ -1,0 +1,117 @@
+"""MemGuard-style memory-bandwidth reservation (related work [39]).
+
+MemGuard (Yun et al., RTAS 2013) reserves per-core memory *bandwidth*:
+each period, a core gets a budget of memory accesses; exhausting the
+budget throttles the core until the next period.  Since every LLC miss is
+a memory access, MemGuard's budget and Kyoto's pollution permit meter the
+same events — the difference is the accounting discipline:
+
+* **MemGuard**: hard per-period budget with no carry-over in either
+  direction — overshoot is forgiven at every period boundary, so even a
+  heavy overdrawer is guaranteed one burst per period (a real-time-style
+  periodic service guarantee).
+* **Kyoto**: a banked quota debited by the *measured rate* — overshoot
+  carries over as debt, so persistent polluters are throttled harder in
+  the long run, while an occasional burst can ride banked allowance.
+
+``MemGuardScheduler`` implements the baseline on the credit scheduler so
+the benchmarks can compare the two disciplines on identical colocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.schedulers.credit import CreditScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.system import VirtualizedSystem
+    from repro.hypervisor.vcpu import VCpu
+
+
+@dataclass
+class BandwidthBudget:
+    """Per-VM MemGuard state.
+
+    ``budget_misses_per_period`` is the reservation; ``used`` tracks the
+    current period's consumption.
+    """
+
+    budget_misses_per_period: float
+    used: float = 0.0
+    throttled: bool = False
+    throttle_events: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget_misses_per_period < 0:
+            raise ValueError(
+                f"budget must be >= 0, got {self.budget_misses_per_period}"
+            )
+
+    def charge(self, misses: float) -> None:
+        """Account one tick's misses; throttle on budget exhaustion."""
+        if misses < 0:
+            raise ValueError(f"misses cannot be negative: {misses}")
+        self.used += misses
+        if not self.throttled and self.used >= self.budget_misses_per_period:
+            self.throttled = True
+            self.throttle_events += 1
+
+    def replenish(self) -> None:
+        """New period: budget restored, no carry-over in either direction."""
+        self.used = 0.0
+        self.throttled = False
+
+
+class MemGuardScheduler(CreditScheduler):
+    """Credit scheduler + per-period memory-bandwidth reservations.
+
+    VMs declare their reservation through the same ``llc_cap`` config
+    field (misses/ms); the per-period budget is
+    ``llc_cap * period_ms``.
+    """
+
+    name = "memguard"
+
+    def __init__(self, period_ticks: Optional[int] = None) -> None:
+        super().__init__()
+        self._period_ticks = period_ticks
+        self.budgets: Dict[int, BandwidthBudget] = {}
+
+    @property
+    def period_ticks(self) -> int:
+        if self._period_ticks is not None:
+            return self._period_ticks
+        return self.system.ticks_per_slice
+
+    def on_vcpu_registered(self, vcpu: "VCpu", core_id: int) -> None:
+        super().on_vcpu_registered(vcpu, core_id)
+        vm = vcpu.vm
+        if vm.llc_cap is not None and vm.vm_id not in self.budgets:
+            period_ms = self.period_ticks * self.system.tick_usec / 1000.0
+            self.budgets[vm.vm_id] = BandwidthBudget(
+                budget_misses_per_period=vm.llc_cap * period_ms
+            )
+
+    def budget_of(self, vm) -> Optional[BandwidthBudget]:
+        return self.budgets.get(vm.vm_id)
+
+    def is_parked(self, vcpu: "VCpu") -> bool:
+        budget = self.budgets.get(vcpu.vm.vm_id)
+        return budget is not None and budget.throttled
+
+    def on_tick_end(self, tick_index: int) -> None:
+        super().on_tick_end(tick_index)
+        for vm in self.system.vms:
+            budget = self.budgets.get(vm.vm_id)
+            if budget is None:
+                continue
+            misses = sum(
+                self.system.last_tick_misses.get(vcpu.gid, 0.0)
+                for vcpu in vm.vcpus
+            )
+            budget.charge(misses)
+        if (tick_index + 1) % self.period_ticks == 0:
+            for budget in self.budgets.values():
+                budget.replenish()

@@ -1,0 +1,94 @@
+"""Shared helpers for the per-figure experiment drivers.
+
+Every experiment driver follows the same pattern: build a
+:class:`~repro.hypervisor.system.VirtualizedSystem` with the right
+scheduler and VMs, warm it up, measure over a window, and return a small
+result dataclass that the benchmark harness formats with
+:mod:`repro.analysis.reporting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.specs import MachineSpec, paper_machine
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VirtualMachine, VmConfig
+from repro.schedulers.base import Scheduler
+from repro.schedulers.credit import CreditScheduler
+from repro.workloads.base import Workload
+
+#: Default warm-up before any measurement window (ticks).
+DEFAULT_WARMUP_TICKS = 30
+#: Default measurement window (ticks).
+DEFAULT_MEASURE_TICKS = 120
+
+#: The booked pollution permit used throughout Section 4.3 (Fig 5).
+PAPER_LLC_CAP = 250_000.0
+#: The small permit of the scalability experiment (Fig 6).
+PAPER_SMALL_LLC_CAP = 50_000.0
+
+
+def build_system(
+    scheduler: Optional[Scheduler] = None,
+    machine: Optional[MachineSpec] = None,
+    **kwargs,
+) -> VirtualizedSystem:
+    """A system on the paper's machine with the given scheduler (XCS
+    default)."""
+    return VirtualizedSystem(
+        scheduler if scheduler is not None else CreditScheduler(),
+        machine if machine is not None else paper_machine(),
+        **kwargs,
+    )
+
+
+def measured_ipc(
+    system: VirtualizedSystem,
+    vm: VirtualMachine,
+    warmup_ticks: int = DEFAULT_WARMUP_TICKS,
+    measure_ticks: int = DEFAULT_MEASURE_TICKS,
+) -> float:
+    """Warm up, reset, measure: the VM's IPC over the window."""
+    system.run_ticks(warmup_ticks)
+    vm.reset_metrics()
+    system.run_ticks(measure_ticks)
+    return vm.vcpus[0].ipc
+
+
+def solo_ipc_of(
+    workload: Workload,
+    machine: Optional[MachineSpec] = None,
+    warmup_ticks: int = DEFAULT_WARMUP_TICKS,
+    measure_ticks: int = DEFAULT_MEASURE_TICKS,
+) -> float:
+    """Solo-run IPC of a workload pinned to core 0."""
+    system = build_system(machine=machine)
+    vm = system.create_vm(VmConfig(name="solo", workload=workload, pinned_cores=[0]))
+    return measured_ipc(system, vm, warmup_ticks, measure_ticks)
+
+
+@dataclass
+class ExecTimeResult:
+    """Execution time of a finite workload under some setup."""
+
+    label: str
+    seconds: float
+
+
+def execution_time_sec(
+    system: VirtualizedSystem,
+    vm: VirtualMachine,
+    max_ticks: int = 200_000,
+) -> float:
+    """Run until ``vm`` finishes and return its completion time (seconds)."""
+    while not vm.finished:
+        if system.tick_index >= max_ticks:
+            raise RuntimeError(
+                f"{vm.name} did not finish within {max_ticks} ticks"
+            )
+        system.run_ticks(1)
+    finish_usec = vm.finish_time_usec
+    assert finish_usec is not None
+    return finish_usec / 1e6

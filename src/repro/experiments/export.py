@@ -1,0 +1,162 @@
+"""Export experiment results as CSV figure data.
+
+Each paper figure's reproduced series can be dumped to a CSV file (the
+format gnuplot — which the original figures were clearly made with — or
+any plotting tool consumes).  ``export_all`` regenerates the full data
+directory in one call.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, Iterable, List, Sequence
+
+from . import fig01, fig02, fig03, fig04, fig05, fig06, fig08, fig09, fig11, fig12
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Write one CSV file, creating parent directories as needed."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+
+
+def export_fig01(result: "fig01.Fig01Result", path: str) -> None:
+    rows = [
+        [mode, rep, dis, result.of(rep, dis, mode)]
+        for mode in fig01.MODES
+        for rep in (1, 2, 3)
+        for dis in (1, 2, 3)
+    ]
+    write_csv(path, ["execution", "rep_category", "dis_category",
+                     "degradation_percent"], rows)
+
+
+def export_fig02(result: "fig02.Fig02Result", path: str) -> None:
+    rows = [
+        [tick * 10] + [result.misses[s][i] for s in fig02.SITUATIONS]
+        for i, tick in enumerate(result.ticks)
+    ]
+    write_csv(path, ["tick_ms"] + list(fig02.SITUATIONS), rows)
+
+
+def export_fig03(result: "fig03.Fig03Result", path: str) -> None:
+    names = sorted(result.degradation)
+    rows = [
+        [cap] + [result.degradation[name][i] for name in names]
+        for i, cap in enumerate(result.caps)
+    ]
+    write_csv(path, ["vdis1_cap_percent"] + names, rows)
+
+
+def export_fig04(result: "fig04.Fig04Result", path: str) -> None:
+    rows = [
+        [
+            app,
+            result.reports[app].real_aggressiveness,
+            result.reports[app].solo.llcm,
+            result.reports[app].solo.equation1,
+        ]
+        for app in result.comparison.real_order
+    ]
+    write_csv(path, ["app", "real_aggressiveness_percent", "llcm_mpki",
+                     "equation1_miss_per_ms"], rows)
+
+
+def export_fig05(result: "fig05.Fig05Result", path: str,
+                 timeline_path: str = "") -> None:
+    rows = [
+        [
+            vdis,
+            result.normalized_perf[vdis],
+            result.normalized_perf_xcs[vdis],
+            result.punishments[vdis][0],
+            result.punishments[vdis][1],
+        ]
+        for vdis in sorted(result.normalized_perf)
+    ]
+    write_csv(path, ["disruptor", "norm_perf_ks4xen", "norm_perf_xcs",
+                     "punish_vsen1", "punish_vdis"], rows)
+    if timeline_path:
+        timeline_rows = [
+            [
+                tick,
+                result.timeline.quota[tick],
+                int(result.timeline.running_ks4xen[tick]),
+                int(result.timeline.running_xcs[tick]),
+            ]
+            for tick in range(len(result.timeline.quota))
+        ]
+        write_csv(timeline_path,
+                  ["tick", "quota", "running_ks4xen", "running_xcs"],
+                  timeline_rows)
+
+
+def export_fig06(result: "fig06.Fig06Result", path: str) -> None:
+    write_csv(path, ["colocated_vdis1", "normalized_vsen1_perf"],
+              zip(result.counts, result.normalized_perf))
+
+
+def export_fig08(result: "fig08.Fig08Result", path: str) -> None:
+    write_csv(path, ["configuration", "exec_time_sec"],
+              sorted(result.exec_time.items()))
+
+
+def export_fig09(result: "fig09.Fig09Result", path: str) -> None:
+    rows = [
+        [app, result.degradation[app], result.migrations[app]]
+        for app in result.degradation
+    ]
+    write_csv(path, ["app", "degradation_percent", "migrations"], rows)
+
+
+def export_fig11(result: "fig11.Fig11Result", path: str) -> None:
+    rows = [
+        [app, result.dedicated[app], result.shared[app]]
+        for app in result.order_dedicated
+    ]
+    write_csv(path, ["app", "eq1_with_dedication", "eq1_without_dedication"],
+              rows)
+
+
+def export_fig12(result: "fig12.Fig12Result", path: str) -> None:
+    rows = [
+        [s, x, k]
+        for s, x, k in zip(result.slices_ms, result.exec_time_xcs,
+                           result.exec_time_ks4xen)
+    ]
+    write_csv(path, ["time_slice_ms", "xcs_exec_sec", "ks4xen_exec_sec"], rows)
+
+
+def export_all(directory: str = "figure_data") -> List[str]:
+    """Run every exportable experiment and write its CSV.
+
+    Returns the list of files written.  This is the slow path (it runs
+    the full evaluation); individual ``export_figNN`` functions accept
+    precomputed results.
+    """
+    written: List[str] = []
+
+    def out(name: str) -> str:
+        path = os.path.join(directory, name)
+        written.append(path)
+        return path
+
+    export_fig01(fig01.run(), out("fig01_contention.csv"))
+    export_fig02(fig02.run(), out("fig02_llcm_timeline.csv"))
+    export_fig03(fig03.run(), out("fig03_cpu_lever.csv"))
+    export_fig04(fig04.run(), out("fig04_indicators.csv"))
+    export_fig05(fig05.run(), out("fig05_effectiveness.csv"),
+                 out("fig05_timeline.csv"))
+    export_fig06(fig06.run(), out("fig06_scalability.csv"))
+    export_fig08(fig08.run(), out("fig08_pisces.csv"))
+    export_fig09(fig09.run(), out("fig09_migration.csv"))
+    export_fig11(fig11.run(), out("fig11_dedication.csv"))
+    export_fig12(fig12.run(), out("fig12_overhead.csv"))
+    return written

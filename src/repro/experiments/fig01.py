@@ -1,0 +1,112 @@
+"""Fig 1 — LLC contention could impact some applications.
+
+Each category's representative micro VM (C1/C2/C3) is executed alone and
+against each category's disruptive micro VM in three situations:
+*alternative* (same core, time-shared), *parallel* (different cores) and
+*combined* (one disruptor sharing the core plus one on another core).
+The output is the percentage performance degradation matrix of the
+paper's three bar groups.
+
+Expected shape (paper): C1 representatives are agnostic to everything;
+C2/C3 representatives are severely hurt by C2/C3 disruptors; parallel
+contention is far more devastating (up to ~70%) than alternative
+execution (~13%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.metrics import degradation_percent
+from repro.analysis.reporting import format_table
+from repro.hypervisor.vm import VmConfig
+from repro.workloads.micro import CacheFitCategory, category_pairs, micro_workload
+
+from .common import build_system, measured_ipc
+
+#: The three execution situations of Section 2.2.4.
+MODES = ("alternative", "parallel", "combined")
+
+
+@dataclass
+class Fig01Result:
+    """Degradation of each representative VM in every situation."""
+
+    #: (rep_category, dis_category, mode) -> degradation %.
+    degradation: Dict[Tuple[int, int, str], float] = field(default_factory=dict)
+
+    def of(self, rep: int, dis: int, mode: str) -> float:
+        return self.degradation[(rep, dis, mode)]
+
+
+def _run_situation(rep_bytes: int, dis_bytes: int, mode: str,
+                   warmup: int, measure: int) -> float:
+    system = build_system()
+    rep = system.create_vm(
+        VmConfig(name="rep", workload=micro_workload(rep_bytes), pinned_cores=[0])
+    )
+    if mode in ("alternative", "combined"):
+        system.create_vm(
+            VmConfig(
+                name="dis-alt",
+                workload=micro_workload(dis_bytes, disruptive=True),
+                pinned_cores=[0],
+            )
+        )
+    if mode in ("parallel", "combined"):
+        system.create_vm(
+            VmConfig(
+                name="dis-par",
+                workload=micro_workload(dis_bytes, disruptive=True),
+                pinned_cores=[1],
+            )
+        )
+    return measured_ipc(system, rep, warmup, measure)
+
+
+def run(warmup_ticks: int = 30, measure_ticks: int = 120) -> Fig01Result:
+    """Execute the full Fig 1 campaign (9 rep/dis pairs x 3 situations)."""
+    pairs = category_pairs()
+    result = Fig01Result()
+    solo = {}
+    for rep_cat, rep_pair in pairs.items():
+        system = build_system()
+        vm = system.create_vm(
+            VmConfig(
+                name="rep",
+                workload=micro_workload(rep_pair.representative_bytes),
+                pinned_cores=[0],
+            )
+        )
+        solo[rep_cat] = measured_ipc(system, vm, warmup_ticks, measure_ticks)
+    for rep_cat, rep_pair in pairs.items():
+        for dis_cat, dis_pair in pairs.items():
+            for mode in MODES:
+                ipc = _run_situation(
+                    rep_pair.representative_bytes,
+                    dis_pair.disruptive_bytes,
+                    mode,
+                    warmup_ticks,
+                    measure_ticks,
+                )
+                result.degradation[(int(rep_cat), int(dis_cat), mode)] = (
+                    degradation_percent(solo[rep_cat], ipc)
+                )
+    return result
+
+
+def format_report(result: Fig01Result) -> str:
+    """The three bar groups of Fig 1 as one table."""
+    rows: List[List] = []
+    for mode in MODES:
+        for rep in (1, 2, 3):
+            rows.append(
+                [mode, f"v{rep}_rep"]
+                + [result.of(rep, dis, mode) for dis in (1, 2, 3)]
+            )
+    return format_table(
+        ["execution", "representative", "v1_dis %", "v2_dis %", "v3_dis %"],
+        rows,
+        title="Fig 1: % perf degradation of representative VMs",
+    )

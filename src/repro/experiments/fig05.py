@@ -1,0 +1,157 @@
+"""Fig 5 — KS4Xen minimises LLC contention, avoiding performance variation.
+
+Runs vsen1 (gcc, booked llc_cap 250k) in parallel with each disruptor
+vdis1..3 (lbm, blockie, mcf — each also booked 250k) under KS4Xen and
+records:
+
+* vsen1's performance normalised to its solo run (paper: "almost kept
+  whatever the aggressiveness of the concurrent VM"),
+* the punishment counts of vsen1 and of the disruptor (paper: disruptors
+  receive far more penalties),
+* for vdis1, the per-tick timeline of its pollution quota and of its CPU
+  usage under XCS vs KS4Xen (paper's bottom plots: under KS4Xen the VM is
+  deprived of the processor whenever its measured llc_cap exceeds the
+  booked one — a zigzag quota).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import normalized_performance
+from repro.analysis.reporting import format_table
+from repro.core.ks4xen import KS4Xen
+from repro.hypervisor.vm import VmConfig
+from repro.schedulers.credit import CreditScheduler
+from repro.workloads.profiles import DISRUPTIVE_APPS, application_workload
+
+from .common import PAPER_LLC_CAP, build_system, measured_ipc, solo_ipc_of
+
+
+@dataclass
+class Fig05Timeline:
+    """Per-tick traces of the vdis1 run (bottom plots of Fig 5)."""
+
+    quota: List[float] = field(default_factory=list)
+    running_ks4xen: List[bool] = field(default_factory=list)
+    running_xcs: List[bool] = field(default_factory=list)
+
+
+@dataclass
+class Fig05Result:
+    #: disruptor name -> vsen1 normalised performance under KS4Xen.
+    normalized_perf: Dict[str, float] = field(default_factory=dict)
+    #: disruptor name -> vsen1 normalised performance under plain XCS.
+    normalized_perf_xcs: Dict[str, float] = field(default_factory=dict)
+    #: disruptor name -> (vsen1 punishments, disruptor punishments).
+    punishments: Dict[str, tuple] = field(default_factory=dict)
+    timeline: Fig05Timeline = field(default_factory=Fig05Timeline)
+
+
+def _run_pair(
+    disruptor_app: str,
+    scheduler_factory,
+    llc_cap: float,
+    warmup: int,
+    measure: int,
+    record_timeline: Optional[Fig05Timeline] = None,
+    timeline_field: str = "",
+):
+    scheduler = scheduler_factory()
+    system = build_system(scheduler)
+    sen = system.create_vm(
+        VmConfig(
+            name="vsen1",
+            workload=application_workload("gcc"),
+            llc_cap=llc_cap,
+            pinned_cores=[0],
+        )
+    )
+    dis = system.create_vm(
+        VmConfig(
+            name="vdis",
+            workload=application_workload(disruptor_app),
+            llc_cap=llc_cap,
+            pinned_cores=[1],
+        )
+    )
+    if record_timeline is not None:
+        dis_vcpu = dis.vcpus[0]
+
+        def observer(sys_, tick_index) -> None:
+            getattr(record_timeline, timeline_field).append(
+                dis_vcpu.gid in sys_.last_tick_cycles
+            )
+            if timeline_field == "running_ks4xen":
+                quota = scheduler.kyoto.quota(dis)
+                record_timeline.quota.append(quota if quota is not None else 0.0)
+
+        system.add_tick_observer(observer)
+    ipc = measured_ipc(system, sen, warmup, measure)
+    if isinstance(scheduler, KS4Xen):
+        return ipc, scheduler.kyoto.punishments(sen), scheduler.kyoto.punishments(dis)
+    return ipc, 0, 0
+
+
+def run(
+    llc_cap: float = PAPER_LLC_CAP,
+    warmup_ticks: int = 30,
+    measure_ticks: int = 200,
+) -> Fig05Result:
+    result = Fig05Result()
+    solo = solo_ipc_of(
+        application_workload("gcc"),
+        warmup_ticks=warmup_ticks,
+        measure_ticks=measure_ticks,
+    )
+    for vdis_name, app in DISRUPTIVE_APPS.items():
+        timeline = result.timeline if vdis_name == "vdis1" else None
+        ipc_k, pun_sen, pun_dis = _run_pair(
+            app, KS4Xen, llc_cap, warmup_ticks, measure_ticks,
+            record_timeline=timeline, timeline_field="running_ks4xen",
+        )
+        ipc_x, __, __ = _run_pair(
+            app, CreditScheduler, llc_cap, warmup_ticks, measure_ticks,
+            record_timeline=timeline, timeline_field="running_xcs",
+        )
+        result.normalized_perf[vdis_name] = normalized_performance(solo, ipc_k)
+        result.normalized_perf_xcs[vdis_name] = normalized_performance(solo, ipc_x)
+        result.punishments[vdis_name] = (pun_sen, pun_dis)
+    return result
+
+
+def format_report(result: Fig05Result) -> str:
+    rows = []
+    for vdis in sorted(result.normalized_perf):
+        pun_sen, pun_dis = result.punishments[vdis]
+        rows.append(
+            [
+                vdis,
+                result.normalized_perf[vdis],
+                result.normalized_perf_xcs[vdis],
+                pun_sen,
+                pun_dis,
+            ]
+        )
+    table = format_table(
+        ["disruptor", "vsen1 norm perf (KS4Xen)", "vsen1 norm perf (XCS)",
+         "#punish vsen1", "#punish vdis"],
+        rows,
+        title="Fig 5: KS4Xen effectiveness (booked llc_cap = 250k)",
+    )
+    ks_duty = (
+        sum(result.timeline.running_ks4xen) / len(result.timeline.running_ks4xen)
+        if result.timeline.running_ks4xen
+        else 0.0
+    )
+    xcs_duty = (
+        sum(result.timeline.running_xcs) / len(result.timeline.running_xcs)
+        if result.timeline.running_xcs
+        else 0.0
+    )
+    footer = (
+        f"\nvdis1 CPU duty cycle: XCS={xcs_duty:.2f}, KS4Xen={ks_duty:.2f} "
+        f"(KS4Xen deprives the polluter of the processor)"
+    )
+    return table + footer

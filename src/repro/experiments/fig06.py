@@ -1,0 +1,91 @@
+"""Fig 6 — KS4Xen scalability.
+
+Runs vsen1 (gcc, booked 250k) while varying the number of colocated
+disruptive vCPUs (vdis1 = lbm instances, each booked 50k) from 1 to 15 —
+up to 16 vCPUs on the 4-core socket, the consolidation ratio of [10].
+
+Expected shape (paper): vsen1's normalised performance stays ~1.0
+regardless of the number of disturbers, because every disturber is held
+to its (small) pollution permit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.metrics import normalized_performance
+from repro.analysis.reporting import format_table
+from repro.core.ks4xen import KS4Xen
+from repro.hypervisor.vm import VmConfig
+from repro.workloads.profiles import application_workload
+
+from .common import (
+    PAPER_LLC_CAP,
+    PAPER_SMALL_LLC_CAP,
+    build_system,
+    measured_ipc,
+    solo_ipc_of,
+)
+
+DEFAULT_COUNTS = (1, 2, 4, 6, 8, 10, 13, 14, 15)
+
+
+@dataclass
+class Fig06Result:
+    counts: List[int]
+    normalized_perf: List[float] = field(default_factory=list)
+
+
+def run(
+    counts: Sequence[int] = DEFAULT_COUNTS,
+    disruptor_app: str = "lbm",
+    warmup_ticks: int = 30,
+    measure_ticks: int = 150,
+) -> Fig06Result:
+    solo = solo_ipc_of(
+        application_workload("gcc"),
+        warmup_ticks=warmup_ticks,
+        measure_ticks=measure_ticks,
+    )
+    result = Fig06Result(counts=list(counts))
+    for count in counts:
+        scheduler = KS4Xen()
+        system = build_system(scheduler)
+        sen = system.create_vm(
+            VmConfig(
+                name="vsen1",
+                workload=application_workload("gcc"),
+                llc_cap=PAPER_LLC_CAP,
+                pinned_cores=[0],
+            )
+        )
+        num_cores = system.machine.total_cores
+        for i in range(count):
+            # Disturbers fill cores round-robin (vsen1 keeps core 0 but
+            # shares it once more than three disturbers are colocated, as
+            # on the real 4-core socket).
+            core = (1 + i) % num_cores
+            system.create_vm(
+                VmConfig(
+                    name=f"vdis1-{i}",
+                    workload=application_workload(disruptor_app),
+                    llc_cap=PAPER_SMALL_LLC_CAP,
+                    pinned_cores=[core],
+                )
+            )
+        ipc = measured_ipc(system, sen, warmup_ticks, measure_ticks)
+        result.normalized_perf.append(normalized_performance(solo, ipc))
+    return result
+
+
+def format_report(result: Fig06Result) -> str:
+    rows = [
+        [count, perf]
+        for count, perf in zip(result.counts, result.normalized_perf)
+    ]
+    return format_table(
+        ["# colocated vdis1", "normalized vsen1 perf"],
+        rows,
+        title="Fig 6: KS4Xen scalability (vsen1 @250k, each vdis1 @50k)",
+    )

@@ -1,0 +1,101 @@
+"""Fig 8 — Comparison of Kyoto with Pisces.
+
+Measures vsen1's (gcc) execution time in four configurations:
+
+* **Pisces, alone** — gcc's enclave owns its core; no co-runner.
+* **Pisces, colocated** — a vdis1 (lbm) enclave runs on another core of
+  the same socket.  Pisces isolates every resource *except* the LLC, so
+  performance predictability is lost (paper: ~24% slower).
+* **KS4Pisces, alone / colocated** — with pollution permits enforced by
+  duty-cycling the polluter's cores, the colocated time returns close to
+  the solo time.
+
+Expected shape (paper): Pisces colocated >> Pisces alone; KS4Pisces
+colocated ≈ KS4Pisces alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.metrics import slowdown_percent
+from repro.analysis.reporting import format_table
+from repro.hypervisor.vm import VmConfig
+from repro.pisces.cokernel import PiscesCoKernel
+from repro.pisces.ks4pisces import KS4Pisces
+from repro.workloads.profiles import application_workload
+
+from .common import PAPER_LLC_CAP, build_system, execution_time_sec
+
+#: Work per run; sized so solo execution takes a few simulated seconds.
+DEFAULT_WORK_INSTRUCTIONS = 2.0e9
+
+
+@dataclass
+class Fig08Result:
+    #: configuration label -> vsen1 execution time (seconds).
+    exec_time: Dict[str, float]
+
+    @property
+    def pisces_interference_percent(self) -> float:
+        return slowdown_percent(
+            self.exec_time["pisces-alone"], self.exec_time["pisces-colocated"]
+        )
+
+    @property
+    def ks4pisces_interference_percent(self) -> float:
+        return slowdown_percent(
+            self.exec_time["ks4pisces-alone"],
+            self.exec_time["ks4pisces-colocated"],
+        )
+
+
+def _run(scheduler_factory, colocated: bool, llc_cap, work: float) -> float:
+    system = build_system(scheduler_factory())
+    sen = system.create_vm(
+        VmConfig(
+            name="vsen1",
+            workload=application_workload("gcc", total_instructions=work),
+            llc_cap=llc_cap,
+            pinned_cores=[0],
+        )
+    )
+    if colocated:
+        system.create_vm(
+            VmConfig(
+                name="vdis1",
+                workload=application_workload("lbm"),
+                llc_cap=llc_cap,
+                pinned_cores=[1],
+            )
+        )
+    return execution_time_sec(system, sen)
+
+
+def run(work_instructions: float = DEFAULT_WORK_INSTRUCTIONS) -> Fig08Result:
+    times = {
+        "pisces-alone": _run(PiscesCoKernel, False, None, work_instructions),
+        "pisces-colocated": _run(PiscesCoKernel, True, None, work_instructions),
+        "ks4pisces-alone": _run(
+            KS4Pisces, False, PAPER_LLC_CAP, work_instructions
+        ),
+        "ks4pisces-colocated": _run(
+            KS4Pisces, True, PAPER_LLC_CAP, work_instructions
+        ),
+    }
+    return Fig08Result(exec_time=times)
+
+
+def format_report(result: Fig08Result) -> str:
+    rows = [[label, secs] for label, secs in result.exec_time.items()]
+    table = format_table(
+        ["configuration", "vsen1 exec time (s)"],
+        rows,
+        title="Fig 8: Pisces vs KS4Pisces",
+    )
+    return table + (
+        f"\nPisces interference: {result.pisces_interference_percent:.1f}% "
+        f"(paper ~24%); KS4Pisces interference: "
+        f"{result.ks4pisces_interference_percent:.1f}% (paper ~0%)"
+    )

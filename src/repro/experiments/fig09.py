@@ -1,0 +1,89 @@
+"""Fig 9 — Migrating vCPUs could impact memory-bound applications.
+
+The socket-dedication monitoring strategy periodically migrates every
+non-sampled vCPU to the other socket.  This experiment isolates that
+cost on the two-socket NUMA machine (PowerEdge R420): a single-vCPU VM
+starts on numa0 (where its memory lives); KS4Xen periodically migrates it
+to numa1 and back after a random dwell — while away, all its memory
+accesses are remote and its LLC is cold.
+
+Expected shape (paper): applications are not equally affected; the
+memory-intensive ones (milc, omnetpp, lbm) suffer the most, up to ~12%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.metrics import slowdown_percent
+from repro.analysis.reporting import format_table
+from repro.hardware.specs import numa_machine
+from repro.hypervisor.migration import PeriodicMigrator
+from repro.hypervisor.vm import VmConfig
+from repro.workloads.profiles import application_workload
+
+from .common import build_system, execution_time_sec
+
+#: The eight applications of the paper's Fig 9.
+FIG9_APPS = ("mcf", "soplex", "milc", "omnetpp", "xalan", "astar", "bzip", "lbm")
+DEFAULT_WORK_INSTRUCTIONS = 1.0e9
+
+
+@dataclass
+class Fig09Result:
+    #: app -> execution-time degradation % caused by periodic migration.
+    degradation: Dict[str, float] = field(default_factory=dict)
+    migrations: Dict[str, int] = field(default_factory=dict)
+
+
+def _run(app: str, migrate: bool, work: float, period_ticks: int, seed: int) -> tuple:
+    system = build_system(machine=numa_machine())
+    vm = system.create_vm(
+        VmConfig(
+            name=app,
+            workload=application_workload(app, total_instructions=work),
+            memory_node=0,
+            pinned_cores=[0],
+        )
+    )
+    migrator = None
+    if migrate:
+        remote_core = system.machine.spec.cores_of_socket(1)[0]
+        migrator = PeriodicMigrator(
+            system,
+            vm.vcpus[0],
+            home_core=0,
+            remote_core=remote_core,
+            period_ticks=period_ticks,
+            seed=seed,
+        )
+    seconds = execution_time_sec(system, vm)
+    return seconds, (migrator.migrations if migrator else 0)
+
+
+def run(
+    apps: Sequence[str] = FIG9_APPS,
+    work_instructions: float = DEFAULT_WORK_INSTRUCTIONS,
+    period_ticks: int = 10,
+    seed: int = 0,
+) -> Fig09Result:
+    result = Fig09Result()
+    for app in apps:
+        baseline, __ = _run(app, False, work_instructions, period_ticks, seed)
+        migrated, count = _run(app, True, work_instructions, period_ticks, seed)
+        result.degradation[app] = slowdown_percent(baseline, migrated)
+        result.migrations[app] = count
+    return result
+
+
+def format_report(result: Fig09Result) -> str:
+    rows = [
+        [app, result.degradation[app], result.migrations[app]]
+        for app in result.degradation
+    ]
+    return format_table(
+        ["app", "perf degradation %", "# migrations"],
+        rows,
+        title="Fig 9: cost of periodic vCPU migration (socket dedication)",
+    )

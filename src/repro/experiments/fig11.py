@@ -1,0 +1,97 @@
+"""Fig 11 — Socket dedication can be avoided when computing llc_cap_act.
+
+Recomputes the Fig 4 equation-1 indicator for all ten applications in two
+ways: with socket dedication (the intrinsic, solo measurement) and
+without it (sampled while colocated with a mixed set of co-runners), and
+compares the two resulting aggressiveness orderings.
+
+Expected shape (paper): the two bars track each other closely for most
+applications, so the dedication (and its Fig 9 migration cost) can often
+be avoided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.kendall import kendall_tau, ranking_from_scores
+from repro.analysis.reporting import format_table
+from repro.core.equation import llc_cap_act
+from repro.hypervisor.vm import VmConfig
+from repro.workloads.profiles import FIG4_APPLICATIONS, application_workload
+
+from .common import build_system, measured_ipc
+
+
+@dataclass
+class Fig11Result:
+    #: app -> equation-1 value measured solo (socket dedicated).
+    dedicated: Dict[str, float] = field(default_factory=dict)
+    #: app -> equation-1 value measured colocated (no dedication).
+    shared: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def order_dedicated(self) -> List[str]:
+        return ranking_from_scores(self.dedicated)
+
+    @property
+    def order_shared(self) -> List[str]:
+        return ranking_from_scores(self.shared)
+
+    @property
+    def tau(self) -> float:
+        return kendall_tau(self.order_dedicated, self.order_shared)
+
+
+def _equation1_of(system, vm, warmup: int, measure: int) -> float:
+    system.run_ticks(warmup)
+    vm.reset_metrics()
+    system.run_ticks(measure)
+    vcpu = vm.vcpus[0]
+    return llc_cap_act(vcpu.llc_misses, vcpu.cycles_run, system.freq_khz)
+
+
+def run(
+    apps: Sequence[str] = tuple(FIG4_APPLICATIONS),
+    corunner: str = "gcc",
+    warmup_ticks: int = 30,
+    measure_ticks: int = 90,
+) -> Fig11Result:
+    result = Fig11Result()
+    for app in apps:
+        # With dedication: the app is alone on the socket.
+        system = build_system()
+        vm = system.create_vm(
+            VmConfig(name=app, workload=application_workload(app), pinned_cores=[0])
+        )
+        result.dedicated[app] = _equation1_of(system, vm, warmup_ticks, measure_ticks)
+        # Without dedication: measured while a co-runner shares the LLC.
+        system = build_system()
+        vm = system.create_vm(
+            VmConfig(name=app, workload=application_workload(app), pinned_cores=[0])
+        )
+        system.create_vm(
+            VmConfig(
+                name="corunner",
+                workload=application_workload(corunner),
+                pinned_cores=[1],
+            )
+        )
+        result.shared[app] = _equation1_of(system, vm, warmup_ticks, measure_ticks)
+    return result
+
+
+def format_report(result: Fig11Result) -> str:
+    rows = [
+        [app, result.dedicated[app], result.shared[app]]
+        for app in result.order_dedicated
+    ]
+    table = format_table(
+        ["app", "eq1 with dedication", "eq1 without dedication"],
+        rows,
+        title="Fig 11: equation 1 with vs without socket dedication",
+    )
+    return table + (
+        f"\nordering agreement (Kendall tau) = {result.tau:.3f}"
+    )

@@ -1,0 +1,28 @@
+"""Hardware models: machine specs (Table 1), topology, latencies."""
+
+from .latency import LatencyModel, PAPER_LATENCIES
+from .specs import (
+    CacheSpec,
+    KIB,
+    MIB,
+    MachineSpec,
+    SocketSpec,
+    numa_machine,
+    paper_machine,
+)
+from .topology import Core, Machine, Socket
+
+__all__ = [
+    "CacheSpec",
+    "Core",
+    "KIB",
+    "LatencyModel",
+    "MIB",
+    "Machine",
+    "MachineSpec",
+    "PAPER_LATENCIES",
+    "Socket",
+    "SocketSpec",
+    "numa_machine",
+    "paper_machine",
+]

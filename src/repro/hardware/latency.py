@@ -1,0 +1,69 @@
+"""Memory-hierarchy access latencies.
+
+The paper measures, with lmbench, approximately 4 cycles for L1, 12 for
+L2, 45 for LLC and 180 for main memory on the experimental machine
+(Section 2.2.4).  These numbers are the backbone of the performance model:
+the cost of an access is the latency of the level that finally services it.
+
+For the NUMA experiments (Fig 9) a remote-memory latency applies when a
+vCPU runs on one socket while its pages live on another; the paper reports
+up to ~12% degradation for memory-bound applications, which a ~1.7x remote
+penalty reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-level access latencies in core cycles.
+
+    Attributes:
+        l1_cycles: latency of an access serviced by the L1 cache.
+        l2_cycles: latency of an access serviced by the L2 cache.
+        llc_cycles: latency of an access serviced by the shared LLC.
+        memory_cycles: latency of an access serviced by local DRAM.
+        remote_memory_cycles: latency of an access serviced by DRAM
+            attached to a *different* socket (NUMA remote access).
+    """
+
+    l1_cycles: int = 4
+    l2_cycles: int = 12
+    llc_cycles: int = 45
+    memory_cycles: int = 180
+    remote_memory_cycles: int = 300
+
+    def __post_init__(self) -> None:
+        ordered = (
+            self.l1_cycles,
+            self.l2_cycles,
+            self.llc_cycles,
+            self.memory_cycles,
+        )
+        if any(lat <= 0 for lat in ordered):
+            raise ValueError(f"latencies must be positive: {ordered}")
+        if sorted(ordered) != list(ordered):
+            raise ValueError(
+                "latencies must increase with hierarchy depth: "
+                f"L1={self.l1_cycles} L2={self.l2_cycles} "
+                f"LLC={self.llc_cycles} MEM={self.memory_cycles}"
+            )
+        if self.remote_memory_cycles < self.memory_cycles:
+            raise ValueError(
+                "remote memory cannot be faster than local memory: "
+                f"{self.remote_memory_cycles} < {self.memory_cycles}"
+            )
+
+    def memory_cycles_for(self, remote: bool) -> int:
+        """DRAM latency, picking remote vs local."""
+        return self.remote_memory_cycles if remote else self.memory_cycles
+
+    def llc_miss_penalty(self, remote: bool = False) -> int:
+        """Extra cycles an LLC miss costs over an LLC hit."""
+        return self.memory_cycles_for(remote) - self.llc_cycles
+
+
+#: Latencies measured on the paper's Xeon E5-1603 v3 (Section 2.2.4).
+PAPER_LATENCIES = LatencyModel()

@@ -1,0 +1,164 @@
+"""Machine specifications.
+
+Encodes Table 1 of the paper (the Dell machine with an Intel Xeon E5-1603
+v3) plus the two-socket PowerEdge R420 used for the NUMA / vCPU-migration
+experiments of Fig 9.  Everything downstream (cache simulators, occupancy
+model, schedulers) is parameterised by these specs, so alternative machines
+can be modelled by constructing a different :class:`MachineSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .latency import LatencyModel, PAPER_LATENCIES
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry of one cache level.
+
+    Attributes:
+        name: human-readable level name ("L1D", "L2", "LLC").
+        size_bytes: total capacity.
+        associativity: number of ways per set.
+        line_bytes: cache line size.
+        shared: True if the cache is shared by all cores of a socket
+            (the LLC), False if private per core (L1/L2).
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError(f"invalid cache spec: {self}")
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc*line ({self.associativity}*{self.line_bytes})"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """One processor socket: cores plus its private cache hierarchy."""
+
+    cores: int
+    freq_khz: int
+    l1d: CacheSpec
+    l1i: CacheSpec
+    l2: CacheSpec
+    llc: CacheSpec
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"socket needs at least one core, got {self.cores}")
+        if self.freq_khz <= 0:
+            raise ValueError(f"invalid frequency {self.freq_khz} kHz")
+        if not self.llc.shared:
+            raise ValueError("the LLC must be marked shared")
+
+    @property
+    def freq_hz(self) -> int:
+        return self.freq_khz * 1_000
+
+    @property
+    def freq_ghz(self) -> float:
+        return self.freq_khz / 1_000_000
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A full physical machine: sockets, memory and latency model."""
+
+    name: str
+    sockets: Tuple[SocketSpec, ...]
+    memory_bytes: int
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self) -> None:
+        if not self.sockets:
+            raise ValueError("machine needs at least one socket")
+        if self.memory_bytes <= 0:
+            raise ValueError(f"invalid memory size {self.memory_bytes}")
+
+    @property
+    def total_cores(self) -> int:
+        return sum(socket.cores for socket in self.sockets)
+
+    @property
+    def num_sockets(self) -> int:
+        return len(self.sockets)
+
+    def socket_of_core(self, core_id: int) -> int:
+        """Socket index that physically contains global ``core_id``."""
+        if core_id < 0:
+            raise ValueError(f"negative core id {core_id}")
+        offset = 0
+        for index, socket in enumerate(self.sockets):
+            if core_id < offset + socket.cores:
+                return index
+            offset += socket.cores
+        raise ValueError(f"core {core_id} out of range (total {self.total_cores})")
+
+    def cores_of_socket(self, socket_id: int) -> Tuple[int, ...]:
+        """Global core ids belonging to ``socket_id``."""
+        if not 0 <= socket_id < len(self.sockets):
+            raise ValueError(f"socket {socket_id} out of range")
+        offset = sum(s.cores for s in self.sockets[:socket_id])
+        return tuple(range(offset, offset + self.sockets[socket_id].cores))
+
+
+def _xeon_e5_1603v3_socket() -> SocketSpec:
+    """The socket of Table 1: 4 cores, 2.8 GHz, 10 MB 20-way LLC."""
+    return SocketSpec(
+        cores=4,
+        freq_khz=2_800_000,
+        l1d=CacheSpec("L1D", 32 * KIB, 8),
+        l1i=CacheSpec("L1I", 32 * KIB, 8),
+        l2=CacheSpec("L2", 256 * KIB, 8),
+        llc=CacheSpec("LLC", 10 * MIB, 20, shared=True),
+    )
+
+
+def paper_machine() -> MachineSpec:
+    """The single-socket Dell machine of Table 1."""
+    return MachineSpec(
+        name="Dell / Intel Xeon E5-1603 v3",
+        sockets=(_xeon_e5_1603v3_socket(),),
+        memory_bytes=8_096 * MIB,
+        latency=PAPER_LATENCIES,
+    )
+
+
+def numa_machine() -> MachineSpec:
+    """The two-socket PowerEdge R420 used for Fig 9 (vCPU migration).
+
+    Both sockets use the same per-socket geometry; what matters for the
+    experiment is the remote-memory penalty paid after a migration.
+    """
+    socket = _xeon_e5_1603v3_socket()
+    return MachineSpec(
+        name="Dell PowerEdge R420 (2 sockets)",
+        sockets=(socket, socket),
+        memory_bytes=2 * 8_096 * MIB,
+        latency=PAPER_LATENCIES,
+    )

@@ -1,0 +1,103 @@
+"""Runtime hardware topology.
+
+While :mod:`repro.hardware.specs` is pure static description, this module
+holds the *mutable* runtime objects: cores that know what vCPU currently
+occupies them, sockets that own a shared-LLC state object, and the machine
+tying them together.  The hypervisor and schedulers manipulate these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from .specs import MachineSpec, SocketSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hypervisor.vcpu import VCpu
+
+
+@dataclass
+class Core:
+    """A physical core.
+
+    Attributes:
+        core_id: global core index on the machine.
+        socket_id: index of the socket containing this core.
+        running: the vCPU currently executing here, or None when idle.
+    """
+
+    core_id: int
+    socket_id: int
+    running: Optional["VCpu"] = None
+
+    @property
+    def is_idle(self) -> bool:
+        return self.running is None
+
+
+class Socket:
+    """A runtime socket: cores plus the shared-LLC contention domain.
+
+    The socket owns ``llc_domain``, set by the machine builder to the
+    shared-cache occupancy model (see :mod:`repro.cachesim.occupancy`):
+    every vCPU running on any core of this socket inserts into and evicts
+    from that one domain, which is precisely what makes the LLC a shared,
+    non-partitionable resource in the simulation.
+    """
+
+    def __init__(self, socket_id: int, spec: SocketSpec, first_core_id: int) -> None:
+        self.socket_id = socket_id
+        self.spec = spec
+        self.cores: List[Core] = [
+            Core(core_id=first_core_id + i, socket_id=socket_id)
+            for i in range(spec.cores)
+        ]
+        # Set by Machine after the cache model is built.
+        self.llc_domain = None
+
+    def idle_cores(self) -> List[Core]:
+        """Cores with nothing running on them."""
+        return [core for core in self.cores if core.is_idle]
+
+    def running_vcpus(self) -> List["VCpu"]:
+        """vCPUs currently executing on this socket."""
+        return [core.running for core in self.cores if core.running is not None]
+
+
+class Machine:
+    """A runtime machine built from a :class:`MachineSpec`."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+        self.sockets: List[Socket] = []
+        first_core = 0
+        for socket_id, socket_spec in enumerate(spec.sockets):
+            self.sockets.append(Socket(socket_id, socket_spec, first_core))
+            first_core += socket_spec.cores
+        self.cores: List[Core] = [
+            core for socket in self.sockets for core in socket.cores
+        ]
+        self._core_by_id: Dict[int, Core] = {c.core_id: c for c in self.cores}
+
+    @property
+    def total_cores(self) -> int:
+        return len(self.cores)
+
+    def core(self, core_id: int) -> Core:
+        """Look up a core by global id."""
+        try:
+            return self._core_by_id[core_id]
+        except KeyError:
+            raise ValueError(
+                f"core {core_id} does not exist (machine has "
+                f"{self.total_cores} cores)"
+            ) from None
+
+    def socket_of(self, core_id: int) -> Socket:
+        """Socket object containing ``core_id``."""
+        return self.sockets[self.core(core_id).socket_id]
+
+    def running_vcpus(self) -> List["VCpu"]:
+        """All vCPUs currently on a core, machine-wide."""
+        return [core.running for core in self.cores if core.running is not None]

@@ -1,0 +1,17 @@
+"""Hypervisor layer: VMs, vCPUs, the virtualized machine simulation and
+vCPU migration policies."""
+
+from .migration import PeriodicMigrator
+from .system import HypervisorError, TickObserver, VirtualizedSystem
+from .vcpu import VCpu
+from .vm import VirtualMachine, VmConfig
+
+__all__ = [
+    "HypervisorError",
+    "PeriodicMigrator",
+    "TickObserver",
+    "VCpu",
+    "VirtualMachine",
+    "VirtualizedSystem",
+    "VmConfig",
+]

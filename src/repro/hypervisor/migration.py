@@ -1,0 +1,77 @@
+"""vCPU migration policies.
+
+The socket-dedication monitoring strategy (Section 3.3, first solution)
+periodically migrates every vCPU except the one being sampled to the other
+socket.  Fig 9 isolates the *cost* of that choreography: a single vCPU is
+bounced between numa0 and numa1, paying remote-memory accesses (and a cold
+LLC) while away from its memory node.
+
+:class:`PeriodicMigrator` reproduces the Fig 9 setup: migrate to the
+remote socket every ``period_ticks``; return after a randomized dwell time
+mimicking "the time taken by KS4Xen to compute all vCPUs' llc_cap_act".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .system import VirtualizedSystem
+from .vcpu import VCpu
+
+
+class PeriodicMigrator:
+    """Bounce one vCPU between its home core and a remote-socket core."""
+
+    def __init__(
+        self,
+        system: VirtualizedSystem,
+        vcpu: VCpu,
+        home_core: int,
+        remote_core: int,
+        period_ticks: int,
+        min_dwell_ticks: int = 1,
+        max_dwell_ticks: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if period_ticks <= 0:
+            raise ValueError(f"period_ticks must be positive, got {period_ticks}")
+        if not 1 <= min_dwell_ticks <= max_dwell_ticks:
+            raise ValueError(
+                f"need 1 <= min_dwell <= max_dwell, got "
+                f"{min_dwell_ticks}..{max_dwell_ticks}"
+            )
+        home_socket = system.machine.core(home_core).socket_id
+        remote_socket = system.machine.core(remote_core).socket_id
+        if home_socket == remote_socket:
+            raise ValueError(
+                "home and remote cores must be on different sockets "
+                f"(both on socket {home_socket})"
+            )
+        self.system = system
+        self.vcpu = vcpu
+        self.home_core = home_core
+        self.remote_core = remote_core
+        self.period_ticks = period_ticks
+        self.min_dwell_ticks = min_dwell_ticks
+        self.max_dwell_ticks = max_dwell_ticks
+        self._rng = random.Random(seed)
+        self._away = False
+        self._return_at_tick: Optional[int] = None
+        self.migrations = 0
+        system.add_tick_observer(self._on_tick)
+
+    def _on_tick(self, system: VirtualizedSystem, tick_index: int) -> None:
+        if self._away:
+            assert self._return_at_tick is not None
+            if tick_index >= self._return_at_tick:
+                system.migrate_vcpu(self.vcpu, self.home_core)
+                self.migrations += 1
+                self._away = False
+                self._return_at_tick = None
+        elif (tick_index + 1) % self.period_ticks == 0:
+            system.migrate_vcpu(self.vcpu, self.remote_core)
+            self.migrations += 1
+            self._away = True
+            dwell = self._rng.randint(self.min_dwell_ticks, self.max_dwell_ticks)
+            self._return_at_tick = tick_index + dwell

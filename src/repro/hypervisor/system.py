@@ -1,0 +1,412 @@
+"""The virtualized system: hypervisor + machine simulation.
+
+``VirtualizedSystem`` ties together every substrate:
+
+* the :class:`~repro.hardware.topology.Machine` (cores, sockets),
+* one shared-LLC :class:`~repro.cachesim.occupancy.LlcOccupancyDomain`
+  per socket,
+* per-core :class:`~repro.pmc.counters.CoreCounters` virtualised per-vCPU
+  by a :class:`~repro.pmc.perfctr.PerfctrVirtualizer`,
+* a pluggable scheduler (XCS, KS4Xen, CFS, KS4Linux, Pisces, ...),
+* the VMs and their workloads.
+
+Time advances in scheduler ticks (Xen's 10 ms by default).  Each tick:
+
+1. the scheduler places vCPUs on cores (context switches virtualise PMCs
+   and charge a switch cost),
+2. every running vCPU executes the tick in sub-steps: the perf model
+   converts cycles + current LLC occupancy into instructions and misses,
+   misses are inserted into the socket's shared occupancy domain (evicting
+   competitors proportionally — this is the contention), PMCs advance,
+3. the scheduler burns credits; every ``ticks_per_slice`` ticks the
+   accounting period (credit + pollution-quota refill) runs.
+
+Experiments attach per-tick observers to record timelines (Figs 2, 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cachesim.occupancy import LlcOccupancyDomain
+from repro.cachesim.perfmodel import execute_step
+from repro.hardware.specs import MachineSpec, paper_machine
+from repro.hardware.topology import Core, Machine
+from repro.pmc.counters import CoreCounters, PmcEvent
+from repro.pmc.perfctr import PerfctrVirtualizer
+from repro.simulation.clock import (
+    XEN_TICK_USEC,
+    usec_to_cycles,
+)
+from repro.simulation.engine import Engine
+from repro.simulation.rng import RngRegistry
+
+from .vcpu import VCpu
+from .vm import VirtualMachine, VmConfig
+
+#: Observers get (system, tick_index) after each tick completes.
+TickObserver = Callable[["VirtualizedSystem", int], None]
+
+
+class HypervisorError(Exception):
+    """Raised on invalid hypervisor operations (bad pinning, etc.)."""
+
+
+class VirtualizedSystem:
+    """A simulated physical machine running VMs under a scheduler."""
+
+    def __init__(
+        self,
+        scheduler,
+        machine_spec: Optional[MachineSpec] = None,
+        *,
+        tick_usec: int = XEN_TICK_USEC,
+        ticks_per_slice: int = 3,
+        substeps_per_tick: int = 10,
+        context_switch_cost_cycles: int = 20_000,
+        perf_jitter_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if tick_usec <= 0:
+            raise ValueError(f"tick_usec must be positive, got {tick_usec}")
+        if ticks_per_slice <= 0:
+            raise ValueError(
+                f"ticks_per_slice must be positive, got {ticks_per_slice}"
+            )
+        if substeps_per_tick <= 0:
+            raise ValueError(
+                f"substeps_per_tick must be positive, got {substeps_per_tick}"
+            )
+        if not 0.0 <= perf_jitter_fraction < 1.0:
+            raise ValueError(
+                f"perf_jitter_fraction must be in [0,1), got "
+                f"{perf_jitter_fraction}"
+            )
+        self.spec = machine_spec if machine_spec is not None else paper_machine()
+        self.machine = Machine(self.spec)
+        self.tick_usec = tick_usec
+        self.ticks_per_slice = ticks_per_slice
+        self.substeps_per_tick = substeps_per_tick
+        self.context_switch_cost_cycles = context_switch_cost_cycles
+        #: Optional multiplicative noise on per-substep instruction
+        #: throughput — models SMIs, frequency wiggle and measurement
+        #: noise.  0.0 (the default) keeps runs bit-exact deterministic;
+        #: with jitter, determinism is still guaranteed per seed.
+        self.perf_jitter_fraction = perf_jitter_fraction
+        self.rng = RngRegistry(seed)
+        self._jitter_stream = self.rng.stream("perf-jitter")
+
+        # Shared-LLC occupancy domain per socket.
+        self.llc_domains: List[LlcOccupancyDomain] = []
+        for socket in self.machine.sockets:
+            domain = LlcOccupancyDomain(socket.spec.llc.num_lines)
+            socket.llc_domain = domain
+            self.llc_domains.append(domain)
+
+        # PMC hardware + perfctr virtualisation.
+        self.core_counters: Dict[int, CoreCounters] = {
+            core.core_id: CoreCounters(core.core_id) for core in self.machine.cores
+        }
+        self.perfctr = PerfctrVirtualizer(self.core_counters)
+
+        self.engine = Engine()
+        self.vms: List[VirtualMachine] = []
+        self.vcpus: List[VCpu] = []
+        self.tick_index = 0
+        self._tick_observers: List[TickObserver] = []
+        self._pending_penalty_cycles: Dict[int, int] = {}
+        #: Per-vCPU cycles actually executed during the last tick.
+        self.last_tick_cycles: Dict[int, int] = {}
+        #: Per-vCPU LLC misses produced during the last tick.
+        self.last_tick_misses: Dict[int, float] = {}
+        #: Per-vCPU instructions retired during the last tick.
+        self.last_tick_instructions: Dict[int, float] = {}
+
+        self.scheduler = scheduler
+        scheduler.attach(self)
+
+    # -- frequency helpers ----------------------------------------------------
+
+    def freq_khz_of_core(self, core_id: int) -> int:
+        return self.machine.socket_of(core_id).spec.freq_khz
+
+    @property
+    def freq_khz(self) -> int:
+        """Frequency of socket 0 (all modelled machines are homogeneous)."""
+        return self.machine.sockets[0].spec.freq_khz
+
+    def cycles_per_tick(self, core_id: int = 0) -> int:
+        return usec_to_cycles(self.tick_usec, self.freq_khz_of_core(core_id))
+
+    # -- VM lifecycle -----------------------------------------------------------
+
+    def create_vm(self, config: VmConfig) -> VirtualMachine:
+        """Instantiate a VM, its vCPUs, and register with the scheduler."""
+        vm = VirtualMachine(vm_id=len(self.vms), config=config)
+        for index in range(config.num_vcpus):
+            pinned = (
+                config.pinned_cores[index] if config.pinned_cores is not None else None
+            )
+            if pinned is not None:
+                self.machine.core(pinned)  # validates the id
+            vcpu = VCpu(
+                gid=len(self.vcpus),
+                vm=vm,
+                index=index,
+                workload=config.workload,
+                pinned_core=pinned,
+            )
+            vm.vcpus.append(vcpu)
+            self.vcpus.append(vcpu)
+            self.scheduler.register_vcpu(vcpu)
+        self.vms.append(vm)
+        return vm
+
+    def vm_by_name(self, name: str) -> VirtualMachine:
+        for vm in self.vms:
+            if vm.name == name:
+                return vm
+        raise HypervisorError(f"no VM named {name!r}")
+
+    # -- placement / context switching -----------------------------------------
+
+    def context_switch(self, core: Core, vcpu: Optional[VCpu]) -> None:
+        """Place ``vcpu`` (or idle) on ``core``, virtualising PMCs."""
+        outgoing = core.running
+        if outgoing is vcpu:
+            return
+        if outgoing is not None:
+            self.perfctr.context_switch_out(outgoing.gid)
+            outgoing.current_core = None
+            core.running = None
+        if vcpu is not None:
+            if vcpu.current_core is not None:
+                raise HypervisorError(
+                    f"{vcpu.name} is already running on core {vcpu.current_core}"
+                )
+            if vcpu.pinned_core is not None and vcpu.pinned_core != core.core_id:
+                raise HypervisorError(
+                    f"{vcpu.name} is pinned to core {vcpu.pinned_core}, "
+                    f"cannot run on {core.core_id}"
+                )
+            core.running = vcpu
+            vcpu.current_core = core.core_id
+            self.perfctr.context_switch_in(vcpu.gid, core.core_id)
+            self._pending_penalty_cycles[core.core_id] = (
+                self._pending_penalty_cycles.get(core.core_id, 0)
+                + self.context_switch_cost_cycles
+            )
+
+    def migrate_vcpu(self, vcpu: VCpu, new_core_id: int) -> None:
+        """Re-pin a vCPU to another core (possibly on another socket).
+
+        Crossing a socket boundary flushes the vCPU's LLC occupancy on the
+        old socket — its cached lines are useless there — so it restarts
+        cold, and (if its memory stays home) it pays remote accesses.
+        """
+        new_core = self.machine.core(new_core_id)
+        old_socket = (
+            self.machine.core(vcpu.current_core).socket_id
+            if vcpu.current_core is not None
+            else (
+                self.machine.core(vcpu.pinned_core).socket_id
+                if vcpu.pinned_core is not None
+                else None
+            )
+        )
+        if vcpu.current_core is not None:
+            self.context_switch(self.machine.core(vcpu.current_core), None)
+        vcpu.pinned_core = new_core_id
+        self.scheduler.reassign_vcpu(vcpu, new_core_id)
+        if old_socket is not None and old_socket != new_core.socket_id:
+            self.llc_domains[old_socket].flush_owner(vcpu.gid)
+
+    def is_memory_remote(self, vcpu: VCpu, core_id: int) -> bool:
+        """True if running on ``core_id`` makes the vCPU's memory remote."""
+        return self.machine.core(core_id).socket_id != vcpu.vm.config.memory_node
+
+    # -- measurement -------------------------------------------------------------
+
+    def truth_llc_cap(self, vcpu: VCpu) -> float:
+        """Simulator-exact misses/ms over the vCPU's metric window.
+
+        This is the ground truth Kyoto tries to estimate via PMCs.
+        """
+        if vcpu.cycles_run == 0:
+            return 0.0
+        ms_run = vcpu.cycles_run / (self.freq_khz)  # freq_khz == cycles/ms
+        return vcpu.llc_misses / ms_run
+
+    def occupancy_of(self, vcpu: VCpu) -> float:
+        """LLC lines the vCPU holds on its (current or pinned) socket."""
+        core_id = vcpu.current_core if vcpu.current_core is not None else vcpu.pinned_core
+        socket_id = 0 if core_id is None else self.machine.core(core_id).socket_id
+        return self.llc_domains[socket_id].occupancy_of(vcpu.gid)
+
+    # -- the tick loop -------------------------------------------------------------
+
+    def add_tick_observer(self, observer: TickObserver) -> None:
+        """Register a callback invoked after every completed tick."""
+        self._tick_observers.append(observer)
+
+    def run_ticks(self, num_ticks: int) -> None:
+        """Advance the machine by ``num_ticks`` scheduler ticks."""
+        if num_ticks < 0:
+            raise ValueError(f"num_ticks must be >= 0, got {num_ticks}")
+        for _ in range(num_ticks):
+            self._do_tick()
+
+    def run_msec(self, msec: float) -> None:
+        """Advance by (at least) ``msec`` milliseconds of machine time."""
+        ticks = max(1, int(round(msec * 1000 / self.tick_usec)))
+        self.run_ticks(ticks)
+
+    def run_until_finished(self, max_ticks: int = 1_000_000) -> int:
+        """Run until every finite workload completes; returns ticks used."""
+        start = self.tick_index
+        finite_vms = [vm for vm in self.vms if vm.config.workload.is_finite]
+        if not finite_vms:
+            raise HypervisorError(
+                "run_until_finished needs at least one finite workload"
+            )
+        while not all(vm.finished for vm in finite_vms):
+            if self.tick_index - start >= max_ticks:
+                raise HypervisorError(
+                    f"workloads did not finish within {max_ticks} ticks"
+                )
+            self._do_tick()
+        return self.tick_index - start
+
+    def _do_tick(self) -> None:
+        self._wake_sleepers()
+        self.scheduler.on_tick_start(self.tick_index)
+        self._execute_tick()
+        self.scheduler.on_tick_end(self.tick_index)
+        if (self.tick_index + 1) % self.ticks_per_slice == 0:
+            self.scheduler.on_accounting(self.tick_index)
+        self.engine.clock.advance(self.tick_usec)
+        for observer in self._tick_observers:
+            observer(self, self.tick_index)
+        self.tick_index += 1
+
+    def _wake_sleepers(self) -> None:
+        """Unblock vCPUs whose think time elapsed; notify the scheduler
+        (Xen gives freshly woken vCPUs BOOST priority)."""
+        now = self.engine.clock.now_usec
+        for vcpu in self.vcpus:
+            if vcpu.blocked_until_usec is not None and vcpu.blocked_until_usec <= now:
+                vcpu.blocked_until_usec = None
+                self.scheduler.on_vcpu_wake(vcpu)
+
+    def _execute_tick(self) -> None:
+        """Run all placed vCPUs through the tick, in sub-steps.
+
+        Each sub-step first executes every running vCPU against the LLC
+        occupancy frozen at the sub-step start, then relaxes each socket's
+        occupancy domain under the collected insertion pressures (see
+        :meth:`~repro.cachesim.occupancy.LlcOccupancyDomain.relax`).
+        """
+        self.last_tick_cycles = {}
+        self.last_tick_misses = {}
+        self.last_tick_instructions = {}
+        substep_usec = self.tick_usec / self.substeps_per_tick
+        for _ in range(self.substeps_per_tick):
+            pressures: List[Dict[int, float]] = [
+                {} for _ in self.machine.sockets
+            ]
+            caps: List[Dict[int, float]] = [{} for _ in self.machine.sockets]
+            for core in self.machine.cores:
+                vcpu = core.running
+                if vcpu is None:
+                    continue
+                if not vcpu.runnable:
+                    # Finished or blocked mid-tick: vacate the core and
+                    # let the scheduler place a replacement immediately.
+                    self.context_switch(core, None)
+                    self.scheduler.refill_core(core)
+                    vcpu = core.running
+                    if vcpu is None or not vcpu.runnable:
+                        continue
+                misses = self._execute_substep(core, vcpu, substep_usec)
+                socket = core.socket_id
+                pressures[socket][vcpu.gid] = (
+                    pressures[socket].get(vcpu.gid, 0.0) + misses
+                )
+                behavior = vcpu.workload.behavior_at(
+                    vcpu.progress.instructions_done
+                )
+                caps[socket][vcpu.gid] = behavior.footprint_cap_lines
+            for socket_id, domain in enumerate(self.llc_domains):
+                if pressures[socket_id]:
+                    domain.relax(pressures[socket_id], caps[socket_id])
+
+    def _execute_substep(self, core: Core, vcpu: VCpu, substep_usec: float) -> float:
+        """Execute one vCPU for one sub-step; returns its LLC misses."""
+        freq_khz = self.freq_khz_of_core(core.core_id)
+        budget = int(round(substep_usec * freq_khz / 1000))
+        # Pay any pending context-switch penalty out of the budget: the
+        # cycles elapse (and count as unhalted) but retire nothing.
+        penalty = min(budget, self._pending_penalty_cycles.get(core.core_id, 0))
+        if penalty:
+            self._pending_penalty_cycles[core.core_id] -= penalty
+        work_cycles = budget - penalty
+
+        domain = self.llc_domains[core.socket_id]
+        behavior = vcpu.workload.behavior_at(vcpu.progress.instructions_done)
+        remote = self.is_memory_remote(vcpu, core.core_id)
+        result = execute_step(
+            behavior,
+            domain.occupancy_of(vcpu.gid),
+            work_cycles,
+            self.spec.latency,
+            remote_memory=remote,
+        )
+        jittered = result.instructions
+        if self.perf_jitter_fraction:
+            jittered *= 1.0 + self._jitter_stream.uniform(
+                -self.perf_jitter_fraction, self.perf_jitter_fraction
+            )
+        # Clip to remaining work for finite workloads, and to the current
+        # burst for interactive workloads (burst end -> think time).
+        instructions = min(jittered, vcpu.progress.remaining_instructions)
+        boundary_fn = getattr(vcpu.workload, "next_block_boundary", None)
+        if boundary_fn is not None:
+            to_boundary = boundary_fn(vcpu.progress.instructions_done) - (
+                vcpu.progress.instructions_done
+            )
+            if instructions >= to_boundary:
+                instructions = to_boundary
+                vcpu.blocked_until_usec = (
+                    self.engine.clock.now_usec + vcpu.workload.think_usec
+                )
+        scale = (
+            instructions / result.instructions if result.instructions > 0 else 0.0
+        )
+        llc_accesses = result.llc_accesses * scale
+        llc_misses = result.llc_misses * scale
+
+        vcpu.record_execution(budget, instructions, llc_accesses, llc_misses)
+        self.last_tick_cycles[vcpu.gid] = (
+            self.last_tick_cycles.get(vcpu.gid, 0) + budget
+        )
+        self.last_tick_misses[vcpu.gid] = (
+            self.last_tick_misses.get(vcpu.gid, 0.0) + llc_misses
+        )
+        self.last_tick_instructions[vcpu.gid] = (
+            self.last_tick_instructions.get(vcpu.gid, 0.0) + instructions
+        )
+
+        counters = self.core_counters[core.core_id]
+        counters.add(PmcEvent.UNHALTED_CORE_CYCLES, budget)
+        counters.add(
+            PmcEvent.INSTRUCTIONS_RETIRED,
+            vcpu.take_integer_instructions(instructions),
+        )
+        counters.add(PmcEvent.LLC_MISSES, vcpu.take_integer_misses(llc_misses))
+        counters.add(
+            PmcEvent.LLC_REFERENCES,
+            int(llc_accesses),
+        )
+        if vcpu.progress.done and vcpu.progress.finished_at_usec is None:
+            vcpu.progress.finished_at_usec = self.engine.clock.now_usec
+        return llc_misses

@@ -1,0 +1,73 @@
+"""The replay service: McSimA+ on a "dedicated machine".
+
+Section 3.3's protocol:
+
+1. KS4Xen asks the simulator to start the pin tool for a sampling period,
+2. the simulator replays instructions and sends PMCs back to KS4Xen,
+3. KS4Xen computes llc_cap_act from the collected PMCs.
+
+:class:`ReplayService` models that dedicated side machine: it owns a pin
+tool and a replayer, caches reports per VM (a sampling period is about a
+billion cycles, so reports are reused between refreshes), and keeps
+simple request accounting so the zero-overhead claim — all replay cost is
+off the production machine — can be audited in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from .pin import CaptureConfig, PinTool
+from .replay import McSimReplayer, ReplayReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.vm import VirtualMachine
+
+
+@dataclass
+class ServiceStats:
+    """Request accounting of the replay service."""
+
+    requests: int = 0
+    replays: int = 0
+    cache_hits: int = 0
+
+
+class ReplayService:
+    """McSimA+-style replay running off-host."""
+
+    def __init__(
+        self,
+        replayer: Optional[McSimReplayer] = None,
+        capture_config: Optional[CaptureConfig] = None,
+        refresh_every: int = 50,
+    ) -> None:
+        if refresh_every <= 0:
+            raise ValueError(f"refresh_every must be positive, got {refresh_every}")
+        self.pin = PinTool(capture_config)
+        self.replayer = replayer if replayer is not None else McSimReplayer()
+        self.refresh_every = refresh_every
+        self.stats = ServiceStats()
+        self._cache: Dict[int, ReplayReport] = {}
+        self._age: Dict[int, int] = {}
+
+    def replay_vm(self, vm: "VirtualMachine") -> ReplayReport:
+        """Return (possibly cached) replay PMCs for ``vm``."""
+        self.stats.requests += 1
+        age = self._age.get(vm.vm_id, self.refresh_every)
+        if vm.vm_id in self._cache and age + 1 < self.refresh_every:
+            self._age[vm.vm_id] = age + 1
+            self.stats.cache_hits += 1
+            return self._cache[vm.vm_id]
+        records = self.pin.capture(vm.config.workload)
+        report = self.replayer.replay(records)
+        self._cache[vm.vm_id] = report
+        self._age[vm.vm_id] = 0
+        self.stats.replays += 1
+        return report
+
+    def invalidate(self, vm: "VirtualMachine") -> None:
+        """Drop the cached report of a VM (e.g. after a phase change)."""
+        self._cache.pop(vm.vm_id, None)
+        self._age.pop(vm.vm_id, None)

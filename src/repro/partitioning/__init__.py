@@ -1,0 +1,12 @@
+"""Cache-partitioning baselines from the paper's related work: static
+page coloring and utility-based cache partitioning (UCP)."""
+
+from .static import PartitionedLlcDomain, apply_page_coloring
+from .ucp import UcpController, marginal_utility_allocation
+
+__all__ = [
+    "PartitionedLlcDomain",
+    "UcpController",
+    "apply_page_coloring",
+    "marginal_utility_allocation",
+]

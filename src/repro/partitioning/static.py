@@ -1,0 +1,155 @@
+"""Static software cache partitioning (page coloring).
+
+The second related-work category the paper positions against ([22, 23],
+Zhang et al. EuroSys'09): reserve a slice of the LLC for each VM by
+colouring its physical pages so its lines can only map into its slice.
+Contention disappears by construction — at the price of rigidity (a VM
+cannot use cache it didn't reserve, resizing means recolouring memory)
+and of not being pay-per-use.
+
+The model: a :class:`PartitionedLlcDomain` splits the occupancy domain
+into per-owner private partitions plus one shared partition for
+unallocated owners.  Each partition runs the same mean-field dynamics as
+the global domain, but an owner's insertions can only evict within its
+own partition — exactly the page-coloring guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.cachesim.occupancy import LlcOccupancyDomain
+
+
+class PartitionedLlcDomain:
+    """A colour-partitioned LLC: private slices + one shared remainder.
+
+    Implements the same interface the machine simulation uses on
+    :class:`~repro.cachesim.occupancy.LlcOccupancyDomain`, so it can be
+    dropped into a socket with :func:`apply_page_coloring`.
+    """
+
+    def __init__(
+        self,
+        total_lines: float,
+        allocations: Mapping[int, float],
+    ) -> None:
+        if total_lines <= 0:
+            raise ValueError(f"total_lines must be positive, got {total_lines}")
+        reserved = sum(allocations.values())
+        if reserved > total_lines:
+            raise ValueError(
+                f"allocations ({reserved}) exceed the cache ({total_lines})"
+            )
+        if any(lines <= 0 for lines in allocations.values()):
+            raise ValueError(f"allocations must be positive: {allocations}")
+        self.total_lines = float(total_lines)
+        self.allocations: Dict[int, float] = dict(allocations)
+        self._private: Dict[int, LlcOccupancyDomain] = {
+            owner: LlcOccupancyDomain(lines)
+            for owner, lines in self.allocations.items()
+        }
+        shared_lines = total_lines - reserved
+        self._shared: Optional[LlcOccupancyDomain] = (
+            LlcOccupancyDomain(shared_lines) if shared_lines >= 1 else None
+        )
+
+    # -- queries (LlcOccupancyDomain interface) --------------------------------
+
+    def occupancy_of(self, owner: int) -> float:
+        if owner in self._private:
+            return self._private[owner].occupancy_of(owner)
+        if self._shared is not None:
+            return self._shared.occupancy_of(owner)
+        return 0.0
+
+    @property
+    def used_lines(self) -> float:
+        used = sum(d.used_lines for d in self._private.values())
+        if self._shared is not None:
+            used += self._shared.used_lines
+        return used
+
+    @property
+    def free_lines(self) -> float:
+        return max(0.0, self.total_lines - self.used_lines)
+
+    def owners(self) -> Iterable[int]:
+        seen = []
+        for domain in self._private.values():
+            seen.extend(domain.owners())
+        if self._shared is not None:
+            seen.extend(self._shared.owners())
+        return seen
+
+    def snapshot(self) -> Dict[int, float]:
+        snap: Dict[int, float] = {}
+        for domain in self._private.values():
+            snap.update(domain.snapshot())
+        if self._shared is not None:
+            snap.update(self._shared.snapshot())
+        return snap
+
+    # -- mutations ---------------------------------------------------------------
+
+    def relax(
+        self,
+        pressures: Mapping[int, float],
+        footprint_caps: Mapping[int, float],
+        active: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Each owner's insertions act only within its own partition."""
+        active_set = set(pressures) if active is None else set(active)
+        shared_pressures: Dict[int, float] = {}
+        shared_caps: Dict[int, float] = {}
+        for owner, pressure in pressures.items():
+            if owner in self._private:
+                self._private[owner].relax(
+                    {owner: pressure},
+                    {owner: footprint_caps.get(owner, self.total_lines)},
+                    active=[owner],
+                )
+            else:
+                shared_pressures[owner] = pressure
+                shared_caps[owner] = footprint_caps.get(owner, self.total_lines)
+        if shared_pressures:
+            if self._shared is None:
+                raise ValueError(
+                    "owners without a colour allocation need a shared "
+                    f"partition, but the colours consumed the whole cache: "
+                    f"{sorted(shared_pressures)}"
+                )
+            shared_active = [o for o in active_set if o not in self._private]
+            self._shared.relax(shared_pressures, shared_caps, active=shared_active)
+
+    def flush_owner(self, owner: int) -> float:
+        if owner in self._private:
+            return self._private[owner].flush_owner(owner)
+        if self._shared is not None:
+            return self._shared.flush_owner(owner)
+        return 0.0
+
+    def reset(self) -> None:
+        for domain in self._private.values():
+            domain.reset()
+        if self._shared is not None:
+            self._shared.reset()
+
+
+def apply_page_coloring(system, allocations_by_vm: Mapping) -> None:
+    """Replace every socket's LLC domain with a colour-partitioned one.
+
+    ``allocations_by_vm`` maps :class:`~repro.hypervisor.vm.VirtualMachine`
+    objects to line counts; all vCPUs of a VM share its partition budget
+    (split evenly).  VMs not listed share the remainder.
+    """
+    per_owner: Dict[int, float] = {}
+    for vm, lines in allocations_by_vm.items():
+        share = lines / len(vm.vcpus)
+        for vcpu in vm.vcpus:
+            per_owner[vcpu.gid] = share
+    for socket_id, socket in enumerate(system.machine.sockets):
+        old = system.llc_domains[socket_id]
+        domain = PartitionedLlcDomain(old.total_lines, per_owner)
+        system.llc_domains[socket_id] = domain
+        socket.llc_domain = domain

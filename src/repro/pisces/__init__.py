@@ -1,0 +1,6 @@
+"""Pisces co-kernel substrate and its Kyoto extension (KS4Pisces)."""
+
+from .cokernel import Enclave, PiscesCoKernel, PiscesError
+from .ks4pisces import KS4Pisces
+
+__all__ = ["Enclave", "KS4Pisces", "PiscesCoKernel", "PiscesError"]

@@ -1,0 +1,104 @@
+"""Pisces co-kernel substrate (Fig 7 of the paper).
+
+Pisces (Ouyang et al., HPDC 2015) boots *lightweight co-kernels* next to
+Linux: each enclave receives dedicated cores and memory and manages them
+without hypervisor intervention, eliminating interference from shared
+virtualization components (driver domains, the hypervisor scheduler).
+
+What Pisces does **not** isolate is the shared LLC — that is exactly the
+gap Fig 8 demonstrates and KS4Pisces closes.  The model is therefore:
+
+* each enclave's vCPUs get dedicated cores — no time sharing, no credit
+  accounting, a vCPU simply always runs on its core;
+* all enclaves of a socket still share that socket's LLC occupancy
+  domain, so cache contention crosses enclave boundaries untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.vcpu import VCpu
+    from repro.hypervisor.vm import VirtualMachine
+
+
+class PiscesError(Exception):
+    """Raised on enclave resource conflicts."""
+
+
+@dataclass
+class Enclave:
+    """One co-kernel enclave: a VM plus its dedicated resources."""
+
+    vm: "VirtualMachine"
+    cores: List[int]
+    memory_node: int
+
+    @property
+    def name(self) -> str:
+        return self.vm.name
+
+
+class PiscesCoKernel(Scheduler):
+    """The Pisces "scheduler": static core dedication, no multiplexing.
+
+    Registering more vCPUs than there are free cores is an admission
+    error, as on the real system where enclaves own their cores outright.
+    """
+
+    name = "pisces"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._dedicated: Dict[int, int] = {}  # core_id -> vcpu gid
+        self.enclaves: List[Enclave] = []
+
+    def on_vcpu_registered(self, vcpu: "VCpu", core_id: int) -> None:
+        if core_id in self._dedicated:
+            raise PiscesError(
+                f"core {core_id} is already dedicated to vCPU "
+                f"{self._dedicated[core_id]}; Pisces enclaves do not share cores"
+            )
+        self._dedicated[core_id] = vcpu.gid
+        # Group vCPUs into per-VM enclaves.
+        for enclave in self.enclaves:
+            if enclave.vm is vcpu.vm:
+                enclave.cores.append(core_id)
+                break
+        else:
+            self.enclaves.append(
+                Enclave(
+                    vm=vcpu.vm,
+                    cores=[core_id],
+                    memory_node=vcpu.vm.config.memory_node,
+                )
+            )
+
+    def enclave_of(self, vm: "VirtualMachine") -> Enclave:
+        for enclave in self.enclaves:
+            if enclave.vm is vm:
+                return enclave
+        raise PiscesError(f"VM {vm.name!r} has no enclave")
+
+    def on_tick_start(self, tick_index: int) -> None:
+        for core in self.system.machine.cores:
+            gid = self._dedicated.get(core.core_id)
+            if gid is None:
+                continue
+            vcpu = next(v for v in self.vcpus if v.gid == gid)
+            desired = vcpu if (vcpu.runnable and not self.is_parked(vcpu)) else None
+            if core.running is not desired:
+                if core.running is not None:
+                    self.system.context_switch(core, None)
+                if desired is not None:
+                    self.system.context_switch(core, desired)
+
+    def on_tick_end(self, tick_index: int) -> None:
+        """No credit burning: enclaves own their cores."""
+
+    def on_accounting(self, tick_index: int) -> None:
+        """No credit refill either."""

@@ -1,0 +1,63 @@
+"""KS4Pisces: Kyoto enforcement inside the Pisces co-kernel.
+
+Pisces has no time-sharing scheduler to piggyback on, so the CPU lever
+takes its most direct form: when an enclave's pollution quota goes
+negative its dedicated cores are forced idle (duty-cycling) until the
+time-slice refill restores the quota.  Fig 8 shows this restores
+performance predictability that core dedication alone cannot provide.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.engine import KyotoEngine
+from repro.core.monitor import PollutionMonitor
+
+from .cokernel import PiscesCoKernel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.system import VirtualizedSystem
+    from repro.hypervisor.vcpu import VCpu
+
+
+class KS4Pisces(PiscesCoKernel):
+    """Pisces co-kernel + pollution permits."""
+
+    name = "ks4pisces"
+
+    def __init__(
+        self,
+        monitor: Optional[PollutionMonitor] = None,
+        quota_max_factor: float = 3.0,
+        monitor_period_ticks: int = 1,
+    ) -> None:
+        super().__init__()
+        self._monitor = monitor
+        self._quota_max_factor = quota_max_factor
+        self._monitor_period_ticks = monitor_period_ticks
+        self.kyoto: Optional[KyotoEngine] = None
+
+    def attach(self, system: "VirtualizedSystem") -> None:
+        super().attach(system)
+        self.kyoto = KyotoEngine(
+            system,
+            monitor=self._monitor,
+            quota_max_factor=self._quota_max_factor,
+            monitor_period_ticks=self._monitor_period_ticks,
+        )
+
+    def on_vcpu_registered(self, vcpu: "VCpu", core_id: int) -> None:
+        super().on_vcpu_registered(vcpu, core_id)
+        self.kyoto.register_vm(vcpu.vm)
+
+    def is_parked(self, vcpu: "VCpu") -> bool:
+        return self.kyoto.is_parked(vcpu.vm)
+
+    def on_tick_end(self, tick_index: int) -> None:
+        super().on_tick_end(tick_index)
+        self.kyoto.on_tick_end(tick_index)
+
+    def on_accounting(self, tick_index: int) -> None:
+        super().on_accounting(tick_index)
+        self.kyoto.on_accounting(tick_index)

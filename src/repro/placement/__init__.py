@@ -1,0 +1,21 @@
+"""Cache-aware VM placement baselines (the paper's related-work
+category 1) and their evaluation harness."""
+
+from .algorithms import (
+    Placement,
+    VmDescriptor,
+    balance_pollution_placement,
+    round_robin_placement,
+    segregate_placement,
+)
+from .evaluate import PlacementEvaluation, evaluate_placement
+
+__all__ = [
+    "Placement",
+    "PlacementEvaluation",
+    "VmDescriptor",
+    "balance_pollution_placement",
+    "evaluate_placement",
+    "round_robin_placement",
+    "segregate_placement",
+]

@@ -1,0 +1,149 @@
+"""Cache-aware VM placement algorithms.
+
+The first related-work category ([21, 24, 30, 37]): instead of enforcing
+permits, place VMs so aggressive and sensitive ones do not share an LLC.
+The paper's critique — placement is NP-hard, needs knowledge of the
+hosted applications, and is not pay-per-use — is precisely why these are
+*baselines* here; the benchmarks compare them against Kyoto.
+
+Three policies over identical hosts:
+
+* :func:`round_robin_placement` — the oblivious baseline.
+* :func:`balance_pollution_placement` — greedy: biggest polluter first,
+  each onto the host with the least accumulated pollution (the
+  consolidation heuristic of [37], minimising overall LLC pressure).
+* :func:`segregate_placement` — separates polluters from sensitive VMs
+  onto disjoint hosts where capacity allows (the ATOM-style mapping of
+  [21]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class VmDescriptor:
+    """What the placement algorithms know about a VM.
+
+    Attributes:
+        name: VM identifier.
+        app: application name (resolved to a workload at evaluation).
+        pollution: measured/booked pollution level (misses/ms) — in a
+            Kyoto cloud this is simply the booked ``llc_cap``.
+        sensitive: whether the owner flagged the VM as cache-sensitive.
+    """
+
+    name: str
+    app: str
+    pollution: float
+    sensitive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pollution < 0:
+            raise ValueError(f"{self.name}: pollution must be >= 0")
+
+
+@dataclass
+class Placement:
+    """An assignment of VMs to hosts (host index -> descriptors)."""
+
+    num_hosts: int
+    assignments: Dict[int, List[VmDescriptor]] = field(default_factory=dict)
+
+    def assign(self, host: int, vm: VmDescriptor) -> None:
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(f"host {host} out of range (0..{self.num_hosts - 1})")
+        self.assignments.setdefault(host, []).append(vm)
+
+    def host_of(self, name: str) -> int:
+        for host, vms in self.assignments.items():
+            if any(vm.name == name for vm in vms):
+                return host
+        raise KeyError(name)
+
+    def pollution_of_host(self, host: int) -> float:
+        return sum(vm.pollution for vm in self.assignments.get(host, []))
+
+    @property
+    def max_host_pollution(self) -> float:
+        if not self.assignments:
+            return 0.0
+        return max(
+            self.pollution_of_host(host) for host in range(self.num_hosts)
+        )
+
+    def validate_capacity(self, cores_per_host: int) -> None:
+        for host, vms in self.assignments.items():
+            if len(vms) > cores_per_host:
+                raise ValueError(
+                    f"host {host} has {len(vms)} VMs but only "
+                    f"{cores_per_host} cores"
+                )
+
+
+def round_robin_placement(
+    vms: Sequence[VmDescriptor], num_hosts: int
+) -> Placement:
+    """Oblivious placement: VM i goes to host i mod num_hosts."""
+    if num_hosts <= 0:
+        raise ValueError(f"need at least one host, got {num_hosts}")
+    placement = Placement(num_hosts)
+    for index, vm in enumerate(vms):
+        placement.assign(index % num_hosts, vm)
+    return placement
+
+
+def balance_pollution_placement(
+    vms: Sequence[VmDescriptor], num_hosts: int, cores_per_host: int = 4
+) -> Placement:
+    """Greedy longest-processing-time on pollution.
+
+    Sorting by pollution descending and always choosing the least-loaded
+    host is the classic 4/3-approximation for makespan — here the
+    "makespan" is the pollution a host's LLC must absorb.
+    """
+    if num_hosts <= 0:
+        raise ValueError(f"need at least one host, got {num_hosts}")
+    placement = Placement(num_hosts)
+    counts = [0] * num_hosts
+    for vm in sorted(vms, key=lambda v: -v.pollution):
+        candidates = [h for h in range(num_hosts) if counts[h] < cores_per_host]
+        if not candidates:
+            raise ValueError("not enough host cores for all VMs")
+        host = min(candidates, key=lambda h: (placement.pollution_of_host(h), h))
+        placement.assign(host, vm)
+        counts[host] += 1
+    return placement
+
+
+def segregate_placement(
+    vms: Sequence[VmDescriptor], num_hosts: int, cores_per_host: int = 4
+) -> Placement:
+    """Separate sensitive VMs from polluters where capacity allows.
+
+    Sensitive VMs fill hosts from the front, polluters from the back;
+    they only mix when the cluster is too full to keep them apart.
+    """
+    if num_hosts <= 0:
+        raise ValueError(f"need at least one host, got {num_hosts}")
+    placement = Placement(num_hosts)
+    counts = [0] * num_hosts
+
+    def place(vm: VmDescriptor, host_order: List[int]) -> None:
+        for host in host_order:
+            if counts[host] < cores_per_host:
+                placement.assign(host, vm)
+                counts[host] += 1
+                return
+        raise ValueError("not enough host cores for all VMs")
+
+    front = list(range(num_hosts))
+    back = list(reversed(front))
+    for vm in sorted(vms, key=lambda v: -v.pollution):
+        if vm.sensitive:
+            place(vm, front)
+        else:
+            place(vm, back)
+    return placement

@@ -1,0 +1,23 @@
+"""Hardware performance counters and perfctr-style per-vCPU virtualisation."""
+
+from .counters import (
+    COUNTER_BITS,
+    COUNTER_MASK,
+    CoreCounters,
+    HardwareCounter,
+    PmcEvent,
+    delta,
+)
+from .perfctr import PerfctrError, PerfctrVirtualizer, VcpuPmcAccount
+
+__all__ = [
+    "COUNTER_BITS",
+    "COUNTER_MASK",
+    "CoreCounters",
+    "HardwareCounter",
+    "PerfctrError",
+    "PerfctrVirtualizer",
+    "PmcEvent",
+    "VcpuPmcAccount",
+    "delta",
+]

@@ -1,0 +1,85 @@
+"""Hardware performance-monitoring counters (PMCs).
+
+Models the per-core counters Kyoto reads: ``LLC_MISSES``,
+``UNHALTED_CORE_CYCLES`` and ``INSTRUCTIONS_RETIRED``.  Real counters are
+fixed-width MSRs that wrap; we model 48-bit counters (the common width on
+Intel parts) so that overflow handling — something perfctr-xen has to deal
+with — can be exercised by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class PmcEvent(Enum):
+    """Counter events used by the Kyoto monitoring system."""
+
+    LLC_MISSES = "llc_misses"
+    UNHALTED_CORE_CYCLES = "unhalted_core_cycles"
+    INSTRUCTIONS_RETIRED = "instructions_retired"
+    LLC_REFERENCES = "llc_references"
+
+
+#: Width of the modelled counters, in bits (Intel architectural PMCs).
+COUNTER_BITS = 48
+COUNTER_MASK = (1 << COUNTER_BITS) - 1
+
+
+@dataclass
+class HardwareCounter:
+    """One wrapping hardware counter."""
+
+    event: PmcEvent
+    raw: int = 0
+
+    def add(self, amount: int) -> None:
+        """Increment the counter, wrapping at 2**48."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.raw = (self.raw + amount) & COUNTER_MASK
+
+    def read(self) -> int:
+        """Current raw value."""
+        return self.raw
+
+    def write(self, value: int) -> None:
+        """Set the raw value (privileged operation, used on restore)."""
+        self.raw = value & COUNTER_MASK
+
+
+def delta(later: int, earlier: int) -> int:
+    """Difference between two raw readings, wrap-aware.
+
+    A single wrap between two samples is handled correctly; more than one
+    wrap is indistinguishable from fewer events (as on real hardware).
+    """
+    return (later - earlier) & COUNTER_MASK
+
+
+class CoreCounters:
+    """The PMC bank of one physical core."""
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self._counters: Dict[PmcEvent, HardwareCounter] = {
+            event: HardwareCounter(event) for event in PmcEvent
+        }
+
+    def add(self, event: PmcEvent, amount: int) -> None:
+        """Count ``amount`` occurrences of ``event`` on this core."""
+        self._counters[event].add(amount)
+
+    def read(self, event: PmcEvent) -> int:
+        """Raw value of ``event``'s counter."""
+        return self._counters[event].read()
+
+    def write(self, event: PmcEvent, value: int) -> None:
+        """Overwrite ``event``'s counter (context-switch restore)."""
+        self._counters[event].write(value)
+
+    def read_all(self) -> Dict[PmcEvent, int]:
+        """Snapshot all counters."""
+        return {event: counter.read() for event, counter in self._counters.items()}

@@ -1,0 +1,121 @@
+"""perfctr-xen-style counter virtualisation.
+
+The physical PMCs of a core count whatever runs there; to attribute events
+to a *vCPU*, the hypervisor must sample the counters at every context
+switch and accumulate the deltas into per-vCPU accounts.  That is what
+perfctr-xen [18] does and what KS4Xen builds upon; this module reproduces
+the mechanism, including wrap-aware deltas.
+
+Usage from the hypervisor::
+
+    virt = PerfctrVirtualizer(core_counters_by_id)
+    virt.context_switch_in(vcpu_id, core_id)      # remember baseline
+    ... core counters advance while the vCPU runs ...
+    virt.context_switch_out(vcpu_id, core_id)     # bank the deltas
+
+``account(vcpu_id)`` then exposes cumulative per-vCPU counts, and
+``sample(vcpu_id)`` returns deltas since the previous sample — exactly the
+quantities equation 1 needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .counters import CoreCounters, PmcEvent, delta
+
+
+@dataclass
+class VcpuPmcAccount:
+    """Cumulative virtualised counters of one vCPU."""
+
+    vcpu_id: int
+    totals: Dict[PmcEvent, int] = field(
+        default_factory=lambda: {event: 0 for event in PmcEvent}
+    )
+    #: Values of ``totals`` at the previous monitoring sample.
+    last_sample: Dict[PmcEvent, int] = field(
+        default_factory=lambda: {event: 0 for event in PmcEvent}
+    )
+
+    def read(self, event: PmcEvent) -> int:
+        return self.totals[event]
+
+
+class PerfctrError(Exception):
+    """Raised on context-switch protocol violations."""
+
+
+class PerfctrVirtualizer:
+    """Per-vCPU virtualisation of per-core hardware counters."""
+
+    def __init__(self, core_counters: Dict[int, CoreCounters]) -> None:
+        self._cores = core_counters
+        self._accounts: Dict[int, VcpuPmcAccount] = {}
+        # vcpu_id -> (core_id, {event: baseline_raw})
+        self._active: Dict[int, tuple] = {}
+
+    def account(self, vcpu_id: int) -> VcpuPmcAccount:
+        """The cumulative account of ``vcpu_id`` (created on first use)."""
+        if vcpu_id not in self._accounts:
+            self._accounts[vcpu_id] = VcpuPmcAccount(vcpu_id)
+        return self._accounts[vcpu_id]
+
+    def context_switch_in(self, vcpu_id: int, core_id: int) -> None:
+        """Record counter baselines when ``vcpu_id`` starts on ``core_id``."""
+        if vcpu_id in self._active:
+            raise PerfctrError(
+                f"vCPU {vcpu_id} switched in twice without switching out"
+            )
+        baselines = self._cores[core_id].read_all()
+        self._active[vcpu_id] = (core_id, baselines)
+
+    def context_switch_out(self, vcpu_id: int) -> Dict[PmcEvent, int]:
+        """Bank counter deltas when ``vcpu_id`` leaves its core."""
+        try:
+            core_id, baselines = self._active.pop(vcpu_id)
+        except KeyError:
+            raise PerfctrError(
+                f"vCPU {vcpu_id} switched out but was never switched in"
+            ) from None
+        current = self._cores[core_id].read_all()
+        account = self.account(vcpu_id)
+        deltas: Dict[PmcEvent, int] = {}
+        for event in PmcEvent:
+            d = delta(current[event], baselines[event])
+            deltas[event] = d
+            account.totals[event] += d
+        return deltas
+
+    def is_running(self, vcpu_id: int) -> bool:
+        """True if the vCPU is currently switched in."""
+        return vcpu_id in self._active
+
+    def flush_running(self, vcpu_id: int) -> None:
+        """Bank deltas for a running vCPU without switching it out.
+
+        Equivalent to an out+in pair; used by the periodic monitor so it
+        can sample a vCPU mid-quantum.
+        """
+        if vcpu_id not in self._active:
+            return
+        core_id, __ = self._active[vcpu_id]
+        self.context_switch_out(vcpu_id)
+        self.context_switch_in(vcpu_id, core_id)
+
+    def sample(self, vcpu_id: int) -> Dict[PmcEvent, int]:
+        """Deltas of the cumulative account since the previous sample.
+
+        This is the monitoring primitive: KS4Xen calls it once per
+        monitoring period and feeds ``LLC_MISSES`` and
+        ``UNHALTED_CORE_CYCLES`` into equation 1.
+        """
+        self.flush_running(vcpu_id)
+        account = self.account(vcpu_id)
+        deltas = {
+            event: account.totals[event] - account.last_sample[event]
+            for event in PmcEvent
+        }
+        account.last_sample = dict(account.totals)
+        return deltas

@@ -1,0 +1,20 @@
+"""vCPU schedulers: the Xen credit scheduler (XCS) and a CFS-style fair
+scheduler, both extensible by the Kyoto pollution-permit layer."""
+
+from .base import Scheduler
+from .cfs import CfsAccount, CfsScheduler, NICE0_WEIGHT
+from .credit import CREDITS_PER_TICK, CreditAccount, CreditScheduler, Priority
+from .rtds import RtServer, RtdsScheduler
+
+__all__ = [
+    "CREDITS_PER_TICK",
+    "CfsAccount",
+    "CfsScheduler",
+    "CreditAccount",
+    "CreditScheduler",
+    "NICE0_WEIGHT",
+    "Priority",
+    "RtServer",
+    "RtdsScheduler",
+    "Scheduler",
+]

@@ -1,0 +1,97 @@
+"""A CFS-style completely fair scheduler (the KVM/Linux substrate).
+
+The paper's KS4Linux implements Kyoto inside Linux's CFS.  This module
+provides the substrate: weighted-fair scheduling by virtual runtime, with
+a per-core red-black-tree-equivalent (a sorted pick of the minimum
+vruntime each tick).  Bandwidth-style throttling (``is_parked``) is the
+hook KS4Linux uses for pollution enforcement, mirroring how CFS bandwidth
+control throttles cgroups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from .base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.vcpu import VCpu
+
+#: The weight corresponding to a nice-0 task.
+NICE0_WEIGHT = 1024
+
+
+@dataclass
+class CfsAccount:
+    """Per-vCPU CFS state."""
+
+    vruntime: float = 0.0
+    weight: int = NICE0_WEIGHT
+
+
+class CfsScheduler(Scheduler):
+    """Weighted fair scheduler picking the minimum-vruntime vCPU per core."""
+
+    name = "cfs"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.accounts: Dict[int, CfsAccount] = {}
+
+    def on_vcpu_registered(self, vcpu: "VCpu", core_id: int) -> None:
+        # Map the VM's Xen-style weight (default 256) onto CFS weights.
+        weight = vcpu.vm.config.weight * NICE0_WEIGHT // 256
+        # Start at the core's minimum vruntime so latecomers don't starve
+        # incumbents (CFS places new tasks at min_vruntime).
+        incumbents = [
+            self.accounts[v.gid].vruntime
+            for v in self.vcpus_on_core(core_id)
+            if v.gid in self.accounts
+        ]
+        start = min(incumbents) if incumbents else 0.0
+        self.accounts[vcpu.gid] = CfsAccount(vruntime=start, weight=weight)
+
+    def account(self, vcpu: "VCpu") -> CfsAccount:
+        return self.accounts[vcpu.gid]
+
+    def _pick(self, core_id: int) -> Optional["VCpu"]:
+        candidates = [
+            v
+            for v in self.vcpus_on_core(core_id)
+            if v.runnable and not self.is_parked(v)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda v: (self.accounts[v.gid].vruntime, v.gid)
+        )
+
+    def on_tick_start(self, tick_index: int) -> None:
+        for core in self.system.machine.cores:
+            choice = self._pick(core.core_id)
+            if core.running is not choice:
+                if core.running is not None:
+                    self.system.context_switch(core, None)
+                if choice is not None:
+                    self.system.context_switch(core, choice)
+
+    def refill_core(self, core) -> None:
+        choice = self._pick(core.core_id)
+        if choice is not None and core.running is not choice:
+            if core.running is not None:
+                self.system.context_switch(core, None)
+            self.system.context_switch(core, choice)
+
+    def on_tick_end(self, tick_index: int) -> None:
+        for core in self.system.machine.cores:
+            vcpu = core.running
+            if vcpu is None:
+                continue
+            account = self.accounts[vcpu.gid]
+            account.vruntime += (
+                self.system.tick_usec * NICE0_WEIGHT / account.weight
+            )
+
+    def on_accounting(self, tick_index: int) -> None:
+        """CFS has no slice-based credit refill; nothing to do."""

@@ -1,0 +1,221 @@
+"""The Xen credit scheduler (XCS).
+
+Reproduces the accounting structure described in Section 3.2 of the paper
+and in Cherkasova et al. [16]:
+
+* each vCPU holds ``remainCredit``; running burns
+  :data:`CREDITS_PER_TICK` per 10 ms tick,
+* every 30 ms time slice, the accounting pass hands out new credits —
+  weight-proportional among the runnable vCPUs of each core, clipped by
+  the domain's optional *cap*,
+* a vCPU with positive credits has priority ``UNDER``; once its credits
+  are exhausted it drops to ``OVER``,
+* scheduling picks ``UNDER`` vCPUs round-robin; ``OVER`` vCPUs only run
+  work-conservingly when no ``UNDER`` vCPU wants the core — except capped
+  vCPUs, which are parked outright when out of credits (a cap is a hard
+  limit even on an idle machine).
+
+KS4Xen (:mod:`repro.core.ks4xen`) subclasses this and adds the pollution
+permit, exactly as the paper layers it on XCS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from .base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.vcpu import VCpu
+
+#: Credits burned per tick of execution (Xen: 100).
+CREDITS_PER_TICK = 100
+
+
+class Priority(Enum):
+    """XCS vCPU priorities."""
+
+    UNDER = "UNDER"
+    OVER = "OVER"
+
+
+@dataclass
+class CreditAccount:
+    """Scheduling state of one vCPU under XCS."""
+
+    credits: float
+    weight: int
+    cap_percent: Optional[float]
+
+    @property
+    def priority(self) -> Priority:
+        return Priority.UNDER if self.credits > 0 else Priority.OVER
+
+
+class CreditScheduler(Scheduler):
+    """Xen's credit scheduler."""
+
+    name = "xcs"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.accounts: Dict[int, CreditAccount] = {}
+        # Round-robin cursor per core: vCPU gids in service order.
+        self._rr_order: Dict[int, List[int]] = {}
+        # Consecutive ticks the current head has been running per core; a
+        # vCPU keeps the core for a whole time slice before rotating.
+        self._stint: Dict[int, int] = {}
+        # Freshly woken UNDER vCPUs get BOOST: they preempt at the next
+        # scheduling decision (Xen's latency optimisation for I/O VMs).
+        self._boosted: set = set()
+
+    # -- admission ---------------------------------------------------------------
+
+    def on_vcpu_registered(self, vcpu: "VCpu", core_id: int) -> None:
+        config = vcpu.vm.config
+        per_vcpu_cap = (
+            config.cap_percent / config.num_vcpus
+            if config.cap_percent is not None
+            else None
+        )
+        self.accounts[vcpu.gid] = CreditAccount(
+            credits=float(CREDITS_PER_TICK * self.system.ticks_per_slice),
+            weight=config.weight,
+            cap_percent=per_vcpu_cap,
+        )
+        self._rr_order.setdefault(core_id, []).append(vcpu.gid)
+
+    def account(self, vcpu: "VCpu") -> CreditAccount:
+        return self.accounts[vcpu.gid]
+
+    def on_vcpu_reassigned(self, vcpu, old_core, new_core) -> None:
+        if old_core is not None and vcpu.gid in self._rr_order.get(old_core, []):
+            self._rr_order[old_core].remove(vcpu.gid)
+        self._rr_order.setdefault(new_core, []).append(vcpu.gid)
+
+    # -- placement ---------------------------------------------------------------
+
+    def _candidates(self, core_id: int) -> List["VCpu"]:
+        order = self._rr_order.get(core_id, [])
+        by_gid = {v.gid: v for v in self.vcpus}
+        return [
+            by_gid[gid]
+            for gid in order
+            if by_gid[gid].runnable and not self.is_parked(by_gid[gid])
+        ]
+
+    def on_vcpu_wake(self, vcpu) -> None:
+        if self.accounts[vcpu.gid].priority is Priority.UNDER:
+            self._boosted.add(vcpu.gid)
+
+    def _pick(self, core_id: int) -> Optional["VCpu"]:
+        candidates = self._candidates(core_id)
+        if not candidates:
+            return self._steal(core_id)
+        under = [v for v in candidates if self.accounts[v.gid].priority is Priority.UNDER]
+        boosted = [v for v in under if v.gid in self._boosted]
+        if boosted:
+            return boosted[0]
+        if under:
+            return under[0]
+        # Work-conserving: run an OVER vCPU, but never one that is capped —
+        # a cap is a hard limit.
+        over_uncapped = [
+            v for v in candidates if self.accounts[v.gid].cap_percent is None
+        ]
+        if over_uncapped:
+            return over_uncapped[0]
+        return self._steal(core_id)
+
+    def _steal(self, core_id: int) -> Optional["VCpu"]:
+        """SMP load balancing: an idle core pulls a waiting, unpinned
+        UNDER vCPU from another core's runqueue (Xen's work stealing).
+
+        Stealing only crosses socket boundaries as a last resort — moving
+        a vCPU away from its warm LLC is expensive (the Fig 9 lesson).
+        """
+        my_socket = self.system.machine.core(core_id).socket_id
+
+        def stealable(other_core_id: int) -> List["VCpu"]:
+            return [
+                v
+                for v in self._candidates(other_core_id)
+                if v.pinned_core is None
+                and not v.is_running
+                and self.accounts[v.gid].priority is Priority.UNDER
+            ]
+
+        same_socket: List[tuple] = []
+        other_socket: List[tuple] = []
+        for other in self.system.machine.cores:
+            if other.core_id == core_id:
+                continue
+            for vcpu in stealable(other.core_id):
+                entry = (other.core_id, vcpu)
+                if other.socket_id == my_socket:
+                    same_socket.append(entry)
+                else:
+                    other_socket.append(entry)
+        for source_core, vcpu in same_socket + other_socket:
+            self.reassign_vcpu(vcpu, core_id)
+            return vcpu
+        return None
+
+    def on_tick_start(self, tick_index: int) -> None:
+        for core in self.system.machine.cores:
+            choice = self._pick(core.core_id)
+            if core.running is not choice:
+                if core.running is not None:
+                    self.system.context_switch(core, None)
+                if choice is not None:
+                    self.system.context_switch(core, choice)
+
+    def refill_core(self, core) -> None:
+        choice = self._pick(core.core_id)
+        if choice is not None and core.running is not choice:
+            if core.running is not None:
+                self.system.context_switch(core, None)
+            self.system.context_switch(core, choice)
+
+    # -- accounting ----------------------------------------------------------------
+
+    def on_tick_end(self, tick_index: int) -> None:
+        for core in self.system.machine.cores:
+            vcpu = core.running
+            if vcpu is None:
+                self._stint[core.core_id] = 0
+                continue
+            account = self.accounts[vcpu.gid]
+            account.credits -= CREDITS_PER_TICK
+            # BOOST lasts until the vCPU has been serviced once.
+            self._boosted.discard(vcpu.gid)
+            # A vCPU owns the core for a full time slice (Xen: 30 ms)
+            # before the round-robin order rotates — unless its credits
+            # ran out earlier.
+            stint = self._stint.get(core.core_id, 0) + 1
+            if stint >= self.system.ticks_per_slice or account.credits <= 0:
+                order = self._rr_order[core.core_id]
+                if vcpu.gid in order:
+                    order.remove(vcpu.gid)
+                    order.append(vcpu.gid)
+                stint = 0
+            self._stint[core.core_id] = stint
+
+    def on_accounting(self, tick_index: int) -> None:
+        slice_credits = float(CREDITS_PER_TICK * self.system.ticks_per_slice)
+        for core in self.system.machine.cores:
+            active = [
+                v for v in self.vcpus_on_core(core.core_id) if v.runnable
+            ]
+            if not active:
+                continue
+            total_weight = sum(self.accounts[v.gid].weight for v in active)
+            for vcpu in active:
+                account = self.accounts[vcpu.gid]
+                share = slice_credits * account.weight / total_weight
+                if account.cap_percent is not None:
+                    share = min(share, slice_credits * account.cap_percent / 100.0)
+                account.credits = min(account.credits + share, slice_credits)
+                account.credits = max(account.credits, -slice_credits)

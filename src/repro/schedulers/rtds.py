@@ -1,0 +1,137 @@
+"""The Xen RTDS (real-time deferrable server) scheduler.
+
+Xen's second maintained scheduler: each vCPU is a deferrable server with
+a **budget** of execution time per **period**; runnable vCPUs with
+remaining budget are dispatched earliest-deadline-first (the deadline is
+the end of the current period), and a vCPU whose budget is exhausted is
+depleted until its next replenishment.  HPC clouds with latency
+guarantees use it instead of the credit scheduler — which makes it a
+natural fourth port target for Kyoto (see
+:class:`~repro.core.ks4rtds.KS4RTDS`).
+
+Budgets and periods are expressed in ticks.  VMs declare them via two
+optional attributes the scheduler reads from ``VmConfig`` duck-typed
+``rt_budget_ticks`` / ``rt_period_ticks`` entries in the config's
+``weight``-free world; absent a declaration, a vCPU gets a full-utilisation
+server (budget == period), i.e. best-effort behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, TYPE_CHECKING
+
+from .base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.vcpu import VCpu
+
+#: Default server parameters (full utilisation: always eligible).
+DEFAULT_PERIOD_TICKS = 3
+
+
+@dataclass
+class RtServer:
+    """Deferrable-server state of one vCPU."""
+
+    budget_ticks: int
+    period_ticks: int
+    remaining_budget: int = 0
+    #: Tick index at which the current period ends (the EDF deadline).
+    deadline_tick: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period_ticks <= 0:
+            raise ValueError(
+                f"period must be positive, got {self.period_ticks}"
+            )
+        if not 0 < self.budget_ticks <= self.period_ticks:
+            raise ValueError(
+                f"budget must be in (0, period], got {self.budget_ticks}"
+                f"/{self.period_ticks}"
+            )
+        self.remaining_budget = self.budget_ticks
+
+    @property
+    def depleted(self) -> bool:
+        return self.remaining_budget <= 0
+
+    def replenish(self, now_tick: int) -> None:
+        """Start a new period at ``now_tick``."""
+        self.remaining_budget = self.budget_ticks
+        self.deadline_tick = now_tick + self.period_ticks
+
+
+class RtdsScheduler(Scheduler):
+    """EDF dispatch of deferrable servers (Xen's RTDS)."""
+
+    name = "rtds"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.servers: Dict[int, RtServer] = {}
+
+    def on_vcpu_registered(self, vcpu: "VCpu", core_id: int) -> None:
+        config = vcpu.vm.config
+        budget = getattr(config, "rt_budget_ticks", None)
+        period = getattr(config, "rt_period_ticks", None)
+        if budget is None or period is None:
+            budget = period = DEFAULT_PERIOD_TICKS
+        server = RtServer(budget_ticks=budget, period_ticks=period)
+        server.replenish(0)
+        self.servers[vcpu.gid] = server
+
+    def server_of(self, vcpu: "VCpu") -> RtServer:
+        return self.servers[vcpu.gid]
+
+    def set_server(self, vcpu: "VCpu", budget_ticks: int, period_ticks: int) -> None:
+        """Reconfigure a vCPU's server (xl sched-rtds equivalent)."""
+        server = RtServer(budget_ticks=budget_ticks, period_ticks=period_ticks)
+        server.replenish(0)
+        self.servers[vcpu.gid] = server
+
+    def _pick(self, core_id: int) -> Optional["VCpu"]:
+        candidates = [
+            v
+            for v in self.vcpus_on_core(core_id)
+            if v.runnable
+            and not self.is_parked(v)
+            and not self.servers[v.gid].depleted
+        ]
+        if not candidates:
+            return None
+        # Earliest deadline first; gid breaks ties deterministically.
+        return min(
+            candidates,
+            key=lambda v: (self.servers[v.gid].deadline_tick, v.gid),
+        )
+
+    def refill_core(self, core) -> None:
+        choice = self._pick(core.core_id)
+        if choice is not None and core.running is not choice:
+            if core.running is not None:
+                self.system.context_switch(core, None)
+            self.system.context_switch(core, choice)
+
+    def on_tick_start(self, tick_index: int) -> None:
+        # Replenish every server whose period elapsed.
+        for server in self.servers.values():
+            if tick_index >= server.deadline_tick:
+                server.replenish(tick_index)
+        for core in self.system.machine.cores:
+            choice = self._pick(core.core_id)
+            if core.running is not choice:
+                if core.running is not None:
+                    self.system.context_switch(core, None)
+                if choice is not None:
+                    self.system.context_switch(core, choice)
+
+    def on_tick_end(self, tick_index: int) -> None:
+        for core in self.system.machine.cores:
+            vcpu = core.running
+            if vcpu is None:
+                continue
+            self.servers[vcpu.gid].remaining_budget -= 1
+
+    def on_accounting(self, tick_index: int) -> None:
+        """RTDS replenishes per-server periods, not per global slice."""

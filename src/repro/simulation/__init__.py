@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate (clock, events, engine, RNG)."""
+
+from .clock import (
+    Clock,
+    USEC_PER_MSEC,
+    USEC_PER_SEC,
+    XEN_TICK_USEC,
+    XEN_TIME_SLICE_USEC,
+    cycles_to_usec,
+    msec_to_usec,
+    usec_to_cycles,
+    usec_to_msec,
+)
+from .engine import Engine, SimulationError
+from .events import Event, EventQueue
+from .rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Clock",
+    "Engine",
+    "Event",
+    "EventQueue",
+    "RngRegistry",
+    "SimulationError",
+    "USEC_PER_MSEC",
+    "USEC_PER_SEC",
+    "XEN_TICK_USEC",
+    "XEN_TIME_SLICE_USEC",
+    "cycles_to_usec",
+    "derive_seed",
+    "msec_to_usec",
+    "usec_to_cycles",
+    "usec_to_msec",
+]

@@ -1,0 +1,93 @@
+"""Simulated time.
+
+All of the machine simulation runs in *simulated* time, decoupled from wall
+clock.  Time is kept in integer **microseconds** so that tick arithmetic is
+exact: Xen's scheduler tick is 10 ms and its time slice (accounting period)
+is 30 ms, both of which are exact multiples of one microsecond.
+
+Cycle math uses the socket frequency: at 2.8 GHz, one microsecond is 2800
+cycles.  Conversions are provided here so that the rest of the code never
+hand-rolls unit conversions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Number of microseconds in one millisecond.
+USEC_PER_MSEC = 1_000
+#: Number of microseconds in one second.
+USEC_PER_SEC = 1_000_000
+
+#: Xen scheduler tick length (10 ms), as in the paper's footnote 1.
+XEN_TICK_USEC = 10 * USEC_PER_MSEC
+#: Xen time slice / credit accounting period (30 ms = 3 ticks).
+XEN_TIME_SLICE_USEC = 30 * USEC_PER_MSEC
+
+
+def usec_to_msec(usec: int) -> float:
+    """Convert microseconds to (possibly fractional) milliseconds."""
+    return usec / USEC_PER_MSEC
+
+
+def msec_to_usec(msec: float) -> int:
+    """Convert milliseconds to integer microseconds (rounded)."""
+    return int(round(msec * USEC_PER_MSEC))
+
+
+def usec_to_cycles(usec: int, freq_khz: int) -> int:
+    """Number of core cycles elapsed in ``usec`` at frequency ``freq_khz``.
+
+    ``freq_khz`` is kilocycles per second, hence cycles = usec * freq_khz
+    / 1000 exactly when freq_khz is a multiple of 1000 (it always is for
+    the machines we model).
+    """
+    return usec * freq_khz // 1_000
+
+
+def cycles_to_usec(cycles: int, freq_khz: int) -> float:
+    """Wall-clock microseconds taken by ``cycles`` cycles at ``freq_khz``."""
+    return cycles * 1_000 / freq_khz
+
+
+@dataclass
+class Clock:
+    """Monotonic simulated clock, in integer microseconds.
+
+    The clock only moves forward; :meth:`advance_to` raises if asked to go
+    backwards, which catches event-ordering bugs early.
+    """
+
+    now_usec: int = 0
+    _started: bool = field(default=False, repr=False)
+
+    @property
+    def now_msec(self) -> float:
+        """Current time in milliseconds."""
+        return usec_to_msec(self.now_usec)
+
+    @property
+    def now_sec(self) -> float:
+        """Current time in seconds."""
+        return self.now_usec / USEC_PER_SEC
+
+    def advance(self, delta_usec: int) -> int:
+        """Move the clock forward by ``delta_usec`` and return the new time."""
+        if delta_usec < 0:
+            raise ValueError(f"cannot advance clock by {delta_usec} usec")
+        self.now_usec += delta_usec
+        return self.now_usec
+
+    def advance_to(self, when_usec: int) -> int:
+        """Move the clock forward to the absolute time ``when_usec``."""
+        if when_usec < self.now_usec:
+            raise ValueError(
+                f"clock cannot move backwards: now={self.now_usec}, "
+                f"requested={when_usec}"
+            )
+        self.now_usec = when_usec
+        return self.now_usec
+
+    def reset(self) -> None:
+        """Reset the clock to time zero (used between experiment runs)."""
+        self.now_usec = 0

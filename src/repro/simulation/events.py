@@ -1,0 +1,109 @@
+"""Discrete-event queue.
+
+A tiny, deterministic event queue used by the machine simulation.  Events
+are ``(when_usec, priority, seq, callback)`` tuples kept in a binary heap.
+The sequence number makes ordering stable for events scheduled at the same
+instant with the same priority, which in turn makes whole simulations
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+#: Default event priority; lower runs first among same-time events.
+DEFAULT_PRIORITY = 10
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        when_usec: absolute simulated time at which the event fires.
+        priority: tie-breaker among events at the same time (lower first).
+        seq: insertion sequence number (final tie-breaker, FIFO).
+        name: human-readable label used in traces and error messages.
+        callback: zero-argument callable invoked when the event fires.
+    """
+
+    when_usec: int
+    priority: int
+    seq: int
+    name: str
+    callback: Callable[[], None] = field(compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.when_usec, self.priority, self.seq)
+
+
+class EventCancelled(Exception):
+    """Raised internally when a cancelled event is popped."""
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Supports O(log n) schedule/pop and lazy cancellation.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._cancelled: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def schedule(
+        self,
+        when_usec: int,
+        callback: Callable[[], None],
+        *,
+        name: str = "event",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``when_usec``."""
+        if when_usec < 0:
+            raise ValueError(f"cannot schedule event at negative time {when_usec}")
+        event = Event(
+            when_usec=when_usec,
+            priority=priority,
+            seq=next(self._seq),
+            name=name,
+            callback=callback,
+        )
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Lazily cancel a scheduled event (no-op if already fired)."""
+        self._cancelled.add(event.sort_key())
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][1].when_usec
+
+    def pop(self) -> Event:
+        """Remove and return the next live event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        __, event = heapq.heappop(self._heap)
+        return event
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._cancelled.clear()
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][0] in self._cancelled:
+            key, __ = heapq.heappop(self._heap)
+            self._cancelled.discard(key)

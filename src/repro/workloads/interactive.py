@@ -1,0 +1,74 @@
+"""Interactive (burst/think) workloads.
+
+The paper's VMs are CPU-bound, but real consolidated hosts mix in
+latency-sensitive, mostly-idle VMs (web tiers, interactive services).
+These alternate *bursts* of computation with *think time* during which
+the vCPU blocks — the case Xen's BOOST priority exists for, and a good
+stress test for any scheduler extension (Kyoto must not break wake-up
+latency for VMs that pollute next to nothing).
+
+An :class:`InteractiveWorkload` runs ``burst_instructions``, then blocks
+for ``think_usec`` of wall-clock time, repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cachesim.perfmodel import CacheBehavior
+
+from .base import Workload
+
+
+class InteractiveWorkload(Workload):
+    """A workload alternating computation bursts and blocked think time."""
+
+    def __init__(
+        self,
+        name: str,
+        behavior: CacheBehavior,
+        burst_instructions: float,
+        think_usec: int,
+        total_instructions: Optional[float] = None,
+        description: str = "",
+    ) -> None:
+        if burst_instructions <= 0:
+            raise ValueError(
+                f"burst_instructions must be positive, got {burst_instructions}"
+            )
+        if think_usec < 0:
+            raise ValueError(f"think_usec must be >= 0, got {think_usec}")
+        super().__init__(
+            name=name,
+            behavior=behavior,
+            total_instructions=total_instructions,
+            description=description or "interactive burst/think workload",
+        )
+        self.burst_instructions = burst_instructions
+        self.think_usec = think_usec
+
+    def next_block_boundary(self, instructions_done: float) -> float:
+        """Instruction count at which the current burst ends."""
+        bursts_completed = int(instructions_done / self.burst_instructions)
+        return (bursts_completed + 1) * self.burst_instructions
+
+
+def web_tier_workload(
+    burst_instructions: float = 5e6,
+    think_usec: int = 20_000,
+    behavior: Optional[CacheBehavior] = None,
+    name: str = "web-tier",
+) -> InteractiveWorkload:
+    """A typical interactive service: short bursts, 20 ms think time."""
+    if behavior is None:
+        behavior = CacheBehavior(
+            wss_lines=8_192, lapki=20.0, base_cpi=0.6, locality_theta=0.8,
+            stream_fraction=0.1, mlp=4.0,
+        )
+    return InteractiveWorkload(
+        name=name,
+        behavior=behavior,
+        burst_instructions=burst_instructions,
+        think_usec=think_usec,
+    )

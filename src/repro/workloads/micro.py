@@ -1,0 +1,154 @@
+"""Pointer-chase micro-benchmark (Section 2.2.2 of the paper).
+
+The paper's micro benchmark — from Drepper's "What every programmer should
+know about memory" — builds a circular linked list of a given working-set
+size whose elements are randomly chained, then walks it.  Every hop is a
+dependent load: no memory-level parallelism, and the level that services
+the hops is decided purely by where the working set fits.
+
+The paper classifies VMs accordingly (Section 2.2.4):
+
+* **C1** — working set fits in the intermediate-level caches (L1+L2);
+* **C2** — working set fits in the LLC;
+* **C3** — working set exceeds the LLC.
+
+This module derives a :class:`~repro.cachesim.perfmodel.CacheBehavior`
+from a working-set size and the machine's cache geometry, and provides the
+representative/disruptive VM pairs of Figs 1-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+from repro.cachesim.perfmodel import CacheBehavior
+from repro.hardware.specs import MachineSpec, SocketSpec, paper_machine
+
+from .base import LINE_BYTES, Workload, bytes_to_lines
+
+#: Instructions per list hop (load + pointer arithmetic + loop overhead).
+INSTRUCTIONS_PER_HOP = 8
+#: Pointer chases are fully dependent loads: one outstanding miss.
+POINTER_CHASE_MLP = 1.2
+#: Disruptive micro VMs use an independent (prefetch-friendly) walk whose
+#: misses overlap heavily — maximum eviction bandwidth, as intended by
+#: the paper's purpose-built "disruptive" benchmarks.
+DISRUPTIVE_WALK_MLP = 16.0
+#: Loop body cost excluding the chased load.
+POINTER_CHASE_BASE_CPI = 0.5
+#: A cyclic chase exhibits the LRU cliff: a line must survive one full
+#: lap to hit, so hit probability collapses quickly once the combined
+#: working sets overflow the cache.  A high locality exponent models it.
+POINTER_CHASE_THETA = 4.0
+
+
+class CacheFitCategory(IntEnum):
+    """The paper's C1/C2/C3 classification."""
+
+    C1_FITS_ILC = 1
+    C2_FITS_LLC = 2
+    C3_EXCEEDS_LLC = 3
+
+
+def classify_working_set(wss_bytes: int, socket: SocketSpec) -> CacheFitCategory:
+    """Classify a working-set size against a socket's cache sizes."""
+    if wss_bytes <= 0:
+        raise ValueError(f"working set must be positive, got {wss_bytes}")
+    ilc_bytes = socket.l1d.size_bytes + socket.l2.size_bytes
+    if wss_bytes <= ilc_bytes:
+        return CacheFitCategory.C1_FITS_ILC
+    if wss_bytes <= socket.llc.size_bytes:
+        return CacheFitCategory.C2_FITS_LLC
+    return CacheFitCategory.C3_EXCEEDS_LLC
+
+
+def pointer_chase_behavior(
+    wss_bytes: int,
+    socket: Optional[SocketSpec] = None,
+    disruptive: bool = False,
+) -> CacheBehavior:
+    """Cache behaviour of a micro-benchmark walk over ``wss_bytes``.
+
+    A C1 walk never leaves the private caches, so it produces no LLC
+    traffic at all (``lapki = 0``); C2/C3 walks send every hop to the LLC
+    level.  ``disruptive`` selects the paper's purpose-built disruptive
+    variant: an independent-access walk whose misses overlap (high MLP),
+    maximising eviction bandwidth, versus the dependent pointer chase of
+    the representative VMs.
+    """
+    if socket is None:
+        socket = paper_machine().sockets[0]
+    category = classify_working_set(wss_bytes, socket)
+    hops_per_kinst = 1000.0 / INSTRUCTIONS_PER_HOP
+    if category is CacheFitCategory.C1_FITS_ILC:
+        lapki = 0.0
+    else:
+        lapki = hops_per_kinst
+    return CacheBehavior(
+        wss_lines=bytes_to_lines(wss_bytes),
+        lapki=lapki,
+        base_cpi=POINTER_CHASE_BASE_CPI,
+        locality_theta=POINTER_CHASE_THETA,
+        stream_fraction=0.0,
+        mlp=DISRUPTIVE_WALK_MLP if disruptive else POINTER_CHASE_MLP,
+    )
+
+
+def micro_workload(
+    wss_bytes: int,
+    socket: Optional[SocketSpec] = None,
+    total_instructions: float = None,
+    disruptive: bool = False,
+) -> Workload:
+    """A micro-benchmark workload over ``wss_bytes`` of memory."""
+    behavior = pointer_chase_behavior(wss_bytes, socket, disruptive=disruptive)
+    size_mb = wss_bytes / (1024 * 1024)
+    kind = "disruptive walk" if disruptive else "pointer chase"
+    return Workload(
+        name=f"micro-{size_mb:g}MB{'-dis' if disruptive else ''}",
+        behavior=behavior,
+        total_instructions=total_instructions,
+        description=f"random circular {kind} (Drepper micro-benchmark)",
+    )
+
+
+@dataclass(frozen=True)
+class MicroVmPair:
+    """The representative/disruptive working sets of one category."""
+
+    category: CacheFitCategory
+    representative_bytes: int
+    disruptive_bytes: int
+
+
+def category_pairs(machine: Optional[MachineSpec] = None) -> dict:
+    """Working-set sizes for v{1,2,3}_rep and v{1,2,3}_dis (Figs 1-2).
+
+    Representatives sit comfortably inside their category; disruptors are
+    sized at the aggressive end of it (a C2 disruptor nearly fills the
+    LLC; a C3 disruptor is several times larger than it).
+    """
+    if machine is None:
+        machine = paper_machine()
+    socket = machine.sockets[0]
+    ilc = socket.l1d.size_bytes + socket.l2.size_bytes
+    llc = socket.llc.size_bytes
+    return {
+        CacheFitCategory.C1_FITS_ILC: MicroVmPair(
+            CacheFitCategory.C1_FITS_ILC,
+            representative_bytes=ilc // 2,
+            disruptive_bytes=ilc,
+        ),
+        CacheFitCategory.C2_FITS_LLC: MicroVmPair(
+            CacheFitCategory.C2_FITS_LLC,
+            representative_bytes=int(llc * 0.25),
+            disruptive_bytes=int(llc * 0.95),
+        ),
+        CacheFitCategory.C3_EXCEEDS_LLC: MicroVmPair(
+            CacheFitCategory.C3_EXCEEDS_LLC,
+            representative_bytes=int(llc * 1.2),
+            disruptive_bytes=llc * 8,
+        ),
+    }

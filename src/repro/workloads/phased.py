@@ -1,0 +1,113 @@
+"""Multi-phase workloads.
+
+Real applications change cache behaviour over their lifetime (gcc
+alternates parsing, optimisation and code-generation phases; solvers
+alternate assembly and factorisation).  Phase changes are what make
+Kyoto's *runtime* monitoring necessary — a statically profiled llc_cap
+would mis-charge an application that streams for a minute and then
+computes quietly for an hour.
+
+:class:`PhasedWorkload` cycles through ``(behavior, instructions)``
+phases; the machine simulation queries ``behavior_at`` with the vCPU's
+retired-instruction count each sub-step, so phase boundaries take effect
+mid-run exactly as they would under a real monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cachesim.perfmodel import CacheBehavior
+
+from .base import Workload
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase: a cache behaviour held for a number of instructions."""
+
+    behavior: CacheBehavior
+    instructions: float
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError(
+                f"phase length must be positive, got {self.instructions}"
+            )
+
+
+class PhasedWorkload(Workload):
+    """A workload cycling through phases (repeating after the last).
+
+    ``total_instructions`` still controls completion; phases only select
+    the behaviour active at each point of the execution.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[Phase],
+        total_instructions: Optional[float] = None,
+        description: str = "",
+        repeat: bool = True,
+    ) -> None:
+        if not phases:
+            raise ValueError("a phased workload needs at least one phase")
+        super().__init__(
+            name=name,
+            behavior=phases[0].behavior,
+            total_instructions=total_instructions,
+            description=description or "multi-phase synthetic workload",
+        )
+        self.phases: List[Phase] = list(phases)
+        self.repeat = repeat
+        self._cycle_instructions = sum(p.instructions for p in self.phases)
+
+    @property
+    def cycle_instructions(self) -> float:
+        """Instructions in one full pass over all phases."""
+        return self._cycle_instructions
+
+    def phase_index_at(self, instructions_done: float) -> int:
+        """Index of the phase active after ``instructions_done``."""
+        if instructions_done < 0:
+            raise ValueError(
+                f"instructions_done must be >= 0, got {instructions_done}"
+            )
+        position = instructions_done
+        if self.repeat:
+            position = position % self._cycle_instructions
+        for index, phase in enumerate(self.phases):
+            if position < phase.instructions:
+                return index
+            position -= phase.instructions
+        return len(self.phases) - 1  # non-repeating: stay in the last phase
+
+    def behavior_at(self, instructions_done: float) -> CacheBehavior:
+        return self.phases[self.phase_index_at(instructions_done)].behavior
+
+
+def bursty_workload(
+    name: str,
+    quiet: CacheBehavior,
+    noisy: CacheBehavior,
+    quiet_instructions: float = 2e8,
+    noisy_instructions: float = 1e8,
+    total_instructions: Optional[float] = None,
+) -> PhasedWorkload:
+    """Convenience: a workload alternating quiet and polluting phases.
+
+    This is the adversarial pattern for static permit sizing: its
+    *average* pollution may sit below a permit that its noisy bursts
+    individually exceed.
+    """
+    return PhasedWorkload(
+        name=name,
+        phases=[
+            Phase(quiet, quiet_instructions),
+            Phase(noisy, noisy_instructions),
+        ],
+        total_instructions=total_instructions,
+        description="alternating quiet/noisy phases",
+    )

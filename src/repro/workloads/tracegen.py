@@ -1,0 +1,120 @@
+"""Synthetic address-trace generation.
+
+The McSimA+ replay path (Section 3.3, second monitoring solution) needs an
+instruction/address stream to replay through the faithful cache simulator.
+On the real system the stream comes from a pin tool; here we synthesise
+one from an application's :class:`~repro.cachesim.perfmodel.CacheBehavior`
+so the replay exercises the same working set, locality skew and streaming
+fraction that the analytical model encodes.
+
+Traces are generated lazily (iterator of line addresses) so arbitrarily
+long samples never materialise in memory.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.cachesim.perfmodel import CacheBehavior
+
+from .base import LINE_BYTES
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs for synthetic trace generation.
+
+    Attributes:
+        hot_fraction: fraction of the working set considered "hot" when the
+            behaviour's locality exponent is below 1.
+        seed: RNG seed for reproducibility.
+        base_address: first byte address of the working set.
+    """
+
+    hot_fraction: float = 0.2
+    seed: int = 0
+    base_address: int = 1 << 30
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in (0,1], got {self.hot_fraction}"
+            )
+
+
+def _hot_access_probability(theta: float, hot_fraction: float) -> float:
+    """Probability an access targets the hot subset.
+
+    Chosen so the synthetic stream's concentration matches the analytical
+    hit-probability curve: theta = 1 means uniform access (probability
+    equals the hot fraction itself); smaller theta concentrates accesses.
+    """
+    if theta >= 1.0:
+        return hot_fraction
+    # Interpolate between fully-concentrated (theta→0) and uniform.
+    return hot_fraction + (1.0 - hot_fraction) * (1.0 - theta)
+
+
+def generate_trace(
+    behavior: CacheBehavior,
+    num_accesses: int,
+    config: Optional[TraceConfig] = None,
+) -> Iterator[int]:
+    """Yield ``num_accesses`` byte addresses mimicking ``behavior``.
+
+    * Streaming accesses sweep fresh lines sequentially (never reused).
+    * Reuse accesses pick lines from the working set, preferring the hot
+      subset according to the locality exponent.
+    """
+    if num_accesses < 0:
+        raise ValueError(f"num_accesses must be >= 0, got {num_accesses}")
+    if config is None:
+        config = TraceConfig()
+    rng = random.Random(config.seed)
+
+    wss_lines = max(1, int(behavior.wss_lines))
+    hot_lines = max(1, int(wss_lines * config.hot_fraction))
+    hot_prob = _hot_access_probability(behavior.locality_theta, config.hot_fraction)
+    base_line = config.base_address // LINE_BYTES
+    # Streaming region sits far above the reuse region so they never alias.
+    stream_line = base_line + 2 * wss_lines
+    stream_cursor = 0
+
+    for _ in range(num_accesses):
+        if rng.random() < behavior.stream_fraction:
+            line = stream_line + stream_cursor
+            stream_cursor += 1
+        elif rng.random() < hot_prob:
+            line = base_line + rng.randrange(hot_lines)
+        else:
+            line = base_line + hot_lines + rng.randrange(
+                max(1, wss_lines - hot_lines)
+            )
+        yield line * LINE_BYTES
+
+
+def pointer_chain_addresses(
+    wss_bytes: int, seed: int = 0, base_address: int = 1 << 30
+) -> List[int]:
+    """Materialise a random circular pointer chain over ``wss_bytes``.
+
+    Returns the sequence of byte addresses one full walk visits — the
+    exact structure of the paper's micro-benchmark: every line of the
+    working set is visited exactly once per lap, in a fixed random order.
+    """
+    num_lines = max(1, wss_bytes // LINE_BYTES)
+    order = list(range(num_lines))
+    random.Random(seed).shuffle(order)
+    base_line = base_address // LINE_BYTES
+    return [(base_line + line) * LINE_BYTES for line in order]
+
+
+def walk_pointer_chain(chain: List[int], laps: int) -> Iterator[int]:
+    """Yield the addresses of ``laps`` complete walks of the chain."""
+    if laps < 0:
+        raise ValueError(f"laps must be >= 0, got {laps}")
+    for _ in range(laps):
+        for address in chain:
+            yield address

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.specs import numa_machine, paper_machine
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.schedulers.credit import CreditScheduler
+from repro.workloads.profiles import application_workload
+
+
+@pytest.fixture
+def machine():
+    """The paper's single-socket machine spec."""
+    return paper_machine()
+
+
+@pytest.fixture
+def numa():
+    """The two-socket PowerEdge R420 spec."""
+    return numa_machine()
+
+
+@pytest.fixture
+def xcs_system(machine):
+    """A fresh system under the plain credit scheduler."""
+    return VirtualizedSystem(CreditScheduler(), machine)
+
+
+def make_vm(system, name="vm", app="gcc", core=0, **kwargs):
+    """Convenience VM factory used across tests."""
+    return system.create_vm(
+        VmConfig(
+            name=name,
+            workload=application_workload(app),
+            pinned_cores=[core],
+            **kwargs,
+        )
+    )

@@ -1,0 +1,142 @@
+"""Tests for the analysis package: Kendall tau, metrics, reporting."""
+
+import pytest
+
+from repro.analysis.kendall import kendall_tau, ranking_from_scores
+from repro.analysis.metrics import (
+    SeriesStats,
+    degradation_percent,
+    normalized_performance,
+    slowdown_percent,
+)
+from repro.analysis.reporting import format_cell, format_series, format_table
+
+
+class TestKendallTau:
+    def test_identical_orderings(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_reversed_orderings(self):
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+    def test_one_swap(self):
+        # 1 discordant pair of 6 -> (5-1)/6.
+        tau = kendall_tau(["a", "b", "c", "d"], ["b", "a", "c", "d"])
+        assert tau == pytest.approx(4 / 6)
+
+    def test_paper_orderings(self):
+        """tau(o1,o3) > tau(o1,o2): the paper's Section 4.2 conclusion
+        follows from its own published orderings."""
+        o1 = ["blockie", "lbm", "mcf", "soplex", "milc",
+              "omnetpp", "gcc", "xalan", "astar", "bzip"]
+        o2 = ["milc", "lbm", "soplex", "mcf", "blockie",
+              "gcc", "omnetpp", "xalan", "astar", "bzip"]
+        o3 = ["lbm", "blockie", "milc", "mcf", "soplex",
+              "gcc", "omnetpp", "xalan", "astar", "bzip"]
+        assert kendall_tau(o1, o3) > kendall_tau(o1, o2)
+        assert kendall_tau(o1, o2) == pytest.approx(0.6)
+        assert kendall_tau(o1, o3) == pytest.approx(0.822, abs=0.001)
+
+    def test_mismatched_items_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(["a", "b"], ["a", "c"])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(["a"], ["a", "b"])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(["a"], ["a"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau(["a", "a"], ["a", "b"])
+
+    def test_symmetry(self):
+        a = ["w", "x", "y", "z"]
+        b = ["x", "w", "z", "y"]
+        assert kendall_tau(a, b) == kendall_tau(b, a)
+
+
+class TestRanking:
+    def test_descending_by_default(self):
+        assert ranking_from_scores({"a": 1.0, "b": 3.0, "c": 2.0}) == [
+            "b", "c", "a"
+        ]
+
+    def test_ascending(self):
+        assert ranking_from_scores(
+            {"a": 1.0, "b": 3.0}, descending=False
+        ) == ["a", "b"]
+
+    def test_deterministic_tie_break(self):
+        assert ranking_from_scores({"b": 1.0, "a": 1.0}) == ["a", "b"]
+
+
+class TestMetrics:
+    def test_degradation_zero_when_equal(self):
+        assert degradation_percent(2.0, 2.0) == 0.0
+
+    def test_degradation_half_speed(self):
+        assert degradation_percent(2.0, 1.0) == 50.0
+
+    def test_degradation_clamped_at_zero(self):
+        assert degradation_percent(2.0, 3.0) == 0.0
+
+    def test_degradation_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            degradation_percent(0.0, 1.0)
+
+    def test_normalized_performance(self):
+        assert normalized_performance(2.0, 1.5) == 0.75
+
+    def test_slowdown(self):
+        assert slowdown_percent(10.0, 12.0) == pytest.approx(20.0)
+
+    def test_slowdown_clamped(self):
+        assert slowdown_percent(10.0, 9.0) == 0.0
+
+    def test_series_stats(self):
+        stats = SeriesStats.of([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.stddev == pytest.approx((2 / 3) ** 0.5)
+        assert stats.spread_percent == 100.0
+
+    def test_series_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesStats.of([])
+
+
+class TestReporting:
+    def test_format_cell_types(self):
+        assert format_cell("x") == "x"
+        assert format_cell(12) == "12"
+        assert format_cell(0.0) == "0"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(42.5) == "42.5"
+        assert format_cell(1234567.0) == "1,234,567"
+
+    def test_table_alignment(self):
+        table = format_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_table_title(self):
+        table = format_table(["c"], [[1]], title="T")
+        assert table.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_series(self):
+        out = format_series("s", [1, 2], [10.0, 20.0])
+        assert "s" in out and "10" in out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])

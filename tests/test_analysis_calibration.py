@@ -1,0 +1,45 @@
+"""Tests for the calibration audit — the reproduction's tripwire."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    SOLO_TARGETS,
+    CalibrationReport,
+    format_calibration,
+    run_calibration,
+)
+from repro.analysis.aggressiveness import CampaignConfig
+from repro.workloads.profiles import FIG4_APPLICATIONS
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_calibration(CampaignConfig(warmup_ticks=20, measure_ticks=60))
+
+
+class TestCalibration:
+    def test_targets_cover_all_apps(self):
+        assert set(SOLO_TARGETS) == set(FIG4_APPLICATIONS)
+
+    def test_all_apps_measured(self, report):
+        assert {e.app for e in report.entries} == set(FIG4_APPLICATIONS)
+
+    def test_llcm_ordering_holds(self, report):
+        assert report.llcm_order_ok
+
+    def test_equation1_ordering_holds(self, report):
+        assert report.equation1_order_ok
+
+    def test_errors_within_tolerance(self, report):
+        """Measured solo indicators sit within 10% of their targets."""
+        assert report.max_error_percent < 10.0
+
+    def test_entry_lookup(self, report):
+        assert report.entry("lbm").measured.equation1 > 300_000
+        with pytest.raises(KeyError):
+            report.entry("doom")
+
+    def test_report_renders(self, report):
+        text = format_calibration(report)
+        assert "calibration" in text.lower()
+        assert "lbm" in text

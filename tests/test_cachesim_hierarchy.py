@@ -1,0 +1,92 @@
+"""Tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.cachesim.hierarchy import CacheHierarchy, ServiceLevel
+from repro.cachesim.replacement import make_policy
+from repro.cachesim.setassoc import SetAssociativeCache
+from repro.hardware.specs import paper_machine
+
+
+def hierarchy(llc=None):
+    machine = paper_machine()
+    return CacheHierarchy(machine.sockets[0], machine.latency, llc=llc)
+
+
+class TestServiceLevels:
+    def test_cold_access_goes_to_memory(self):
+        h = hierarchy()
+        outcome = h.access(0)
+        assert outcome.level is ServiceLevel.MEMORY
+        assert outcome.llc_miss is True
+        assert outcome.cycles == 180
+
+    def test_second_access_hits_l1(self):
+        h = hierarchy()
+        h.access(0)
+        outcome = h.access(0)
+        assert outcome.level is ServiceLevel.L1
+        assert outcome.cycles == 4
+        assert outcome.llc_miss is False
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = hierarchy()
+        # Fill one L1 set beyond its associativity but inside L2.
+        l1_stride = h.l1.num_sets * 64
+        addresses = [i * l1_stride for i in range(h.l1.assoc + 1)]
+        for addr in addresses:
+            h.access(addr)
+        outcome = h.access(addresses[0])
+        assert outcome.level is ServiceLevel.L2
+        assert outcome.cycles == 12
+
+    def test_llc_hit_after_l2_eviction(self):
+        h = hierarchy()
+        l2_stride = h.l2.num_sets * 64
+        addresses = [i * l2_stride for i in range(h.l2.assoc + 1)]
+        for addr in addresses:
+            h.access(addr)
+        outcome = h.access(addresses[0])
+        assert outcome.level is ServiceLevel.LLC
+        assert outcome.cycles == 45
+
+    def test_remote_memory_latency(self):
+        h = hierarchy()
+        outcome = h.access(0, remote_memory=True)
+        assert outcome.cycles == 300
+
+    def test_level_counting(self):
+        h = hierarchy()
+        h.access(0)
+        h.access(0)
+        h.access(64)
+        assert h.level_counts[ServiceLevel.MEMORY] == 2
+        assert h.level_counts[ServiceLevel.L1] == 1
+        assert h.llc_misses == 2
+
+    def test_reset_counts_preserves_contents(self):
+        h = hierarchy()
+        h.access(0)
+        h.reset_counts()
+        assert h.llc_misses == 0
+        assert h.access(0).level is ServiceLevel.L1
+
+
+class TestSharedLlc:
+    def test_two_hierarchies_share_one_llc(self):
+        machine = paper_machine()
+        llc = SetAssociativeCache(machine.sockets[0].llc, make_policy("lru"))
+        core_a = CacheHierarchy(machine.sockets[0], machine.latency, llc=llc)
+        core_b = CacheHierarchy(machine.sockets[0], machine.latency, llc=llc)
+        core_a.access(0, owner=1)
+        # Core B misses its private caches but hits the shared LLC.
+        outcome = core_b.access(0, owner=2)
+        assert outcome.level is ServiceLevel.LLC
+
+    def test_private_l1_not_shared(self):
+        machine = paper_machine()
+        llc = SetAssociativeCache(machine.sockets[0].llc, make_policy("lru"))
+        core_a = CacheHierarchy(machine.sockets[0], machine.latency, llc=llc)
+        core_b = CacheHierarchy(machine.sockets[0], machine.latency, llc=llc)
+        core_a.access(0)
+        assert core_b.l1.probe(0) is False

@@ -1,0 +1,187 @@
+"""Tests for the shared-LLC occupancy/contention model."""
+
+import pytest
+
+from repro.cachesim.occupancy import (
+    LlcOccupancyDomain,
+    waterfill_allocation,
+)
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        domain = LlcOccupancyDomain(1000)
+        assert domain.used_lines == 0
+        assert domain.free_lines == 1000
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LlcOccupancyDomain(0)
+
+    def test_insert_into_free_space(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 100)
+        assert domain.occupancy_of(1) == 100
+        assert domain.free_lines == 900
+
+    def test_negative_insert_rejected(self):
+        with pytest.raises(ValueError):
+            LlcOccupancyDomain(1000).insert(1, -1)
+
+    def test_share_of(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 250)
+        assert domain.share_of(1) == 0.25
+
+    def test_owners_listing(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 10)
+        domain.insert(2, 20)
+        assert sorted(domain.owners()) == [1, 2]
+
+    def test_footprint_cap(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 500, footprint_cap=200)
+        assert domain.occupancy_of(1) == 200
+
+    def test_proportional_eviction_when_full(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 600)
+        domain.insert(2, 400)
+        domain.insert(3, 100)  # must evict 100 proportionally
+        assert domain.occupancy_of(1) == pytest.approx(540)
+        assert domain.occupancy_of(2) == pytest.approx(360)
+        assert domain.occupancy_of(3) == pytest.approx(100)
+        assert domain.used_lines == pytest.approx(1000)
+
+    def test_evict_owner(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 300)
+        removed = domain.evict_owner(1, 100)
+        assert removed == 100
+        assert domain.occupancy_of(1) == 200
+
+    def test_evict_more_than_held(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 50)
+        assert domain.evict_owner(1, 100) == 50
+        assert domain.occupancy_of(1) == 0
+
+    def test_flush_owner(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 300)
+        assert domain.flush_owner(1) == 300
+        assert 1 not in list(domain.owners())
+
+    def test_reset(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 300)
+        domain.reset()
+        assert domain.used_lines == 0
+
+    def test_snapshot_is_a_copy(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 300)
+        snap = domain.snapshot()
+        snap[1] = 0
+        assert domain.occupancy_of(1) == 300
+
+
+class TestWaterfill:
+    def test_proportional_when_uncapped(self):
+        alloc = waterfill_allocation(100, {1: 3, 2: 1}, {})
+        assert alloc[1] == pytest.approx(75)
+        assert alloc[2] == pytest.approx(25)
+
+    def test_cap_binds_and_redistributes(self):
+        alloc = waterfill_allocation(100, {1: 3, 2: 1}, {1: 50})
+        assert alloc[1] == 50
+        assert alloc[2] == pytest.approx(50)
+
+    def test_all_capped_leaves_free_space(self):
+        alloc = waterfill_allocation(100, {1: 1, 2: 1}, {1: 20, 2: 30})
+        assert alloc == {1: 20, 2: 30}
+
+    def test_zero_pressure_excluded(self):
+        alloc = waterfill_allocation(100, {1: 5, 2: 0}, {})
+        assert alloc.get(2, 0.0) == 0.0
+        assert alloc[1] == 100
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            waterfill_allocation(0, {1: 1}, {})
+
+    def test_never_exceeds_capacity(self):
+        alloc = waterfill_allocation(100, {1: 7, 2: 13, 3: 1}, {2: 40})
+        assert sum(alloc.values()) <= 100 + 1e-9
+
+
+class TestRelax:
+    def test_no_insertions_no_change(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.insert(1, 300)
+        domain.relax({1: 0.0}, {1: 300})
+        assert domain.occupancy_of(1) == 300
+
+    def test_growth_bounded_by_insertions(self):
+        domain = LlcOccupancyDomain(1000)
+        domain.relax({1: 50.0}, {1: 800})
+        assert domain.occupancy_of(1) == pytest.approx(50)
+
+    def test_linear_reload_into_free_space(self):
+        domain = LlcOccupancyDomain(1000)
+        for _ in range(4):
+            domain.relax({1: 100.0}, {1: 800})
+        assert domain.occupancy_of(1) == pytest.approx(400)
+
+    def test_growth_stops_at_footprint(self):
+        domain = LlcOccupancyDomain(1000)
+        for _ in range(10):
+            domain.relax({1: 100.0}, {1: 300})
+        assert domain.occupancy_of(1) == pytest.approx(300)
+
+    def test_dead_lines_decay_first(self):
+        domain = LlcOccupancyDomain(1000)
+        # Owner 2 fills the cache, then stops running.
+        for _ in range(20):
+            domain.relax({2: 200.0}, {2: 2000})
+        assert domain.occupancy_of(2) == pytest.approx(1000)
+        # Owner 1 runs alone: its insertions consume owner 2's dead lines.
+        domain.relax({1: 100.0}, {1: 500}, active=[1])
+        assert domain.occupancy_of(1) == pytest.approx(100)
+        assert domain.occupancy_of(2) == pytest.approx(900)
+
+    def test_descheduled_owner_fully_evicted_eventually(self):
+        domain = LlcOccupancyDomain(1000)
+        for _ in range(20):
+            domain.relax({2: 200.0}, {2: 2000})
+        for _ in range(20):
+            domain.relax({1: 200.0}, {1: 2000}, active=[1])
+        assert domain.occupancy_of(2) == pytest.approx(0, abs=1e-6)
+
+    def test_never_oversubscribed(self):
+        domain = LlcOccupancyDomain(1000)
+        for step in range(50):
+            domain.relax({1: 300.0, 2: 500.0, 3: 100.0},
+                         {1: 700, 2: 5000, 3: 90})
+            assert domain.used_lines <= 1000 + 1e-6
+
+    def test_contention_equilibrium_proportional(self):
+        domain = LlcOccupancyDomain(1000)
+        for _ in range(200):
+            domain.relax({1: 300.0, 2: 100.0}, {1: 5000, 2: 5000})
+        assert domain.occupancy_of(1) == pytest.approx(750, rel=0.05)
+        assert domain.occupancy_of(2) == pytest.approx(250, rel=0.05)
+
+    def test_negative_pressure_rejected(self):
+        domain = LlcOccupancyDomain(1000)
+        with pytest.raises(ValueError):
+            domain.relax({1: -5.0}, {1: 100})
+
+    def test_active_zero_pressure_owner_keeps_lines_without_attack(self):
+        domain = LlcOccupancyDomain(1000)
+        for _ in range(5):
+            domain.relax({1: 100.0}, {1: 400})
+        # Now fully resident and not missing: no pressure from anyone.
+        domain.relax({1: 0.0}, {1: 400}, active=[1])
+        assert domain.occupancy_of(1) == pytest.approx(400)

@@ -1,0 +1,165 @@
+"""Tests for the occupancy→performance model."""
+
+import pytest
+
+from repro.cachesim.perfmodel import (
+    CacheBehavior,
+    cycles_per_instruction,
+    execute_step,
+    hit_probability,
+    solo_ipc,
+)
+from repro.hardware.latency import PAPER_LATENCIES
+
+
+def behavior(**kwargs):
+    defaults = dict(wss_lines=10_000, lapki=100.0, base_cpi=0.8)
+    defaults.update(kwargs)
+    return CacheBehavior(**defaults)
+
+
+class TestValidation:
+    def test_negative_wss_rejected(self):
+        with pytest.raises(ValueError):
+            behavior(wss_lines=-1)
+
+    def test_negative_lapki_rejected(self):
+        with pytest.raises(ValueError):
+            behavior(lapki=-1)
+
+    def test_zero_base_cpi_rejected(self):
+        with pytest.raises(ValueError):
+            behavior(base_cpi=0)
+
+    def test_theta_range(self):
+        with pytest.raises(ValueError):
+            behavior(locality_theta=0)
+        with pytest.raises(ValueError):
+            behavior(locality_theta=5)
+
+    def test_stream_fraction_range(self):
+        with pytest.raises(ValueError):
+            behavior(stream_fraction=1.5)
+
+    def test_mlp_minimum(self):
+        with pytest.raises(ValueError):
+            behavior(mlp=0.5)
+
+    def test_pollution_footprint_positive(self):
+        with pytest.raises(ValueError):
+            behavior(pollution_footprint_lines=0)
+
+    def test_footprint_cap_defaults_to_wss(self):
+        assert behavior().footprint_cap_lines == 10_000
+
+    def test_footprint_cap_never_exceeds_wss(self):
+        b = behavior(pollution_footprint_lines=50_000)
+        assert b.footprint_cap_lines == 10_000
+
+    def test_footprint_cap_applied(self):
+        b = behavior(pollution_footprint_lines=5_000)
+        assert b.footprint_cap_lines == 5_000
+
+
+class TestHitProbability:
+    def test_full_residency_full_hits(self):
+        assert hit_probability(behavior(), 10_000) == 1.0
+
+    def test_zero_residency_zero_hits(self):
+        assert hit_probability(behavior(), 0) == 0.0
+
+    def test_monotone_in_occupancy(self):
+        b = behavior()
+        probs = [hit_probability(b, occ) for occ in (0, 2500, 5000, 7500, 10000)]
+        assert probs == sorted(probs)
+
+    def test_linear_when_theta_one(self):
+        assert hit_probability(behavior(locality_theta=1.0), 5_000) == 0.5
+
+    def test_concave_when_theta_below_one(self):
+        assert hit_probability(behavior(locality_theta=0.5), 2_500) == 0.5
+
+    def test_cliff_when_theta_high(self):
+        # theta=4: at half residency almost everything misses.
+        assert hit_probability(behavior(locality_theta=4.0), 5_000) == 0.0625
+
+    def test_streaming_bound(self):
+        b = behavior(stream_fraction=0.9)
+        assert hit_probability(b, 10_000) == pytest.approx(0.1)
+
+    def test_zero_lapki_always_hits(self):
+        assert hit_probability(behavior(lapki=0), 0) == 1.0
+
+    def test_occupancy_above_wss_clamped(self):
+        assert hit_probability(behavior(), 20_000) == 1.0
+
+
+class TestCpi:
+    def test_all_hits_cpi(self):
+        b = behavior()
+        cpi = cycles_per_instruction(b, 1.0, PAPER_LATENCIES)
+        assert cpi == pytest.approx(0.8 + 0.1 * 45)
+
+    def test_all_misses_cpi(self):
+        b = behavior()
+        cpi = cycles_per_instruction(b, 0.0, PAPER_LATENCIES)
+        assert cpi == pytest.approx(0.8 + 0.1 * 180)
+
+    def test_remote_memory_slower(self):
+        b = behavior()
+        local = cycles_per_instruction(b, 0.0, PAPER_LATENCIES)
+        remote = cycles_per_instruction(b, 0.0, PAPER_LATENCIES, remote_memory=True)
+        assert remote > local
+
+    def test_mlp_hides_latency(self):
+        slow = cycles_per_instruction(behavior(mlp=1.0), 0.0, PAPER_LATENCIES)
+        fast = cycles_per_instruction(behavior(mlp=4.0), 0.0, PAPER_LATENCIES)
+        assert fast < slow
+
+    def test_solo_ipc_warm_vs_cold(self):
+        b = behavior()
+        assert solo_ipc(b, PAPER_LATENCIES, warm=True) > solo_ipc(
+            b, PAPER_LATENCIES, warm=False
+        )
+
+
+class TestExecuteStep:
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            execute_step(behavior(), 0, -1, PAPER_LATENCIES)
+
+    def test_zero_cycles_zero_everything(self):
+        result = execute_step(behavior(), 0, 0, PAPER_LATENCIES)
+        assert result.instructions == 0
+        assert result.llc_misses == 0
+        assert result.ipc == 0.0
+
+    def test_instructions_scale_with_cycles(self):
+        b = behavior()
+        one = execute_step(b, 10_000, 1_000_000, PAPER_LATENCIES)
+        two = execute_step(b, 10_000, 2_000_000, PAPER_LATENCIES)
+        assert two.instructions == pytest.approx(2 * one.instructions)
+
+    def test_access_volume_follows_lapki(self):
+        result = execute_step(behavior(), 10_000, 1_000_000, PAPER_LATENCIES)
+        assert result.llc_accesses == pytest.approx(
+            result.instructions * 0.1
+        )
+
+    def test_misses_zero_when_fully_resident(self):
+        result = execute_step(behavior(), 10_000, 1_000_000, PAPER_LATENCIES)
+        assert result.llc_misses == pytest.approx(0.0)
+
+    def test_misses_equal_accesses_when_cold(self):
+        result = execute_step(behavior(), 0, 1_000_000, PAPER_LATENCIES)
+        assert result.llc_misses == pytest.approx(result.llc_accesses)
+
+    def test_cold_slower_than_warm(self):
+        b = behavior()
+        cold = execute_step(b, 0, 1_000_000, PAPER_LATENCIES)
+        warm = execute_step(b, 10_000, 1_000_000, PAPER_LATENCIES)
+        assert cold.instructions < warm.instructions
+
+    def test_ipc_is_instructions_over_cycles(self):
+        result = execute_step(behavior(), 5_000, 1_000_000, PAPER_LATENCIES)
+        assert result.ipc == pytest.approx(result.instructions / 1_000_000)

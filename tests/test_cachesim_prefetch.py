@@ -1,0 +1,87 @@
+"""Tests for the hardware prefetcher models."""
+
+import pytest
+
+from repro.cachesim.prefetch import (
+    NextLinePrefetcher,
+    PrefetchingCache,
+    StridePrefetcher,
+)
+from repro.cachesim.setassoc import SetAssociativeCache
+from repro.hardware.specs import CacheSpec, KIB
+
+
+def cache(size_kib=8, assoc=4):
+    return SetAssociativeCache(CacheSpec("T", size_kib * KIB, assoc))
+
+
+class TestNextLine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(cache(), degree=0)
+
+    def test_sequential_stream_mostly_hits(self):
+        c = cache()
+        front = PrefetchingCache(c, NextLinePrefetcher(c, degree=4))
+        hits = 0
+        for i in range(200):
+            hits += front.access(i * 64).hit
+        # Without prefetch every access would miss; with next-line most hit.
+        assert hits > 120
+
+    def test_useful_prefetches_counted(self):
+        c = cache()
+        prefetcher = NextLinePrefetcher(c, degree=2)
+        front = PrefetchingCache(c, prefetcher)
+        for i in range(50):
+            front.access(i * 64)
+        assert prefetcher.stats.issued > 0
+        assert prefetcher.stats.useful > 0
+        assert 0.0 <= prefetcher.stats.accuracy <= 1.0
+
+    def test_random_stream_low_accuracy(self):
+        import random as _random
+
+        rng = _random.Random(7)
+        c = cache()
+        prefetcher = NextLinePrefetcher(c, degree=2)
+        front = PrefetchingCache(c, prefetcher)
+        for _ in range(300):
+            front.access(rng.randrange(1 << 16) * 64)
+        assert prefetcher.stats.accuracy < 0.4
+
+    def test_prefetched_lines_carry_owner(self):
+        c = cache()
+        front = PrefetchingCache(c, NextLinePrefetcher(c, degree=2))
+        front.access(0, owner=7)
+        # The prefetched neighbours belong to owner 7 too.
+        assert c.occupancy_of(7) == 3
+
+
+class TestStride:
+    def test_detects_constant_stride(self):
+        c = cache()
+        prefetcher = StridePrefetcher(c, degree=2)
+        front = PrefetchingCache(c, prefetcher)
+        hits = 0
+        for i in range(100):
+            hits += front.access(i * 4 * 64).hit  # stride of 4 lines
+        assert prefetcher.stats.issued > 0
+        assert hits > 50
+
+    def test_no_prefetch_without_pattern(self):
+        import random as _random
+
+        rng = _random.Random(3)
+        c = cache()
+        prefetcher = StridePrefetcher(c, degree=2)
+        front = PrefetchingCache(c, prefetcher)
+        for _ in range(100):
+            front.access(rng.randrange(1 << 18) * 64)
+        # Random deltas rarely repeat: hardly any prefetches fire.
+        assert prefetcher.stats.issued < 30
+
+    def test_mismatched_cache_rejected(self):
+        a, b = cache(), cache()
+        with pytest.raises(ValueError):
+            PrefetchingCache(a, NextLinePrefetcher(b))

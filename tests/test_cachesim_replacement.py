@@ -1,0 +1,156 @@
+"""Tests for the replacement policies (LRU, random, BIP, DIP, PDP)."""
+
+import pytest
+
+from repro.cachesim.replacement import (
+    BipPolicy,
+    DipPolicy,
+    LruPolicy,
+    ProtectingDistancePolicy,
+    RandomPolicy,
+    make_policy,
+)
+from repro.cachesim.setassoc import SetAssociativeCache
+from repro.hardware.specs import CacheSpec, KIB
+
+
+def cache_with(policy, size_kib=1, assoc=4):
+    return SetAssociativeCache(
+        CacheSpec("T", size_kib * KIB, assoc), policy
+    )
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "random", "bip", "dip", "pdp"])
+    def test_known_policies(self, name):
+        assert make_policy(name).name == name
+
+    def test_case_insensitive(self):
+        assert make_policy("LRU").name == "lru"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("plru")
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("bip", epsilon=0.5)
+        assert policy.epsilon == 0.5
+
+
+class TestLru:
+    def test_evicts_least_recent(self):
+        cache = cache_with(LruPolicy(), assoc=2)
+        stride = cache.num_sets * 64
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)  # refresh
+        cache.access(2 * stride)
+        assert cache.probe(0)
+        assert not cache.probe(stride)
+
+
+class TestRandom:
+    def test_reproducible(self):
+        trace = [i * 64 * 17 for i in range(500)]
+        a = cache_with(RandomPolicy(seed=1))
+        b = cache_with(RandomPolicy(seed=1))
+        for addr in trace:
+            a.access(addr)
+            b.access(addr)
+        assert a.stats.total.misses == b.stats.total.misses
+
+    def test_seed_changes_behaviour(self):
+        import random as _random
+
+        rng = _random.Random(99)
+        # Working set twice the cache size, with reuse: victim choice matters.
+        trace = [rng.randrange(32) * 64 for _ in range(2000)]
+        a = cache_with(RandomPolicy(seed=1), size_kib=1, assoc=2)
+        b = cache_with(RandomPolicy(seed=2), size_kib=1, assoc=2)
+        for addr in trace:
+            a.access(addr)
+            b.access(addr)
+        # Different victim choices almost surely give different hit counts.
+        assert a.stats.total.hits != b.stats.total.hits
+
+
+class TestBip:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            BipPolicy(epsilon=1.5)
+
+    def test_resists_scan_better_than_lru(self):
+        """A hot set + a big streaming scan: BIP should keep more of the
+        hot set resident than LRU does."""
+
+        def run(policy):
+            cache = cache_with(policy, size_kib=4, assoc=4)
+            hot = [i * 64 for i in range(32)]
+            scan = [(1 << 20) + i * 64 for i in range(4096)]
+            for _ in range(20):
+                for h in hot:
+                    cache.access(h)
+            hits = 0
+            scan_i = 0
+            for _ in range(40):
+                for h in hot:
+                    hits += cache.access(h).hit
+                for _ in range(64):
+                    cache.access(scan[scan_i % len(scan)])
+                    scan_i += 1
+            return hits
+
+        assert run(BipPolicy(epsilon=1 / 32, seed=3)) > run(LruPolicy())
+
+
+class TestDip:
+    def test_set_roles_assigned(self):
+        cache = cache_with(DipPolicy(), size_kib=8, assoc=4)
+        roles = cache.policy._roles
+        assert roles.count(DipPolicy.LEADER_LRU) >= 1
+        assert roles.count(DipPolicy.LEADER_BIP) >= 1
+        assert roles.count(DipPolicy.FOLLOWER) > 0
+
+    def test_functions_as_cache(self):
+        cache = cache_with(DipPolicy(), size_kib=4)
+        cache.access(0)
+        assert cache.access(0).hit
+
+    def test_psel_moves_on_leader_misses(self):
+        policy = DipPolicy(psel_bits=4, leaders_per_kind=1)
+        policy.assign_set_roles(16)
+        lru_leader = policy._roles.index(DipPolicy.LEADER_LRU)
+        start = policy._psel
+        policy.record_miss(lru_leader)
+        assert policy._psel == start + 1
+
+
+class TestPdp:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProtectingDistancePolicy(protecting_distance=0)
+
+    def test_protects_recent_lines(self):
+        cache = cache_with(ProtectingDistancePolicy(protecting_distance=16),
+                           assoc=2)
+        stride = cache.num_sets * 64
+        cache.access(0)
+        cache.access(stride)
+        # Immediately conflicting access: both resident lines are still
+        # protected, so the policy falls back to evicting the LRU.
+        result = cache.access(2 * stride)
+        assert result.hit is False
+        assert cache.resident_lines() >= 2
+
+    def test_unprotected_evicted_first(self):
+        policy = ProtectingDistancePolicy(protecting_distance=2)
+        cache = cache_with(policy, assoc=2)
+        stride = cache.num_sets * 64
+        cache.access(0)
+        cache.access(stride)
+        # Burn down line 0's protection by hitting the other line.
+        cache.access(stride)
+        cache.access(stride)
+        cache.access(2 * stride)  # line 0 unprotected -> victim
+        assert cache.probe(stride)
+        assert not cache.probe(0)

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, list_experiments, run_experiments
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "fig05", "table1"])
+        assert args.experiments == ["fig05", "table1"]
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestListing:
+    def test_all_figures_and_tables_present(self):
+        expected = {f"fig{i:02d}" for i in range(1, 13)} | {"table1", "table2"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_listing_mentions_everything(self):
+        text = list_experiments()
+        for name in EXPERIMENTS:
+            assert name in text
+
+
+class TestRunning:
+    def test_run_table1(self):
+        out = io.StringIO()
+        code = run_experiments(["table1"], out=out)
+        assert code == 0
+        assert "8096 MB" in out.getvalue()
+
+    def test_run_multiple(self):
+        out = io.StringIO()
+        code = run_experiments(["table1", "table2"], out=out)
+        assert code == 0
+        assert "vdis2" in out.getvalue()
+
+    def test_unknown_experiment(self):
+        out = io.StringIO()
+        code = run_experiments(["fig99"], out=out)
+        assert code == 2
+        assert "unknown experiment" in out.getvalue()
+
+    def test_run_fig07(self):
+        out = io.StringIO()
+        assert run_experiments(["fig07"], out=out) == 0
+        assert "Pisces" in out.getvalue()

@@ -1,0 +1,122 @@
+"""Cross-feature composition tests.
+
+The value of building everything in one repository: the mechanisms can be
+combined — partitioning under a Kyoto scheduler, UCP on CFS, MemGuard on
+a NUMA machine with migrations, phased workloads under every enforcement
+discipline — and the combinations must behave sensibly together.
+"""
+
+import pytest
+
+from repro.cachesim.perfmodel import CacheBehavior
+from repro.core.ks4linux import KS4Linux
+from repro.core.ks4xen import KS4Xen
+from repro.core.memguard import MemGuardScheduler
+from repro.hardware.specs import numa_machine
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.partitioning.static import apply_page_coloring
+from repro.partitioning.ucp import UcpController
+from repro.schedulers.cfs import CfsScheduler
+from repro.workloads.phased import Phase, PhasedWorkload
+from repro.workloads.profiles import application_workload
+
+from conftest import make_vm
+
+
+class TestColoringPlusKyoto:
+    def test_colored_victim_with_kyoto_disruptor(self):
+        """Belt and suspenders: the victim gets a colour slice AND the
+        disruptor has a permit — the victim reaches solo performance."""
+        system = VirtualizedSystem(KS4Xen())
+        sen = make_vm(system, "sen", app="omnetpp", core=0)
+        dis = make_vm(system, "dis", app="lbm", core=1, llc_cap=100_000.0)
+        apply_page_coloring(system, {sen: 110_000})
+        system.run_ticks(30)
+        sen.reset_metrics()
+        system.run_ticks(90)
+        contended_ipc = sen.vcpus[0].ipc
+
+        solo = VirtualizedSystem(KS4Xen())
+        ref = make_vm(solo, "ref", app="omnetpp", core=0)
+        solo.run_ticks(30)
+        ref.reset_metrics()
+        solo.run_ticks(90)
+        assert contended_ipc == pytest.approx(ref.vcpus[0].ipc, rel=0.05)
+        # And the disruptor is still punished for its own overshoot.
+        assert system.scheduler.kyoto.punishments(dis) > 0
+
+    def test_coloring_flush_on_migration(self):
+        system = VirtualizedSystem(KS4Xen(), numa_machine())
+        vm = make_vm(system, "v", app="gcc", core=0)
+        apply_page_coloring(system, {vm: 50_000})
+        system.run_ticks(10)
+        assert system.llc_domains[0].occupancy_of(vm.vcpus[0].gid) > 0
+        system.migrate_vcpu(vm.vcpus[0], 4)
+        assert system.llc_domains[0].occupancy_of(vm.vcpus[0].gid) == 0
+        system.run_ticks(10)  # keeps running on the new socket
+
+
+class TestUcpOnCfs:
+    def test_ucp_with_cfs_scheduler(self):
+        system = VirtualizedSystem(CfsScheduler())
+        sen = make_vm(system, "sen", app="omnetpp", core=0)
+        make_vm(system, "dis", app="lbm", core=1)
+        controller = UcpController(system, period_ticks=6)
+        system.run_ticks(60)
+        assert controller.repartitions > 5
+        assert sen.instructions_retired > 0
+
+    def test_ucp_with_ks4linux(self):
+        """Dynamic partitioning *and* pollution permits together."""
+        system = VirtualizedSystem(KS4Linux())
+        make_vm(system, "sen", app="omnetpp", core=0, llc_cap=250_000.0)
+        dis = make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+        UcpController(system, period_ticks=6)
+        system.run_ticks(90)
+        assert system.scheduler.kyoto.punishments(dis) > 0
+
+
+class TestMemGuardOnNuma:
+    def test_memguard_with_migration(self):
+        system = VirtualizedSystem(MemGuardScheduler(), numa_machine())
+        vm = make_vm(system, "v", app="lbm", core=0, llc_cap=100_000.0)
+        system.run_ticks(15)
+        system.migrate_vcpu(vm.vcpus[0], 4)
+        system.run_ticks(15)
+        budget = system.scheduler.budget_of(vm)
+        assert budget.throttle_events > 0
+        assert vm.vcpus[0].current_core in (4, None)
+
+
+class TestPhasedUnderEveryDiscipline:
+    def _bursty(self):
+        quiet = CacheBehavior(wss_lines=1000, lapki=1.0, base_cpi=0.5)
+        return PhasedWorkload(
+            "bursty",
+            [Phase(quiet, 1.0e9), Phase(application_workload("lbm").behavior, 1.0e10)],
+            repeat=False,
+        )
+
+    @pytest.mark.parametrize("scheduler_cls", [KS4Xen, KS4Linux, MemGuardScheduler])
+    def test_phase_change_enforced_everywhere(self, scheduler_cls):
+        system = VirtualizedSystem(scheduler_cls())
+        vm = system.create_vm(
+            VmConfig(name="b", workload=self._bursty(), llc_cap=50_000.0,
+                     pinned_cores=[0])
+        )
+        system.run_ticks(150)
+        scheduler = system.scheduler
+        if isinstance(scheduler, MemGuardScheduler):
+            assert scheduler.budget_of(vm).throttle_events > 0
+        else:
+            assert scheduler.kyoto.punishments(vm) > 0
+
+    def test_quiet_phase_not_pre_punished(self):
+        system = VirtualizedSystem(KS4Xen())
+        vm = system.create_vm(
+            VmConfig(name="b", workload=self._bursty(), llc_cap=50_000.0,
+                     pinned_cores=[0])
+        )
+        system.run_ticks(8)  # still in the quiet phase
+        assert system.scheduler.kyoto.punishments(vm) == 0

@@ -1,0 +1,100 @@
+"""Tests for pay-per-use pollution billing."""
+
+import pytest
+
+from repro.core.billing import Invoice, PollutionBiller, PricingPlan
+from repro.hypervisor.system import VirtualizedSystem
+from repro.schedulers.credit import CreditScheduler
+
+from conftest import make_vm
+
+
+class TestPricingPlan:
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ValueError):
+            PricingPlan(permit_price_per_kmiss_hour=-1)
+        with pytest.raises(ValueError):
+            PricingPlan(overage_price_per_gmiss=-0.1)
+
+
+class TestMetering:
+    def test_misses_accumulate(self):
+        system = VirtualizedSystem(CreditScheduler())
+        vm = make_vm(system, app="lbm")
+        biller = PollutionBiller(system)
+        system.run_ticks(10)
+        first = biller.misses_of(vm)
+        system.run_ticks(10)
+        assert biller.misses_of(vm) > first > 0
+
+    def test_metered_hours(self):
+        system = VirtualizedSystem(CreditScheduler())
+        biller = PollutionBiller(system)
+        system.run_ticks(360)  # 3.6 simulated seconds
+        assert biller.metered_hours == pytest.approx(0.001)
+
+    def test_reset(self):
+        system = VirtualizedSystem(CreditScheduler())
+        vm = make_vm(system, app="lbm")
+        biller = PollutionBiller(system)
+        system.run_ticks(10)
+        biller.reset()
+        assert biller.misses_of(vm) == 0
+        assert biller.metered_hours == 0
+
+
+class TestInvoices:
+    def test_compliant_vm_pays_no_overage(self):
+        system = VirtualizedSystem(CreditScheduler())
+        vm = make_vm(system, app="hmmer", llc_cap=50_000.0)
+        biller = PollutionBiller(system)
+        system.run_ticks(50)
+        invoice = biller.invoice(vm)
+        assert invoice.overage_misses == 0
+        assert invoice.overage_cost == 0
+        assert invoice.permit_cost > 0
+
+    def test_polluter_pays_overage_without_enforcement(self):
+        """Under plain XCS a heavy polluter blows through its permit and
+        the bill shows it — pay-per-use even without the scheduler."""
+        system = VirtualizedSystem(CreditScheduler())
+        vm = make_vm(system, app="lbm", llc_cap=50_000.0)
+        biller = PollutionBiller(system)
+        system.run_ticks(50)
+        invoice = biller.invoice(vm)
+        assert invoice.overage_misses > 0
+        assert invoice.overage_cost > 0
+        assert invoice.total_cost == pytest.approx(
+            invoice.permit_cost + invoice.overage_cost
+        )
+
+    def test_enforcement_caps_the_bill(self):
+        """KS4Xen keeps the same polluter near its permitted volume."""
+        from repro.core.ks4xen import KS4Xen
+
+        def overage(scheduler):
+            system = VirtualizedSystem(scheduler)
+            vm = make_vm(system, app="lbm", llc_cap=50_000.0)
+            biller = PollutionBiller(system)
+            system.run_ticks(100)
+            return biller.invoice(vm).overage_misses
+
+        assert overage(KS4Xen()) < overage(CreditScheduler()) * 0.5
+
+    def test_unmanaged_vm_billed_pure_overage(self):
+        system = VirtualizedSystem(CreditScheduler())
+        vm = make_vm(system, app="lbm")  # no llc_cap booked
+        biller = PollutionBiller(system)
+        system.run_ticks(20)
+        invoice = biller.invoice(vm)
+        assert invoice.booked_llc_cap == 0
+        assert invoice.permit_cost == 0
+        assert invoice.overage_misses == invoice.total_misses
+
+    def test_invoices_cover_all_vms(self):
+        system = VirtualizedSystem(CreditScheduler())
+        make_vm(system, "a", core=0)
+        make_vm(system, "b", core=1)
+        biller = PollutionBiller(system)
+        system.run_ticks(5)
+        assert {i.vm_name for i in biller.invoices()} == {"a", "b"}

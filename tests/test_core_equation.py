@@ -1,0 +1,54 @@
+"""Tests for equation 1 and the LLCM indicator."""
+
+import pytest
+
+from repro.core.equation import llc_cap_act, llcm_indicator
+
+
+class TestEquation1:
+    def test_basic_computation(self):
+        # 1000 misses over 2.8M cycles at 2.8 GHz = 1 ms -> 1000 misses/ms.
+        assert llc_cap_act(1000, 2_800_000, 2_800_000) == pytest.approx(1000)
+
+    def test_faster_vm_pollutes_faster(self):
+        slow = llc_cap_act(1000, 5_600_000, 2_800_000)
+        fast = llc_cap_act(1000, 2_800_000, 2_800_000)
+        assert fast == 2 * slow
+
+    def test_zero_cycles_means_idle(self):
+        assert llc_cap_act(0, 0, 2_800_000) == 0.0
+        assert llc_cap_act(500, 0, 2_800_000) == 0.0
+
+    def test_negative_readings_rejected(self):
+        with pytest.raises(ValueError):
+            llc_cap_act(-1, 100, 2_800_000)
+        with pytest.raises(ValueError):
+            llc_cap_act(1, -100, 2_800_000)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            llc_cap_act(1, 100, 0)
+
+    def test_frequency_in_khz_is_cycles_per_msec(self):
+        # With freq in kHz the formula is exactly misses / elapsed_ms.
+        misses, cycles, freq = 4200, 8_400_000, 2_800_000
+        elapsed_ms = cycles / freq
+        assert llc_cap_act(misses, cycles, freq) == pytest.approx(
+            misses / elapsed_ms
+        )
+
+
+class TestLlcmIndicator:
+    def test_misses_per_kinst(self):
+        assert llcm_indicator(50, 1000) == 50.0
+
+    def test_zero_instructions(self):
+        assert llcm_indicator(50, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            llcm_indicator(-1, 10)
+
+    def test_independent_of_speed(self):
+        # LLCM is a per-instruction quantity: no cycle term at all.
+        assert llcm_indicator(100, 2000) == llcm_indicator(100, 2000)

@@ -1,0 +1,69 @@
+"""Tests for the instance-type catalog (Section 5)."""
+
+import pytest
+
+from repro.core.instances import (
+    CATALOG,
+    InstanceType,
+    catalog_by_family,
+    instance,
+    llc_cap_for,
+)
+
+
+class TestCatalog:
+    def test_families_present(self):
+        families = {t.family for t in CATALOG.values()}
+        assert families == {"general", "compute", "memory"}
+
+    def test_lookup(self):
+        r3 = instance("r3.large")
+        assert r3.vcpus == 2
+        assert r3.memory_gib == 15.25
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(ValueError):
+            instance("t2.nano")
+
+    def test_by_family_sorted(self):
+        members = catalog_by_family("compute")
+        assert [m.vcpus for m in members] == sorted(m.vcpus for m in members)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            catalog_by_family("gpu")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstanceType("bad", 0, 1.0, "general")
+        with pytest.raises(ValueError):
+            InstanceType("bad", 1, 0.0, "general")
+
+
+class TestLlcCapDerivation:
+    def test_memory_instances_book_more_than_compute(self):
+        """The paper: R3 instances get much more llc_cap than C3/C4."""
+        assert llc_cap_for(instance("r3.large")) > 3 * llc_cap_for(
+            instance("c4.large")
+        )
+
+    def test_proportional_to_memory_per_vcpu(self):
+        r3l = instance("r3.large")
+        r3xl = instance("r3.xlarge")
+        # Same memory/vCPU ratio across the family -> same per-VM permit.
+        assert llc_cap_for(r3l) == pytest.approx(llc_cap_for(r3xl))
+
+    def test_r3_books_paper_scale_permit(self):
+        """An r3 instance's derived permit lands near the paper's 250k."""
+        assert llc_cap_for(instance("r3.large")) == pytest.approx(
+            250_000, rel=0.05
+        )
+
+    def test_custom_ratio(self):
+        assert llc_cap_for(instance("m4.large"), per_ratio=1000) == pytest.approx(
+            4000
+        )
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            llc_cap_for(instance("m4.large"), per_ratio=0)

@@ -1,0 +1,149 @@
+"""Tests for KS4Linux (CFS port) and the Pisces co-kernel + KS4Pisces."""
+
+import pytest
+
+from repro.core.ks4linux import KS4Linux
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.pisces.cokernel import PiscesCoKernel, PiscesError
+from repro.pisces.ks4pisces import KS4Pisces
+from repro.schedulers.cfs import CfsScheduler
+from repro.workloads.profiles import application_workload
+
+from conftest import make_vm
+
+
+def pair(system, llc_cap=250_000.0, sen_core=0, dis_core=1):
+    sen = system.create_vm(
+        VmConfig(name="sen", workload=application_workload("gcc"),
+                 llc_cap=llc_cap, pinned_cores=[sen_core])
+    )
+    dis = system.create_vm(
+        VmConfig(name="dis", workload=application_workload("lbm"),
+                 llc_cap=llc_cap, pinned_cores=[dis_core])
+    )
+    return sen, dis
+
+
+class TestKS4Linux:
+    def test_polluter_throttled(self):
+        system = VirtualizedSystem(KS4Linux())
+        __, dis = pair(system)
+        system.run_ticks(120)
+        assert system.scheduler.kyoto.punishments(dis) > 5
+
+    def test_victim_improves_over_plain_cfs(self):
+        def victim_ipc(scheduler):
+            system = VirtualizedSystem(scheduler)
+            sen, __ = pair(system)
+            system.run_ticks(30)
+            sen.reset_metrics()
+            system.run_ticks(120)
+            return sen.vcpus[0].ipc
+
+        assert victim_ipc(KS4Linux()) > victim_ipc(CfsScheduler()) * 1.03
+
+    def test_throttled_vm_keeps_fair_share_when_compliant(self):
+        system = VirtualizedSystem(KS4Linux())
+        a = make_vm(system, "a", app="povray", core=0, llc_cap=250_000.0)
+        make_vm(system, "b", app="povray", core=0, llc_cap=250_000.0)
+        ran = [0]
+        gid = a.vcpus[0].gid
+        system.add_tick_observer(
+            lambda s, t: ran.__setitem__(0, ran[0] + (gid in s.last_tick_cycles))
+        )
+        system.run_ticks(100)
+        assert ran[0] / 100 == pytest.approx(0.5, abs=0.1)
+
+
+class TestPiscesCoKernel:
+    def test_enclaves_own_their_cores(self):
+        system = VirtualizedSystem(PiscesCoKernel())
+        vm = make_vm(system, "e1", core=0)
+        enclave = system.scheduler.enclave_of(vm)
+        assert enclave.cores == [0]
+
+    def test_core_sharing_rejected(self):
+        system = VirtualizedSystem(PiscesCoKernel())
+        make_vm(system, "e1", core=0)
+        with pytest.raises(PiscesError):
+            make_vm(system, "e2", core=0)
+
+    def test_enclave_runs_unpreempted(self):
+        system = VirtualizedSystem(PiscesCoKernel())
+        vm = make_vm(system, "e1", app="povray", core=0)
+        ran = [0]
+        gid = vm.vcpus[0].gid
+        system.add_tick_observer(
+            lambda s, t: ran.__setitem__(0, ran[0] + (gid in s.last_tick_cycles))
+        )
+        system.run_ticks(50)
+        assert ran[0] == 50
+
+    def test_enclave_of_unknown_vm_rejected(self):
+        system = VirtualizedSystem(PiscesCoKernel())
+        other_system = VirtualizedSystem(PiscesCoKernel())
+        foreign = make_vm(other_system, "x", core=0)
+        with pytest.raises(PiscesError):
+            system.scheduler.enclave_of(foreign)
+
+    def test_pisces_does_not_isolate_the_llc(self):
+        """The Fig 8 premise: core dedication does not stop LLC contention."""
+
+        def victim_ipc(colocated):
+            system = VirtualizedSystem(PiscesCoKernel())
+            sen = make_vm(system, "sen", app="gcc", core=0)
+            if colocated:
+                make_vm(system, "dis", app="lbm", core=1)
+            system.run_ticks(30)
+            sen.reset_metrics()
+            system.run_ticks(100)
+            return sen.vcpus[0].ipc
+
+        assert victim_ipc(colocated=True) < victim_ipc(colocated=False) * 0.9
+
+    def test_multi_vcpu_enclave_groups_cores(self):
+        system = VirtualizedSystem(PiscesCoKernel())
+        vm = system.create_vm(
+            VmConfig(
+                name="wide",
+                workload=application_workload("gcc"),
+                num_vcpus=2,
+                pinned_cores=[0, 1],
+            )
+        )
+        assert sorted(system.scheduler.enclave_of(vm).cores) == [0, 1]
+
+
+class TestKS4Pisces:
+    def test_restores_predictability(self):
+        """KS4Pisces closes most of the gap Pisces leaves open."""
+
+        def victim_ipc(scheduler_cls, colocated, llc_cap):
+            system = VirtualizedSystem(scheduler_cls())
+            sen = make_vm(system, "sen", app="gcc", core=0, llc_cap=llc_cap)
+            if colocated:
+                make_vm(system, "dis", app="lbm", core=1, llc_cap=llc_cap)
+            system.run_ticks(30)
+            sen.reset_metrics()
+            system.run_ticks(120)
+            return sen.vcpus[0].ipc
+
+        pisces_gap = 1 - victim_ipc(PiscesCoKernel, True, None) / victim_ipc(
+            PiscesCoKernel, False, None
+        )
+        kyoto_gap = 1 - victim_ipc(KS4Pisces, True, 250_000.0) / victim_ipc(
+            KS4Pisces, False, 250_000.0
+        )
+        assert kyoto_gap < pisces_gap * 0.7
+
+    def test_polluting_enclave_duty_cycled(self):
+        system = VirtualizedSystem(KS4Pisces())
+        __, dis = pair(system)
+        ran = [0]
+        gid = dis.vcpus[0].gid
+        system.add_tick_observer(
+            lambda s, t: ran.__setitem__(0, ran[0] + (gid in s.last_tick_cycles))
+        )
+        system.run_ticks(120)
+        assert 0.3 < ran[0] / 120 < 0.8

@@ -1,0 +1,117 @@
+"""Tests for the MemGuard-style bandwidth-reservation baseline."""
+
+import pytest
+
+from repro.core.ks4xen import KS4Xen
+from repro.core.memguard import BandwidthBudget, MemGuardScheduler
+from repro.hypervisor.system import VirtualizedSystem
+from repro.schedulers.credit import CreditScheduler
+
+from conftest import make_vm
+
+
+class TestBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthBudget(budget_misses_per_period=-1)
+        with pytest.raises(ValueError):
+            BandwidthBudget(budget_misses_per_period=10).charge(-1)
+
+    def test_throttles_on_exhaustion(self):
+        budget = BandwidthBudget(budget_misses_per_period=100)
+        budget.charge(60)
+        assert not budget.throttled
+        budget.charge(60)
+        assert budget.throttled
+        assert budget.throttle_events == 1
+
+    def test_replenish_clears_throttle(self):
+        budget = BandwidthBudget(budget_misses_per_period=100)
+        budget.charge(200)
+        budget.replenish()
+        assert not budget.throttled
+        assert budget.used == 0
+
+    def test_no_carry_over(self):
+        budget = BandwidthBudget(budget_misses_per_period=100)
+        budget.charge(10)  # underuse
+        budget.replenish()
+        budget.charge(150)  # unused budget did NOT carry over
+        assert budget.throttled
+
+
+class TestScheduler:
+    def test_reservation_from_llc_cap(self):
+        system = VirtualizedSystem(MemGuardScheduler())
+        vm = make_vm(system, app="lbm", llc_cap=100_000.0)
+        budget = system.scheduler.budget_of(vm)
+        # 100k misses/ms * 30 ms period.
+        assert budget.budget_misses_per_period == pytest.approx(3_000_000)
+
+    def test_unreserved_vm_untouched(self):
+        system = VirtualizedSystem(MemGuardScheduler())
+        vm = make_vm(system, app="lbm")
+        system.run_ticks(30)
+        assert system.scheduler.budget_of(vm) is None
+        assert vm.instructions_retired > 0
+
+    def test_overdrawing_vm_throttled(self):
+        system = VirtualizedSystem(MemGuardScheduler())
+        vm = make_vm(system, app="lbm", llc_cap=100_000.0)
+        system.run_ticks(60)
+        budget = system.scheduler.budget_of(vm)
+        assert budget.throttle_events > 5
+
+    def test_compliant_vm_never_throttled(self):
+        system = VirtualizedSystem(MemGuardScheduler())
+        vm = make_vm(system, app="hmmer", llc_cap=100_000.0)
+        system.run_ticks(60)
+        assert system.scheduler.budget_of(vm).throttle_events == 0
+
+    def test_protects_victim_like_kyoto(self):
+        def victim_ipc(scheduler):
+            system = VirtualizedSystem(scheduler)
+            sen = make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+            make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+            system.run_ticks(30)
+            sen.reset_metrics()
+            system.run_ticks(120)
+            return sen.vcpus[0].ipc
+
+        plain = victim_ipc(CreditScheduler())
+        memguard = victim_ipc(MemGuardScheduler())
+        kyoto = victim_ipc(KS4Xen())
+        assert memguard > plain
+        # Both disciplines land in the same protection ballpark.
+        assert memguard == pytest.approx(kyoto, rel=0.15)
+
+    def test_disciplines_differ_in_carry_over(self):
+        """MemGuard forgets overshoot at each period boundary (the VM
+        runs again every period); Kyoto carries the debt, so a heavy
+        overdrawer is throttled harder in the long run."""
+        def run(scheduler):
+            system = VirtualizedSystem(scheduler)
+            dis = make_vm(system, "dis", app="lbm", core=0, llc_cap=50_000.0)
+            ran = [0]
+            gid = dis.vcpus[0].gid
+            system.add_tick_observer(
+                lambda s, t: ran.__setitem__(
+                    0, ran[0] + (gid in s.last_tick_cycles)
+                )
+            )
+            system.run_ticks(30)
+            return dis.llc_misses, ran[0]
+
+        memguard_misses, memguard_ran = run(MemGuardScheduler())
+        kyoto_misses, kyoto_ran = run(KS4Xen())
+        # MemGuard: exactly one burst tick per 3-tick period.
+        assert memguard_ran == pytest.approx(10, abs=1)
+        # Kyoto's carried debt lets it run less often than MemGuard.
+        assert kyoto_ran < memguard_ran
+        assert kyoto_misses < memguard_misses
+
+    def test_custom_period(self):
+        system = VirtualizedSystem(MemGuardScheduler(period_ticks=6))
+        vm = make_vm(system, app="lbm", llc_cap=100_000.0)
+        budget = system.scheduler.budget_of(vm)
+        assert budget.budget_misses_per_period == pytest.approx(6_000_000)

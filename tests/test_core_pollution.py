@@ -1,0 +1,114 @@
+"""Tests for pollution permits and quota accounting."""
+
+import pytest
+
+from repro.core.pollution import PollutionAccount
+
+
+class TestConstruction:
+    def test_starts_at_quota_max(self):
+        account = PollutionAccount(llc_cap=100.0)
+        assert account.quota == account.quota_max == 300.0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            PollutionAccount(llc_cap=-1)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            PollutionAccount(llc_cap=100, quota_max_factor=0)
+
+
+class TestDebit:
+    def test_debit_reduces_quota(self):
+        account = PollutionAccount(llc_cap=100.0)
+        account.debit(50.0)
+        assert account.quota == 250.0
+
+    def test_negative_debit_rejected(self):
+        with pytest.raises(ValueError):
+            PollutionAccount(llc_cap=100.0).debit(-1)
+
+    def test_punishment_on_under_to_over_transition(self):
+        account = PollutionAccount(llc_cap=100.0)
+        assert account.debit(200.0) is False
+        assert account.parked is False
+        assert account.debit(150.0) is True  # quota goes negative
+        assert account.parked is True
+        assert account.punishments == 1
+
+    def test_no_double_punishment_while_parked(self):
+        account = PollutionAccount(llc_cap=100.0)
+        account.debit(400.0)
+        account.debit(50.0)
+        assert account.punishments == 1
+
+    def test_repeated_punishment_cycles(self):
+        account = PollutionAccount(llc_cap=100.0)
+        for _ in range(3):
+            account.debit(400.0)  # park
+            account.refill(ticks=20)  # recover
+        assert account.punishments == 3
+
+    def test_debit_statistics(self):
+        account = PollutionAccount(llc_cap=100.0)
+        account.debit(10.0)
+        account.debit(30.0)
+        assert account.samples == 2
+        assert account.total_debited == 40.0
+        assert account.mean_measured == 20.0
+
+    def test_mean_of_no_samples(self):
+        assert PollutionAccount(llc_cap=100.0).mean_measured == 0.0
+
+
+class TestRefill:
+    def test_refill_proportional_to_ticks(self):
+        account = PollutionAccount(llc_cap=100.0)
+        account.debit(250.0)  # quota 50
+        account.refill(ticks=2)
+        assert account.quota == 250.0
+
+    def test_refill_clipped_at_quota_max(self):
+        account = PollutionAccount(llc_cap=100.0)
+        account.refill(ticks=100)
+        assert account.quota == 300.0
+
+    def test_negative_ticks_rejected(self):
+        with pytest.raises(ValueError):
+            PollutionAccount(llc_cap=100.0).refill(ticks=-1)
+
+    def test_refill_recovers_parked_vm(self):
+        account = PollutionAccount(llc_cap=100.0)
+        account.debit(400.0)  # quota -100
+        assert account.parked
+        account.refill(ticks=2)
+        assert not account.parked
+
+
+class TestSteadyState:
+    def test_vm_at_booked_rate_never_punished(self):
+        """A VM polluting exactly at its booked level breaks even."""
+        account = PollutionAccount(llc_cap=100.0)
+        for _ in range(100):
+            account.debit(100.0)
+            account.refill(ticks=1)
+        assert account.punishments == 0
+
+    def test_vm_above_booked_rate_duty_cycled(self):
+        """A VM polluting at 2x its booking runs about half the time."""
+        account = PollutionAccount(llc_cap=100.0)
+        ran = 0
+        for _ in range(300):
+            if not account.parked:
+                account.debit(200.0)
+                ran += 1
+            account.refill(ticks=1)
+        assert ran / 300 == pytest.approx(0.5, abs=0.05)
+        assert account.punishments > 10
+
+    def test_quiet_vm_banked_quota_bounded(self):
+        account = PollutionAccount(llc_cap=100.0, quota_max_factor=3.0)
+        for _ in range(50):
+            account.refill(ticks=3)
+        assert account.quota == 300.0

@@ -1,0 +1,53 @@
+"""Tests for the CSV figure-data export."""
+
+import csv
+import os
+
+import pytest
+
+from repro.experiments import export, fig02, fig03, fig06, tables
+
+
+class TestWriteCsv:
+    def test_writes_headers_and_rows(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        export.write_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "dir" / "out.csv")
+        export.write_csv(path, ["x"], [[1]])
+        assert os.path.exists(path)
+
+
+class TestFigureExports:
+    def test_fig02_export(self, tmp_path):
+        result = fig02.run(num_ticks=6)
+        path = str(tmp_path / "fig02.csv")
+        export.export_fig02(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["tick_ms", "alone", "alternative", "parallel",
+                           "alter+para"]
+        assert len(rows) == 7
+        assert rows[1][0] == "10"
+
+    def test_fig03_export(self, tmp_path):
+        result = fig03.run(caps=(0, 100), warmup_ticks=10, measure_ticks=30)
+        path = str(tmp_path / "fig03.csv")
+        export.export_fig03(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "vdis1_cap_percent"
+        assert len(rows) == 3  # header + two cap points
+
+    def test_fig06_export(self, tmp_path):
+        result = fig06.run(counts=(1, 2), warmup_ticks=10, measure_ticks=30)
+        path = str(tmp_path / "fig06.csv")
+        export.export_fig06(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 3
+        assert float(rows[1][1]) > 0

@@ -1,0 +1,143 @@
+"""Tests for repro.hardware.specs (Table 1 of the paper)."""
+
+import pytest
+
+from repro.hardware.specs import (
+    CacheSpec,
+    KIB,
+    MIB,
+    MachineSpec,
+    SocketSpec,
+    numa_machine,
+    paper_machine,
+)
+
+
+class TestCacheSpec:
+    def test_num_lines(self):
+        spec = CacheSpec("L1D", 32 * KIB, 8)
+        assert spec.num_lines == 512
+
+    def test_num_sets(self):
+        spec = CacheSpec("L1D", 32 * KIB, 8)
+        assert spec.num_sets == 64
+
+    def test_llc_geometry(self):
+        llc = CacheSpec("LLC", 10 * MIB, 20, shared=True)
+        assert llc.num_lines == 163_840
+        assert llc.num_sets == 8_192
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSpec("bad", 0, 8)
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheSpec("bad", 1000, 8, line_bytes=64)
+
+
+class TestPaperMachine:
+    """The machine must match Table 1 exactly."""
+
+    def test_memory(self):
+        assert paper_machine().memory_bytes == 8_096 * MIB
+
+    def test_one_socket_four_cores(self):
+        machine = paper_machine()
+        assert machine.num_sockets == 1
+        assert machine.total_cores == 4
+
+    def test_frequency(self):
+        assert paper_machine().sockets[0].freq_ghz == pytest.approx(2.8)
+
+    def test_l1(self):
+        socket = paper_machine().sockets[0]
+        assert socket.l1d.size_bytes == 32 * KIB
+        assert socket.l1i.size_bytes == 32 * KIB
+        assert socket.l1d.associativity == 8
+
+    def test_l2(self):
+        socket = paper_machine().sockets[0]
+        assert socket.l2.size_bytes == 256 * KIB
+        assert socket.l2.associativity == 8
+
+    def test_llc(self):
+        socket = paper_machine().sockets[0]
+        assert socket.llc.size_bytes == 10 * MIB
+        assert socket.llc.associativity == 20
+        assert socket.llc.shared
+
+    def test_latencies(self):
+        latency = paper_machine().latency
+        assert latency.l1_cycles == 4
+        assert latency.l2_cycles == 12
+        assert latency.llc_cycles == 45
+        assert latency.memory_cycles == 180
+
+
+class TestNumaMachine:
+    def test_two_sockets(self):
+        assert numa_machine().num_sockets == 2
+
+    def test_eight_cores(self):
+        assert numa_machine().total_cores == 8
+
+    def test_double_memory(self):
+        assert numa_machine().memory_bytes == 2 * paper_machine().memory_bytes
+
+
+class TestCoreMapping:
+    def test_socket_of_core(self):
+        machine = numa_machine()
+        assert machine.socket_of_core(0) == 0
+        assert machine.socket_of_core(3) == 0
+        assert machine.socket_of_core(4) == 1
+        assert machine.socket_of_core(7) == 1
+
+    def test_socket_of_core_out_of_range(self):
+        with pytest.raises(ValueError):
+            numa_machine().socket_of_core(8)
+
+    def test_socket_of_core_negative(self):
+        with pytest.raises(ValueError):
+            numa_machine().socket_of_core(-1)
+
+    def test_cores_of_socket(self):
+        machine = numa_machine()
+        assert machine.cores_of_socket(0) == (0, 1, 2, 3)
+        assert machine.cores_of_socket(1) == (4, 5, 6, 7)
+
+    def test_cores_of_socket_out_of_range(self):
+        with pytest.raises(ValueError):
+            numa_machine().cores_of_socket(2)
+
+
+class TestValidation:
+    def test_machine_needs_sockets(self):
+        with pytest.raises(ValueError):
+            MachineSpec(name="empty", sockets=(), memory_bytes=1)
+
+    def test_socket_needs_cores(self):
+        socket = paper_machine().sockets[0]
+        with pytest.raises(ValueError):
+            SocketSpec(
+                cores=0,
+                freq_khz=socket.freq_khz,
+                l1d=socket.l1d,
+                l1i=socket.l1i,
+                l2=socket.l2,
+                llc=socket.llc,
+            )
+
+    def test_llc_must_be_shared(self):
+        socket = paper_machine().sockets[0]
+        private_llc = CacheSpec("LLC", 10 * MIB, 20, shared=False)
+        with pytest.raises(ValueError):
+            SocketSpec(
+                cores=4,
+                freq_khz=socket.freq_khz,
+                l1d=socket.l1d,
+                l1i=socket.l1i,
+                l2=socket.l2,
+                llc=private_llc,
+            )

@@ -1,0 +1,72 @@
+"""Tests for repro.hardware.topology and latency."""
+
+import pytest
+
+from repro.hardware.latency import LatencyModel
+from repro.hardware.specs import numa_machine, paper_machine
+from repro.hardware.topology import Machine
+
+
+class TestLatencyModel:
+    def test_defaults_match_paper(self):
+        lat = LatencyModel()
+        assert (lat.l1_cycles, lat.l2_cycles, lat.llc_cycles,
+                lat.memory_cycles) == (4, 12, 45, 180)
+
+    def test_remote_slower_than_local(self):
+        lat = LatencyModel()
+        assert lat.remote_memory_cycles > lat.memory_cycles
+
+    def test_memory_cycles_for(self):
+        lat = LatencyModel()
+        assert lat.memory_cycles_for(remote=False) == 180
+        assert lat.memory_cycles_for(remote=True) == 300
+
+    def test_llc_miss_penalty(self):
+        lat = LatencyModel()
+        assert lat.llc_miss_penalty() == 135
+        assert lat.llc_miss_penalty(remote=True) == 255
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(l1_cycles=50, l2_cycles=12)
+
+    def test_remote_faster_than_local_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(remote_memory_cycles=100)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(l1_cycles=0)
+
+
+class TestMachine:
+    def test_core_count(self):
+        assert Machine(paper_machine()).total_cores == 4
+        assert Machine(numa_machine()).total_cores == 8
+
+    def test_core_ids_are_global(self):
+        machine = Machine(numa_machine())
+        assert [c.core_id for c in machine.cores] == list(range(8))
+
+    def test_core_lookup(self):
+        machine = Machine(paper_machine())
+        assert machine.core(2).core_id == 2
+
+    def test_core_lookup_invalid(self):
+        with pytest.raises(ValueError):
+            Machine(paper_machine()).core(99)
+
+    def test_socket_of(self):
+        machine = Machine(numa_machine())
+        assert machine.socket_of(0).socket_id == 0
+        assert machine.socket_of(5).socket_id == 1
+
+    def test_cores_start_idle(self):
+        machine = Machine(paper_machine())
+        assert all(core.is_idle for core in machine.cores)
+        assert machine.running_vcpus() == []
+
+    def test_socket_idle_cores(self):
+        machine = Machine(paper_machine())
+        assert len(machine.sockets[0].idle_cores()) == 4

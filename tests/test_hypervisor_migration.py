@@ -1,0 +1,93 @@
+"""Tests for the periodic migrator (Fig 9 choreography)."""
+
+import pytest
+
+from repro.hardware.specs import numa_machine
+from repro.hypervisor.migration import PeriodicMigrator
+from repro.hypervisor.system import VirtualizedSystem
+from repro.schedulers.credit import CreditScheduler
+
+from conftest import make_vm
+
+
+def numa_system():
+    return VirtualizedSystem(CreditScheduler(), numa_machine())
+
+
+class TestValidation:
+    def test_same_socket_rejected(self):
+        system = numa_system()
+        vm = make_vm(system, core=0)
+        with pytest.raises(ValueError):
+            PeriodicMigrator(system, vm.vcpus[0], 0, 1, period_ticks=5)
+
+    def test_invalid_period(self):
+        system = numa_system()
+        vm = make_vm(system, core=0)
+        with pytest.raises(ValueError):
+            PeriodicMigrator(system, vm.vcpus[0], 0, 4, period_ticks=0)
+
+    def test_invalid_dwell(self):
+        system = numa_system()
+        vm = make_vm(system, core=0)
+        with pytest.raises(ValueError):
+            PeriodicMigrator(
+                system, vm.vcpus[0], 0, 4, period_ticks=5,
+                min_dwell_ticks=3, max_dwell_ticks=2,
+            )
+
+
+class TestBehaviour:
+    def test_bounces_between_sockets(self):
+        system = numa_system()
+        vm = make_vm(system, core=0)
+        migrator = PeriodicMigrator(
+            system, vm.vcpus[0], 0, 4, period_ticks=5, seed=1
+        )
+        homes, aways = 0, 0
+        def observer(s, t):
+            nonlocal homes, aways
+            core = vm.vcpus[0].current_core
+            if core is not None:
+                if s.machine.core(core).socket_id == 0:
+                    homes += 1
+                else:
+                    aways += 1
+        system.add_tick_observer(observer)
+        system.run_ticks(60)
+        assert homes > 0 and aways > 0
+        assert migrator.migrations >= 10
+
+    def test_migration_count_even_after_return(self):
+        system = numa_system()
+        vm = make_vm(system, core=0)
+        migrator = PeriodicMigrator(
+            system, vm.vcpus[0], 0, 4, period_ticks=5,
+            min_dwell_ticks=1, max_dwell_ticks=1,
+        )
+        # 52 ticks: the last departure (tick 49) returns at tick 50.
+        system.run_ticks(52)
+        # Ends at home: every departure is paired with a return.
+        assert vm.vcpus[0].pinned_core == 0
+        assert migrator.migrations % 2 == 0
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            system = numa_system()
+            vm = make_vm(system, core=0)
+            PeriodicMigrator(system, vm.vcpus[0], 0, 4, period_ticks=5, seed=seed)
+            system.run_ticks(60)
+            return vm.instructions_retired
+
+        assert run(3) == run(3)
+
+    def test_migration_slows_memory_bound_vm(self):
+        def run(migrate):
+            system = numa_system()
+            vm = make_vm(system, "m", app="milc", core=0)
+            if migrate:
+                PeriodicMigrator(system, vm.vcpus[0], 0, 4, period_ticks=5)
+            system.run_ticks(80)
+            return vm.instructions_retired
+
+        assert run(True) < run(False) * 0.98

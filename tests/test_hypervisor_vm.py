@@ -1,0 +1,121 @@
+"""Tests for VM/vCPU configuration and metrics."""
+
+import pytest
+
+from repro.hypervisor.vcpu import VCpu
+from repro.hypervisor.vm import VirtualMachine, VmConfig
+from repro.workloads.profiles import application_workload
+
+from conftest import make_vm
+
+
+class TestVmConfig:
+    def test_defaults(self):
+        config = VmConfig(name="v", workload=application_workload("gcc"))
+        assert config.num_vcpus == 1
+        assert config.weight == 256
+        assert config.cap_percent is None
+        assert config.llc_cap is None
+        assert config.memory_node == 0
+
+    def test_zero_vcpus_rejected(self):
+        with pytest.raises(ValueError):
+            VmConfig(name="v", workload=application_workload("gcc"), num_vcpus=0)
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            VmConfig(name="v", workload=application_workload("gcc"), weight=0)
+
+    def test_cap_range_scales_with_vcpus(self):
+        VmConfig(
+            name="v",
+            workload=application_workload("gcc"),
+            num_vcpus=2,
+            cap_percent=200,
+        )
+        with pytest.raises(ValueError):
+            VmConfig(
+                name="v",
+                workload=application_workload("gcc"),
+                num_vcpus=1,
+                cap_percent=150,
+            )
+
+    def test_negative_llc_cap_rejected(self):
+        with pytest.raises(ValueError):
+            VmConfig(
+                name="v", workload=application_workload("gcc"), llc_cap=-1
+            )
+
+    def test_pinning_length_must_match(self):
+        with pytest.raises(ValueError):
+            VmConfig(
+                name="v",
+                workload=application_workload("gcc"),
+                num_vcpus=2,
+                pinned_cores=[0],
+            )
+
+
+class TestVmMetrics:
+    def test_aggregates_over_vcpus(self, xcs_system):
+        vm = xcs_system.create_vm(
+            VmConfig(
+                name="smp",
+                workload=application_workload("gcc"),
+                num_vcpus=2,
+                pinned_cores=[0, 1],
+            )
+        )
+        xcs_system.run_ticks(5)
+        assert vm.instructions_retired == pytest.approx(
+            sum(v.instructions_retired for v in vm.vcpus)
+        )
+        assert vm.cycles_run == sum(v.cycles_run for v in vm.vcpus)
+
+    def test_reset_metrics(self, xcs_system):
+        vm = make_vm(xcs_system)
+        xcs_system.run_ticks(5)
+        vm.reset_metrics()
+        assert vm.instructions_retired == 0
+        assert vm.cycles_run == 0
+        assert vm.ipc == 0.0
+
+    def test_llc_cap_exposed(self, xcs_system):
+        vm = make_vm(xcs_system, llc_cap=250_000.0)
+        assert vm.llc_cap == 250_000.0
+
+    def test_not_finished_without_finite_workload(self, xcs_system):
+        vm = make_vm(xcs_system)
+        xcs_system.run_ticks(3)
+        assert vm.finished is False
+        assert vm.finish_time_usec is None
+
+
+class TestVCpu:
+    def test_name_combines_vm_and_index(self, xcs_system):
+        vm = make_vm(xcs_system, "web")
+        assert vm.vcpus[0].name == "web.v0"
+
+    def test_runnable_states(self, xcs_system):
+        vcpu = make_vm(xcs_system).vcpus[0]
+        assert vcpu.runnable
+        vcpu.paused = True
+        assert not vcpu.runnable
+
+    def test_integer_miss_carry_conserves_counts(self, xcs_system):
+        vcpu = make_vm(xcs_system).vcpus[0]
+        total = 0
+        for _ in range(1000):
+            total += vcpu.take_integer_misses(0.3)
+        assert total in (299, 300)
+
+    def test_integer_instruction_carry(self, xcs_system):
+        vcpu = make_vm(xcs_system).vcpus[0]
+        total = sum(vcpu.take_integer_instructions(1.5) for _ in range(10))
+        assert total == 15
+
+    def test_record_execution_negative_rejected(self, xcs_system):
+        vcpu = make_vm(xcs_system).vcpus[0]
+        with pytest.raises(ValueError):
+            vcpu.record_execution(100, -1, 0, 0)

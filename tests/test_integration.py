@@ -1,0 +1,154 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro import (
+    CfsScheduler,
+    CreditScheduler,
+    KS4Linux,
+    KS4Pisces,
+    KS4Xen,
+    PiscesCoKernel,
+    VirtualizedSystem,
+    VmConfig,
+    application_workload,
+    vm_workload,
+)
+from repro.core.ks4rtds import KS4RTDS
+from repro.core.instances import instance, llc_cap_for
+from repro.core.monitor import McSimReplayMonitor
+from repro.mcsim.service import ReplayService
+
+from conftest import make_vm
+
+
+ALL_KYOTO_SCHEDULERS = [KS4Xen, KS4Linux, KS4Pisces, KS4RTDS]
+
+
+class TestQuickstartFlow:
+    """The README quickstart must work exactly as documented."""
+
+    def test_quickstart(self):
+        system = VirtualizedSystem(KS4Xen())
+        sensitive = system.create_vm(
+            VmConfig(
+                name="vsen1",
+                workload=application_workload("gcc"),
+                llc_cap=250_000,
+                pinned_cores=[0],
+            )
+        )
+        disruptor = system.create_vm(
+            VmConfig(
+                name="vdis1",
+                workload=application_workload("lbm"),
+                llc_cap=250_000,
+                pinned_cores=[1],
+            )
+        )
+        system.run_msec(1_000)
+        assert sensitive.ipc > 0
+        assert system.scheduler.kyoto.punishments(disruptor) > 0
+
+
+class TestCrossSchedulerConsistency:
+    @pytest.mark.parametrize("scheduler_cls", ALL_KYOTO_SCHEDULERS)
+    def test_every_port_enforces_permits(self, scheduler_cls):
+        """The paper's claim: the approach is easily implemented within
+        other systems — all three ports punish the same polluter."""
+        system = VirtualizedSystem(scheduler_cls())
+        make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+        dis = make_vm(system, "dis", app="blockie", core=1, llc_cap=250_000.0)
+        system.run_ticks(120)
+        assert system.scheduler.kyoto.punishments(dis) > 5
+
+    @pytest.mark.parametrize("scheduler_cls", ALL_KYOTO_SCHEDULERS)
+    def test_every_port_spares_the_compliant(self, scheduler_cls):
+        system = VirtualizedSystem(scheduler_cls())
+        sen = make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+        make_vm(system, "dis", app="blockie", core=1, llc_cap=250_000.0)
+        system.run_ticks(120)
+        assert system.scheduler.kyoto.punishments(sen) == 0
+
+
+class TestInstanceTypeFlow:
+    """Section 5: provider derives llc_cap from the instance type."""
+
+    def test_r3_instance_shields_against_disruptor(self):
+        r3_cap = llc_cap_for(instance("r3.large"))
+        c4_cap = llc_cap_for(instance("c4.large"))
+        system = VirtualizedSystem(KS4Xen())
+        hpc = make_vm(system, "hpc", app="soplex", core=0, llc_cap=r3_cap)
+        noisy = make_vm(system, "noisy", app="lbm", core=1, llc_cap=c4_cap)
+        system.run_ticks(120)
+        # The C4-sized permit is small: the noisy neighbour is throttled.
+        assert system.scheduler.kyoto.punishments(noisy) > (
+            system.scheduler.kyoto.punishments(hpc)
+        )
+
+
+class TestReplayMonitorIntegration:
+    def test_ks4xen_with_replay_monitor(self):
+        """Full Section 3.3 pipeline: KS4Xen driven by the McSim replay
+        service instead of direct PMCs."""
+        service = ReplayService()
+        scheduler = KS4Xen()
+        system = VirtualizedSystem(scheduler)
+        # Wire the replay monitor in after attach (it needs the system).
+        scheduler.kyoto.monitor = McSimReplayMonitor(system, service)
+        make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+        dis = make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+        system.run_ticks(90)
+        assert scheduler.kyoto.punishments(dis) > 0
+        assert service.stats.requests > 0
+
+
+class TestBaselineSchedulers:
+    def test_xcs_and_cfs_do_not_protect(self):
+        """Without Kyoto, both baselines let the disruptor degrade the
+        sensitive VM — the problem statement of Section 2."""
+        for scheduler_cls in (CreditScheduler, CfsScheduler, PiscesCoKernel):
+            solo = VirtualizedSystem(scheduler_cls())
+            sen = make_vm(solo, "sen", app="omnetpp", core=0)
+            solo.run_ticks(30)
+            sen.reset_metrics()
+            solo.run_ticks(60)
+            baseline = sen.vcpus[0].ipc
+
+            contended = VirtualizedSystem(scheduler_cls())
+            sen2 = make_vm(contended, "sen", app="omnetpp", core=0)
+            make_vm(contended, "dis", app="lbm", core=1)
+            contended.run_ticks(30)
+            sen2.reset_metrics()
+            contended.run_ticks(60)
+            assert sen2.vcpus[0].ipc < baseline * 0.9
+
+
+class TestTable2Workloads:
+    def test_all_experiment_vms_runnable(self):
+        system = VirtualizedSystem(CreditScheduler())
+        names = ["vsen1", "vsen2", "vsen3"]
+        for i, name in enumerate(names):
+            system.create_vm(
+                VmConfig(name=name, workload=vm_workload(name),
+                         pinned_cores=[i])
+            )
+        system.run_ticks(20)
+        for name in names:
+            assert system.vm_by_name(name).instructions_retired > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_identical(self):
+        def run():
+            system = VirtualizedSystem(KS4Xen())
+            make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+            dis = make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+            system.run_ticks(60)
+            return (
+                dis.instructions_retired,
+                dis.llc_misses,
+                system.scheduler.kyoto.punishments(dis),
+            )
+
+        assert run() == run()

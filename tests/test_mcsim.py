@@ -1,0 +1,132 @@
+"""Tests for the pin-style capture and McSimA+-style replay service."""
+
+import pytest
+
+from repro.mcsim.pin import CaptureConfig, PinTool
+from repro.mcsim.replay import McSimReplayer
+from repro.mcsim.service import ReplayService
+from repro.workloads.micro import micro_workload
+from repro.workloads.profiles import application_workload
+
+
+class TestPinCapture:
+    def test_capture_produces_records(self):
+        records = PinTool().capture(application_workload("gcc"))
+        assert len(records) > 1
+        assert all(r.instructions > 0 for r in records)
+
+    def test_access_volume_matches_lapki(self):
+        config = CaptureConfig(sample_accesses=10_000)
+        records = PinTool(config).capture(application_workload("gcc"))
+        total = sum(len(r.addresses) for r in records)
+        assert total == pytest.approx(10_000, rel=0.02)
+
+    def test_cpu_bound_workload_one_empty_block(self):
+        from repro.cachesim.perfmodel import CacheBehavior
+        from repro.workloads.base import Workload
+
+        silent = Workload(
+            "silent", CacheBehavior(wss_lines=10, lapki=0.0, base_cpi=0.5)
+        )
+        records = PinTool().capture(silent)
+        assert len(records) == 1
+        assert records[0].addresses == ()
+
+    def test_deterministic_capture(self):
+        a = PinTool(CaptureConfig(seed=3)).capture(application_workload("gcc"))
+        b = PinTool(CaptureConfig(seed=3)).capture(application_workload("gcc"))
+        assert [r.addresses for r in a] == [r.addresses for r in b]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CaptureConfig(sample_accesses=0)
+        with pytest.raises(ValueError):
+            CaptureConfig(block_instructions=0)
+
+
+class TestReplay:
+    def test_streaming_app_high_miss_ratio(self):
+        records = PinTool().capture(application_workload("lbm"))
+        report = McSimReplayer().replay(records)
+        assert report.miss_ratio > 0.6
+
+    def test_small_reuse_set_low_miss_ratio(self):
+        records = PinTool(CaptureConfig(sample_accesses=50_000)).capture(
+            application_workload("hmmer")
+        )
+        report = McSimReplayer().replay(records)
+        assert report.misses_per_kinst < 5.0
+
+    def test_report_fields_consistent(self):
+        records = PinTool().capture(application_workload("gcc"))
+        report = McSimReplayer().replay(records)
+        assert report.llc_misses <= report.llc_accesses
+        assert report.instructions > 0
+        assert report.cycles > report.instructions * 0.5
+        assert 0 < report.ipc < 4
+
+    def test_warmup_fraction_validation(self):
+        with pytest.raises(ValueError):
+            McSimReplayer(warmup_fraction=1.0)
+
+    def test_intrinsic_ranking_preserved(self):
+        """Replay reproduces the key profile distinction: disruptors miss
+        far more per instruction than quiet apps."""
+
+        def mpki(app):
+            records = PinTool().capture(application_workload(app))
+            return McSimReplayer().replay(records).misses_per_kinst
+
+        assert mpki("lbm") > 10 * mpki("hmmer")
+
+    def test_empty_records(self):
+        report = McSimReplayer().replay([])
+        assert report.instructions == 0
+        assert report.miss_ratio == 0.0
+        assert report.ipc == 0.0
+
+
+class TestReplayService:
+    def test_caches_reports(self):
+        service = ReplayService(refresh_every=10)
+        from repro.hypervisor.system import VirtualizedSystem
+        from repro.schedulers.credit import CreditScheduler
+        from conftest import make_vm
+
+        system = VirtualizedSystem(CreditScheduler())
+        vm = make_vm(system, app="gcc")
+        first = service.replay_vm(vm)
+        second = service.replay_vm(vm)
+        assert second is first
+        assert service.stats.replays == 1
+        assert service.stats.cache_hits == 1
+
+    def test_refresh_after_expiry(self):
+        service = ReplayService(refresh_every=2)
+        from repro.hypervisor.system import VirtualizedSystem
+        from repro.schedulers.credit import CreditScheduler
+        from conftest import make_vm
+
+        system = VirtualizedSystem(CreditScheduler())
+        vm = make_vm(system, app="gcc")
+        service.replay_vm(vm)
+        service.replay_vm(vm)
+        service.replay_vm(vm)  # age reached refresh_every -> re-replay
+        assert service.stats.replays == 2
+
+    def test_invalidate_forces_replay(self):
+        service = ReplayService()
+        from repro.hypervisor.system import VirtualizedSystem
+        from repro.schedulers.credit import CreditScheduler
+        from conftest import make_vm
+
+        system = VirtualizedSystem(CreditScheduler())
+        vm = make_vm(system, app="gcc")
+        service.replay_vm(vm)
+        service.invalidate(vm)
+        service.replay_vm(vm)
+        assert service.stats.replays == 2
+
+    def test_invalid_refresh(self):
+        with pytest.raises(ValueError):
+            ReplayService(refresh_every=0)

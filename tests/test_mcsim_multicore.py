@@ -1,0 +1,94 @@
+"""Tests for the faithful multi-core co-simulation."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.specs import CacheSpec, KIB, paper_machine
+from repro.mcsim.multicore import MultiCoreReplayer, co_run_workloads
+from repro.mcsim.pin import CaptureConfig, PinTool
+from repro.workloads.profiles import application_workload
+
+
+def small_capture(app, accesses=8_000, seed=0):
+    return PinTool(CaptureConfig(sample_accesses=accesses, seed=seed)).capture(
+        application_workload(app)
+    )
+
+
+def small_llc_machine(llc_kib=512):
+    """The paper machine with a shrunken LLC, so bounded trace samples
+    actually contend (a 10 MB LLC swallows small captures whole)."""
+    machine = paper_machine()
+    socket = dataclasses.replace(
+        machine.sockets[0],
+        llc=CacheSpec("LLC", llc_kib * KIB, 8, shared=True),
+    )
+    return dataclasses.replace(machine, sockets=(socket,))
+
+
+class TestCoRun:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiCoreReplayer().co_run({})
+
+    def test_too_many_workloads_rejected(self):
+        captures = {f"w{i}": small_capture("gcc", 500, seed=i) for i in range(5)}
+        with pytest.raises(ValueError):
+            MultiCoreReplayer().co_run(captures)
+
+    def test_reports_cover_all_workloads(self):
+        captures = {
+            "gcc": small_capture("gcc"),
+            "lbm": small_capture("lbm", seed=1),
+        }
+        reports = MultiCoreReplayer().co_run(captures)
+        assert set(reports) == {"gcc", "lbm"}
+        for report in reports.values():
+            assert report.instructions > 0
+            assert report.llc_misses <= report.llc_accesses
+
+    def test_contention_raises_miss_ratio(self):
+        """hmmer's tiny hot set must miss more when co-run with a
+        streaming neighbour on a small shared LLC — the faithful
+        simulator shows the same contention the occupancy model
+        predicts."""
+        machine = small_llc_machine()
+        solo = MultiCoreReplayer(machine).co_run(
+            {"hmmer": small_capture("hmmer", 30_000)}
+        )
+        pair = MultiCoreReplayer(machine).co_run(
+            {
+                "hmmer": small_capture("hmmer", 30_000),
+                "lbm": small_capture("lbm", 30_000, seed=1),
+            }
+        )
+        assert pair["hmmer"].miss_ratio > solo["hmmer"].miss_ratio
+
+    def test_streaming_neighbour_dominates_occupancy(self):
+        reports = MultiCoreReplayer().co_run(
+            {
+                "hmmer": small_capture("hmmer", 20_000),
+                "lbm": small_capture("lbm", 20_000, seed=1),
+            }
+        )
+        assert (
+            reports["lbm"].llc_occupancy_lines
+            > reports["hmmer"].llc_occupancy_lines
+        )
+
+    def test_unique_names_required(self):
+        w = application_workload("gcc")
+        with pytest.raises(ValueError):
+            co_run_workloads([w, w])
+
+    def test_co_run_workloads_end_to_end(self):
+        reports = co_run_workloads(
+            [application_workload("gcc"), application_workload("bzip")],
+            capture_config=CaptureConfig(sample_accesses=5_000),
+        )
+        assert set(reports) == {"gcc", "bzip"}
+
+    def test_warmup_fraction_validated(self):
+        with pytest.raises(ValueError):
+            MultiCoreReplayer(warmup_fraction=1.0)

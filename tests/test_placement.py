@@ -1,0 +1,144 @@
+"""Tests for the cache-aware placement baselines."""
+
+import pytest
+
+from repro.placement.algorithms import (
+    Placement,
+    VmDescriptor,
+    balance_pollution_placement,
+    round_robin_placement,
+    segregate_placement,
+)
+from repro.placement.evaluate import evaluate_placement
+
+
+def fleet():
+    """Two sensitive + two disruptive VMs, pollution from Fig 4 values."""
+    return [
+        VmDescriptor("sen-a", "omnetpp", 110_000, sensitive=True),
+        VmDescriptor("sen-b", "soplex", 232_000, sensitive=True),
+        VmDescriptor("dis-a", "lbm", 419_000),
+        VmDescriptor("dis-b", "blockie", 400_000),
+    ]
+
+
+class TestDescriptors:
+    def test_negative_pollution_rejected(self):
+        with pytest.raises(ValueError):
+            VmDescriptor("x", "gcc", -1)
+
+
+class TestPlacementContainer:
+    def test_assign_and_lookup(self):
+        placement = Placement(2)
+        vm = fleet()[0]
+        placement.assign(1, vm)
+        assert placement.host_of("sen-a") == 1
+
+    def test_out_of_range_host(self):
+        with pytest.raises(ValueError):
+            Placement(2).assign(2, fleet()[0])
+
+    def test_unknown_vm(self):
+        with pytest.raises(KeyError):
+            Placement(2).host_of("ghost")
+
+    def test_host_pollution(self):
+        placement = Placement(1)
+        for vm in fleet():
+            placement.assign(0, vm)
+        assert placement.pollution_of_host(0) == pytest.approx(1_161_000)
+        assert placement.max_host_pollution == placement.pollution_of_host(0)
+
+    def test_capacity_validation(self):
+        placement = Placement(1)
+        for vm in fleet():
+            placement.assign(0, vm)
+        placement.validate_capacity(4)
+        with pytest.raises(ValueError):
+            placement.validate_capacity(3)
+
+
+class TestAlgorithms:
+    def test_round_robin_spreads(self):
+        placement = round_robin_placement(fleet(), 2)
+        assert len(placement.assignments[0]) == 2
+        assert len(placement.assignments[1]) == 2
+
+    def test_balance_reduces_max_pollution(self):
+        vms = fleet()
+        rr = round_robin_placement(vms, 2)
+        balanced = balance_pollution_placement(vms, 2)
+        assert balanced.max_host_pollution <= rr.max_host_pollution
+
+    def test_balance_respects_capacity(self):
+        vms = fleet() * 2  # 8 VMs, 2 hosts x 4 cores
+        vms = [
+            VmDescriptor(f"{vm.name}-{i}", vm.app, vm.pollution, vm.sensitive)
+            for i, vm in enumerate(vms)
+        ]
+        placement = balance_pollution_placement(vms, 2, cores_per_host=4)
+        placement.validate_capacity(4)
+
+    def test_balance_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            balance_pollution_placement(fleet(), 1, cores_per_host=3)
+
+    def test_segregation_separates(self):
+        placement = segregate_placement(fleet(), 2)
+        sensitive_hosts = {placement.host_of("sen-a"), placement.host_of("sen-b")}
+        disruptive_hosts = {placement.host_of("dis-a"), placement.host_of("dis-b")}
+        assert sensitive_hosts.isdisjoint(disruptive_hosts)
+
+    def test_segregation_mixes_only_when_full(self):
+        vms = fleet()
+        placement = segregate_placement(vms, 1, cores_per_host=4)
+        assert len(placement.assignments[0]) == 4
+
+    def test_zero_hosts_rejected(self):
+        for algorithm in (round_robin_placement, balance_pollution_placement,
+                          segregate_placement):
+            with pytest.raises(ValueError):
+                algorithm(fleet(), 0)
+
+
+class TestEvaluation:
+    def test_segregation_beats_round_robin_for_sensitives(self):
+        """The related-work claim: cache-aware placement helps — when
+        there is room to segregate."""
+        vms = fleet()
+        naive = evaluate_placement(round_robin_placement(vms, 2))
+        aware = evaluate_placement(segregate_placement(vms, 2))
+        assert (
+            aware.mean_sensitive_degradation
+            < naive.mean_sensitive_degradation
+        )
+
+    def test_evaluation_reports_all_vms(self):
+        vms = fleet()
+        result = evaluate_placement(round_robin_placement(vms, 2))
+        assert set(result.degradation) == {vm.name for vm in vms}
+        assert result.max_degradation >= result.mean_degradation
+
+    def test_kyoto_composes_with_placement(self):
+        """Kyoto on top of a *bad* placement still protects sensitives —
+        the pay-per-use answer to NP-hard placement."""
+        from repro.core.ks4xen import KS4Xen
+
+        vms = fleet()
+        packed = Placement(2)
+        # Worst case: each sensitive shares a host with a disruptor.
+        packed.assign(0, vms[0])
+        packed.assign(0, vms[2])
+        packed.assign(1, vms[1])
+        packed.assign(1, vms[3])
+        plain = evaluate_placement(packed)
+        kyoto = evaluate_placement(
+            packed,
+            scheduler_factory=KS4Xen,
+            llc_cap_of=lambda d: 250_000.0,
+        )
+        assert (
+            kyoto.mean_sensitive_degradation
+            < plain.mean_sensitive_degradation
+        )

@@ -1,0 +1,147 @@
+"""Tests for the PMC model and the perfctr-style virtualisation."""
+
+import pytest
+
+from repro.pmc.counters import (
+    COUNTER_MASK,
+    CoreCounters,
+    HardwareCounter,
+    PmcEvent,
+    delta,
+)
+from repro.pmc.perfctr import PerfctrError, PerfctrVirtualizer
+
+
+class TestHardwareCounter:
+    def test_starts_at_zero(self):
+        assert HardwareCounter(PmcEvent.LLC_MISSES).read() == 0
+
+    def test_add(self):
+        counter = HardwareCounter(PmcEvent.LLC_MISSES)
+        counter.add(5)
+        counter.add(7)
+        assert counter.read() == 12
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCounter(PmcEvent.LLC_MISSES).add(-1)
+
+    def test_wraps_at_48_bits(self):
+        counter = HardwareCounter(PmcEvent.LLC_MISSES)
+        counter.write(COUNTER_MASK)
+        counter.add(2)
+        assert counter.read() == 1
+
+    def test_write_masks(self):
+        counter = HardwareCounter(PmcEvent.LLC_MISSES)
+        counter.write(COUNTER_MASK + 10)
+        assert counter.read() == 9
+
+
+class TestDelta:
+    def test_simple(self):
+        assert delta(100, 40) == 60
+
+    def test_wrap_aware(self):
+        assert delta(5, COUNTER_MASK - 4) == 10
+
+    def test_zero(self):
+        assert delta(7, 7) == 0
+
+
+class TestCoreCounters:
+    def test_independent_events(self):
+        bank = CoreCounters(0)
+        bank.add(PmcEvent.LLC_MISSES, 3)
+        bank.add(PmcEvent.INSTRUCTIONS_RETIRED, 100)
+        assert bank.read(PmcEvent.LLC_MISSES) == 3
+        assert bank.read(PmcEvent.INSTRUCTIONS_RETIRED) == 100
+        assert bank.read(PmcEvent.UNHALTED_CORE_CYCLES) == 0
+
+    def test_read_all(self):
+        bank = CoreCounters(0)
+        bank.add(PmcEvent.LLC_MISSES, 3)
+        snapshot = bank.read_all()
+        assert snapshot[PmcEvent.LLC_MISSES] == 3
+        assert len(snapshot) == len(PmcEvent)
+
+
+class TestPerfctr:
+    def setup_method(self):
+        self.cores = {0: CoreCounters(0), 1: CoreCounters(1)}
+        self.virt = PerfctrVirtualizer(self.cores)
+
+    def test_attributes_deltas_to_vcpu(self):
+        self.virt.context_switch_in(7, 0)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 50)
+        deltas = self.virt.context_switch_out(7)
+        assert deltas[PmcEvent.LLC_MISSES] == 50
+        assert self.virt.account(7).read(PmcEvent.LLC_MISSES) == 50
+
+    def test_only_own_window_counted(self):
+        self.cores[0].add(PmcEvent.LLC_MISSES, 999)  # before switch-in
+        self.virt.context_switch_in(7, 0)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 10)
+        deltas = self.virt.context_switch_out(7)
+        assert deltas[PmcEvent.LLC_MISSES] == 10
+
+    def test_two_vcpus_interleaved_on_one_core(self):
+        self.virt.context_switch_in(1, 0)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 5)
+        self.virt.context_switch_out(1)
+        self.virt.context_switch_in(2, 0)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 7)
+        self.virt.context_switch_out(2)
+        assert self.virt.account(1).read(PmcEvent.LLC_MISSES) == 5
+        assert self.virt.account(2).read(PmcEvent.LLC_MISSES) == 7
+
+    def test_double_switch_in_rejected(self):
+        self.virt.context_switch_in(1, 0)
+        with pytest.raises(PerfctrError):
+            self.virt.context_switch_in(1, 1)
+
+    def test_switch_out_without_in_rejected(self):
+        with pytest.raises(PerfctrError):
+            self.virt.context_switch_out(1)
+
+    def test_accumulates_across_stints(self):
+        for i in range(3):
+            self.virt.context_switch_in(1, 0)
+            self.cores[0].add(PmcEvent.LLC_MISSES, 10)
+            self.virt.context_switch_out(1)
+        assert self.virt.account(1).read(PmcEvent.LLC_MISSES) == 30
+
+    def test_counter_wrap_handled(self):
+        self.cores[0].add(PmcEvent.LLC_MISSES, COUNTER_MASK - 3)
+        self.virt.context_switch_in(1, 0)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 10)  # wraps
+        deltas = self.virt.context_switch_out(1)
+        assert deltas[PmcEvent.LLC_MISSES] == 10
+
+    def test_sample_returns_delta_since_last_sample(self):
+        self.virt.context_switch_in(1, 0)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 10)
+        first = self.virt.sample(1)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 4)
+        second = self.virt.sample(1)
+        assert first[PmcEvent.LLC_MISSES] == 10
+        assert second[PmcEvent.LLC_MISSES] == 4
+
+    def test_sample_of_descheduled_vcpu(self):
+        self.virt.context_switch_in(1, 0)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 10)
+        self.virt.context_switch_out(1)
+        assert self.virt.sample(1)[PmcEvent.LLC_MISSES] == 10
+        assert self.virt.sample(1)[PmcEvent.LLC_MISSES] == 0
+
+    def test_flush_running_keeps_vcpu_switched_in(self):
+        self.virt.context_switch_in(1, 0)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 3)
+        self.virt.flush_running(1)
+        assert self.virt.is_running(1)
+        self.cores[0].add(PmcEvent.LLC_MISSES, 2)
+        self.virt.context_switch_out(1)
+        assert self.virt.account(1).read(PmcEvent.LLC_MISSES) == 5
+
+    def test_flush_running_noop_when_descheduled(self):
+        self.virt.flush_running(42)  # must not raise

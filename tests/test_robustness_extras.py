@@ -1,0 +1,243 @@
+"""Tests for the fault-injecting monitor, performance jitter, the
+statistics helpers and the colocation advisor."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.statistics import LinearFit, linear_fit, mean_confidence_interval
+from repro.core.ks4xen import KS4Xen
+from repro.core.monitor import DirectPmcMonitor, FaultInjectingMonitor
+from repro.hardware.specs import CacheSpec, KIB, paper_machine
+from repro.hypervisor.system import VirtualizedSystem
+from repro.mcsim.advisor import ColocationAdvisor
+from repro.mcsim.multicore import MultiCoreReplayer
+from repro.mcsim.pin import CaptureConfig
+from repro.schedulers.credit import CreditScheduler
+from repro.workloads.profiles import application_workload
+
+from conftest import make_vm
+
+
+class TestStatistics:
+    def test_perfect_line(self):
+        fit = linear_fit([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = LinearFit(slope=2.0, intercept=1.0, r_squared=1.0)
+        assert fit.predict(10) == 21.0
+
+    def test_constant_series(self):
+        fit = linear_fit([0, 1, 2], [5, 5, 5])
+        assert fit.slope == 0.0
+        assert fit.r_squared == 1.0
+
+    def test_noise_lowers_r_squared(self):
+        fit = linear_fit([0, 1, 2, 3, 4], [0, 5, 1, 6, 2])
+        assert fit.r_squared < 0.7
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+        with pytest.raises(ValueError):
+            linear_fit([2, 2], [1, 3])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+    def test_confidence_interval(self):
+        mean, low, high = mean_confidence_interval([10.0, 12.0, 8.0, 10.0])
+        assert mean == pytest.approx(10.0)
+        assert low < mean < high
+
+    def test_confidence_single_sample(self):
+        assert mean_confidence_interval([5.0]) == (5.0, 5.0, 5.0)
+
+    def test_confidence_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+
+class TestFaultInjectingMonitor:
+    def test_validation(self):
+        system = VirtualizedSystem(CreditScheduler())
+        inner = DirectPmcMonitor(system)
+        with pytest.raises(ValueError):
+            FaultInjectingMonitor(inner, drop_every=-1)
+        with pytest.raises(ValueError):
+            FaultInjectingMonitor(inner, noise_fraction=1.0)
+
+    def test_dropped_samples_counted(self):
+        system = VirtualizedSystem(CreditScheduler())
+        vm = make_vm(system, app="lbm")
+        monitor = FaultInjectingMonitor(DirectPmcMonitor(system), drop_every=2)
+        system.run_ticks(5)
+        values = [monitor.sample(vm) for _ in range(4)]
+        assert monitor.dropped == 2
+        assert values[1] == 0.0 and values[3] == 0.0
+
+    def test_enforcement_survives_sample_loss(self):
+        """Losing every third sample under-charges the polluter but the
+        engine still punishes it and never wedges."""
+        scheduler = KS4Xen()
+        system = VirtualizedSystem(scheduler)
+        scheduler.kyoto.monitor = FaultInjectingMonitor(
+            scheduler.kyoto.monitor, drop_every=3
+        )
+        make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+        dis = make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+        system.run_ticks(150)
+        assert scheduler.kyoto.punishments(dis) > 5
+
+    def test_enforcement_survives_noise(self):
+        scheduler = KS4Xen()
+        system = VirtualizedSystem(scheduler)
+        scheduler.kyoto.monitor = FaultInjectingMonitor(
+            scheduler.kyoto.monitor, noise_fraction=0.3, seed=5
+        )
+        make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+        dis = make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+        system.run_ticks(150)
+        assert scheduler.kyoto.punishments(dis) > 5
+        assert scheduler.kyoto.punishments(system.vm_by_name("sen")) == 0
+
+
+class TestPerfJitter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualizedSystem(CreditScheduler(), perf_jitter_fraction=1.0)
+
+    def test_zero_jitter_bit_exact(self):
+        def run():
+            system = VirtualizedSystem(CreditScheduler())
+            vm = make_vm(system, app="gcc")
+            system.run_ticks(20)
+            return vm.instructions_retired
+
+        assert run() == run()
+
+    def test_jitter_reproducible_per_seed(self):
+        def run(seed):
+            system = VirtualizedSystem(
+                CreditScheduler(), perf_jitter_fraction=0.05, seed=seed
+            )
+            vm = make_vm(system, app="gcc")
+            system.run_ticks(20)
+            return vm.instructions_retired
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_jitter_mean_preserving(self):
+        def run(jitter):
+            system = VirtualizedSystem(
+                CreditScheduler(), perf_jitter_fraction=jitter, seed=3
+            )
+            vm = make_vm(system, app="gcc")
+            system.run_ticks(60)
+            return vm.instructions_retired
+
+        assert run(0.05) == pytest.approx(run(0.0), rel=0.02)
+
+
+class TestColocationAdvisor:
+    @pytest.fixture(scope="class")
+    def advisor(self):
+        return ColocationAdvisor(
+            capture_config=CaptureConfig(sample_accesses=12_000)
+        )
+
+    def test_quiet_pair_acceptable(self, advisor):
+        assessment = advisor.assess(
+            [application_workload("hmmer"), application_workload("povray")]
+        )
+        assert assessment.worst_degradation < 5.0
+        assert assessment.acceptable(15.0)
+
+    def test_disruptor_flagged(self, advisor):
+        assessment = advisor.assess(
+            [application_workload("omnetpp"), application_workload("lbm")]
+        )
+        # The sensitive workload's predicted degradation is substantial
+        # and far larger than the streaming disruptor's.
+        assert assessment.predicted_degradation["omnetpp"] > 10.0
+        assert (
+            assessment.predicted_degradation["omnetpp"]
+            > assessment.predicted_degradation["lbm"] + 5.0
+        )
+
+    def test_prediction_matches_machine_model(self, advisor):
+        """The analytical prediction must land near the machine
+        simulation's measured degradation (same underlying model)."""
+        from repro.hypervisor.system import VirtualizedSystem
+        from repro.hypervisor.vm import VmConfig
+        from repro.schedulers.credit import CreditScheduler
+
+        assessment = advisor.assess(
+            [application_workload("omnetpp"), application_workload("lbm")]
+        )
+
+        def measured():
+            solo = VirtualizedSystem(CreditScheduler())
+            ref = solo.create_vm(
+                VmConfig(name="ref", workload=application_workload("omnetpp"),
+                         pinned_cores=[0])
+            )
+            solo.run_ticks(30)
+            ref.reset_metrics()
+            solo.run_ticks(90)
+            base = ref.vcpus[0].ipc
+            system = VirtualizedSystem(CreditScheduler())
+            sen = system.create_vm(
+                VmConfig(name="sen", workload=application_workload("omnetpp"),
+                         pinned_cores=[0])
+            )
+            system.create_vm(
+                VmConfig(name="dis", workload=application_workload("lbm"),
+                         pinned_cores=[1])
+            )
+            system.run_ticks(30)
+            sen.reset_metrics()
+            system.run_ticks(90)
+            return 100.0 * (1 - sen.vcpus[0].ipc / base)
+
+        assert assessment.predicted_degradation["omnetpp"] == pytest.approx(
+            measured(), abs=8.0
+        )
+
+    def test_pollution_prediction_ordering(self, advisor):
+        assessment = advisor.assess(
+            [application_workload("gcc"), application_workload("lbm")]
+        )
+        assert (
+            assessment.predicted_pollution["lbm"]
+            > assessment.predicted_pollution["gcc"]
+        )
+
+    def test_admit_respects_budget(self, advisor):
+        quiet = [application_workload("hmmer")]
+        assert advisor.admit(quiet, application_workload("povray"), 15.0)
+        sensitive = [application_workload("omnetpp")]
+        assert not advisor.admit(
+            sensitive, application_workload("blockie"), 15.0
+        )
+
+    def test_cross_check_confirms_pressure_ordering(self, advisor):
+        reports = advisor.cross_check(
+            [application_workload("hmmer"), application_workload("lbm")]
+        )
+        assert (
+            reports["lbm"].misses_per_kinst
+            > reports["hmmer"].misses_per_kinst
+        )
+
+    def test_duplicate_names_rejected(self, advisor):
+        w = application_workload("gcc")
+        with pytest.raises(ValueError):
+            advisor.assess([w, w])
+
+    def test_empty_rejected(self, advisor):
+        with pytest.raises(ValueError):
+            advisor.assess([])

@@ -1,0 +1,83 @@
+"""Tests for the CFS-style fair scheduler."""
+
+import pytest
+
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.schedulers.cfs import CfsScheduler, NICE0_WEIGHT
+from repro.workloads.profiles import application_workload
+
+from conftest import make_vm
+
+
+def cfs_system():
+    return VirtualizedSystem(CfsScheduler())
+
+
+def duty_cycle(system, vm, ticks=90):
+    ran = [0]
+    gid = vm.vcpus[0].gid
+    system.add_tick_observer(
+        lambda s, t: ran.__setitem__(0, ran[0] + (gid in s.last_tick_cycles))
+    )
+    system.run_ticks(ticks)
+    return ran[0] / ticks
+
+
+class TestFairness:
+    def test_solo_vm_runs_continuously(self):
+        system = cfs_system()
+        vm = make_vm(system, app="povray")
+        assert duty_cycle(system, vm) == 1.0
+
+    def test_equal_weights_split_evenly(self):
+        system = cfs_system()
+        a = make_vm(system, "a", app="povray", core=0)
+        make_vm(system, "b", app="povray", core=0)
+        assert duty_cycle(system, a) == pytest.approx(0.5, abs=0.07)
+
+    def test_weighted_split(self):
+        system = cfs_system()
+        heavy = system.create_vm(
+            VmConfig(
+                name="heavy",
+                workload=application_workload("povray"),
+                weight=512,  # 2x default
+                pinned_cores=[0],
+            )
+        )
+        make_vm(system, "light", app="povray", core=0)
+        assert duty_cycle(system, heavy, ticks=120) == pytest.approx(2 / 3, abs=0.1)
+
+    def test_vruntime_advances_only_when_running(self):
+        system = cfs_system()
+        a = make_vm(system, "a", app="povray", core=0)
+        b = make_vm(system, "b", app="povray", core=0)
+        system.run_ticks(30)
+        va = system.scheduler.account(a.vcpus[0]).vruntime
+        vb = system.scheduler.account(b.vcpus[0]).vruntime
+        assert va > 0 and vb > 0
+        # Fairness: vruntimes stay close.
+        assert va == pytest.approx(vb, rel=0.25)
+
+    def test_latecomer_starts_at_min_vruntime(self):
+        system = cfs_system()
+        a = make_vm(system, "a", app="povray", core=0)
+        system.run_ticks(30)
+        b = make_vm(system, "b", app="povray", core=0)
+        account = system.scheduler.account(b.vcpus[0])
+        assert account.vruntime == pytest.approx(
+            system.scheduler.account(a.vcpus[0]).vruntime
+        )
+
+    def test_weight_derived_from_vm_config(self):
+        system = cfs_system()
+        vm = system.create_vm(
+            VmConfig(
+                name="w",
+                workload=application_workload("gcc"),
+                weight=512,
+                pinned_cores=[0],
+            )
+        )
+        assert system.scheduler.account(vm.vcpus[0]).weight == 2 * NICE0_WEIGHT

@@ -1,0 +1,109 @@
+"""Tests for the RTDS scheduler and its Kyoto extension (KS4RTDS)."""
+
+import pytest
+
+from repro.core.ks4rtds import KS4RTDS
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.schedulers.rtds import RtdsScheduler, RtServer
+from repro.workloads.profiles import application_workload
+
+from conftest import make_vm
+
+
+def duty_cycle(system, vm, ticks=90):
+    ran = [0]
+    gid = vm.vcpus[0].gid
+    system.add_tick_observer(
+        lambda s, t: ran.__setitem__(0, ran[0] + (gid in s.last_tick_cycles))
+    )
+    system.run_ticks(ticks)
+    return ran[0] / ticks
+
+
+class TestServer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RtServer(budget_ticks=0, period_ticks=3)
+        with pytest.raises(ValueError):
+            RtServer(budget_ticks=4, period_ticks=3)
+        with pytest.raises(ValueError):
+            RtServer(budget_ticks=1, period_ticks=0)
+
+    def test_replenish(self):
+        server = RtServer(budget_ticks=2, period_ticks=5)
+        server.remaining_budget = 0
+        server.replenish(now_tick=10)
+        assert server.remaining_budget == 2
+        assert server.deadline_tick == 15
+
+
+class TestRtds:
+    def test_default_server_is_full_utilisation(self):
+        system = VirtualizedSystem(RtdsScheduler())
+        vm = make_vm(system, app="povray")
+        assert duty_cycle(system, vm) == 1.0
+
+    def test_budget_limits_duty_cycle(self):
+        system = VirtualizedSystem(RtdsScheduler())
+        vm = make_vm(system, app="povray")
+        system.scheduler.set_server(vm.vcpus[0], budget_ticks=1, period_ticks=3)
+        assert duty_cycle(system, vm) == pytest.approx(1 / 3, abs=0.05)
+
+    def test_edf_prefers_earlier_deadline(self):
+        system = VirtualizedSystem(RtdsScheduler())
+        urgent = make_vm(system, "urgent", app="povray", core=0)
+        lax = make_vm(system, "lax", app="povray", core=0)
+        system.scheduler.set_server(urgent.vcpus[0], 1, 2)
+        system.scheduler.set_server(lax.vcpus[0], 3, 9)
+        share = duty_cycle(system, urgent, ticks=90)
+        # The urgent server gets its 1-in-2 reservation despite sharing.
+        assert share == pytest.approx(0.5, abs=0.1)
+
+    def test_two_servers_share_by_utilisation(self):
+        system = VirtualizedSystem(RtdsScheduler())
+        a = make_vm(system, "a", app="povray", core=0)
+        b = make_vm(system, "b", app="povray", core=0)
+        system.scheduler.set_server(a.vcpus[0], 2, 3)
+        system.scheduler.set_server(b.vcpus[0], 1, 3)
+        assert duty_cycle(system, a, ticks=90) == pytest.approx(2 / 3, abs=0.1)
+
+    def test_depleted_server_waits_for_period(self):
+        system = VirtualizedSystem(RtdsScheduler())
+        vm = make_vm(system, app="povray")
+        system.scheduler.set_server(vm.vcpus[0], 1, 5)
+        timeline = []
+        gid = vm.vcpus[0].gid
+        system.add_tick_observer(
+            lambda s, t: timeline.append(gid in s.last_tick_cycles)
+        )
+        system.run_ticks(10)
+        assert timeline[0] is True
+        assert timeline[1] is False  # depleted until the next period
+
+
+class TestKS4RTDS:
+    def test_polluter_punished(self):
+        system = VirtualizedSystem(KS4RTDS())
+        make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+        dis = make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+        system.run_ticks(120)
+        assert system.scheduler.kyoto.punishments(dis) > 5
+
+    def test_compliant_vm_keeps_its_reservation(self):
+        system = VirtualizedSystem(KS4RTDS())
+        sen = make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+        make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+        assert duty_cycle(system, sen, ticks=120) > 0.95
+
+    def test_victim_improves_over_plain_rtds(self):
+        def victim_ipc(scheduler):
+            system = VirtualizedSystem(scheduler)
+            sen = make_vm(system, "sen", app="gcc", core=0, llc_cap=250_000.0)
+            make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+            system.run_ticks(30)
+            sen.reset_metrics()
+            system.run_ticks(120)
+            return sen.vcpus[0].ipc
+
+        assert victim_ipc(KS4RTDS()) > victim_ipc(RtdsScheduler()) * 1.03

@@ -1,0 +1,102 @@
+"""Tests for repro.simulation.clock."""
+
+import pytest
+
+from repro.simulation.clock import (
+    Clock,
+    USEC_PER_MSEC,
+    USEC_PER_SEC,
+    XEN_TICK_USEC,
+    XEN_TIME_SLICE_USEC,
+    cycles_to_usec,
+    msec_to_usec,
+    usec_to_cycles,
+    usec_to_msec,
+)
+
+
+class TestConstants:
+    def test_xen_tick_is_10ms(self):
+        assert XEN_TICK_USEC == 10_000
+
+    def test_time_slice_is_three_ticks(self):
+        assert XEN_TIME_SLICE_USEC == 3 * XEN_TICK_USEC
+
+    def test_unit_ratios(self):
+        assert USEC_PER_SEC == 1000 * USEC_PER_MSEC
+
+
+class TestConversions:
+    def test_usec_to_msec(self):
+        assert usec_to_msec(2_500) == 2.5
+
+    def test_msec_to_usec_roundtrip(self):
+        assert msec_to_usec(usec_to_msec(12_345)) == 12_345
+
+    def test_msec_to_usec_rounds(self):
+        assert msec_to_usec(0.0004) == 0
+        assert msec_to_usec(0.0006) == 1
+
+    def test_usec_to_cycles_at_2_8ghz(self):
+        # 2.8 GHz = 2_800_000 kHz; 1 usec = 2800 cycles.
+        assert usec_to_cycles(1, 2_800_000) == 2_800
+
+    def test_one_tick_of_cycles(self):
+        assert usec_to_cycles(XEN_TICK_USEC, 2_800_000) == 28_000_000
+
+    def test_cycles_to_usec_inverse(self):
+        cycles = usec_to_cycles(777, 2_800_000)
+        assert cycles_to_usec(cycles, 2_800_000) == pytest.approx(777)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now_usec == 0
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(100) == 100
+        assert clock.now_usec == 100
+
+    def test_advance_accumulates(self):
+        clock = Clock()
+        clock.advance(10)
+        clock.advance(20)
+        assert clock.now_usec == 30
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(500)
+        assert clock.now_usec == 500
+
+    def test_advance_to_backwards_rejected(self):
+        clock = Clock()
+        clock.advance_to(500)
+        with pytest.raises(ValueError):
+            clock.advance_to(499)
+
+    def test_advance_to_same_time_ok(self):
+        clock = Clock()
+        clock.advance_to(500)
+        clock.advance_to(500)
+        assert clock.now_usec == 500
+
+    def test_now_msec(self):
+        clock = Clock()
+        clock.advance(2_500)
+        assert clock.now_msec == 2.5
+
+    def test_now_sec(self):
+        clock = Clock()
+        clock.advance(1_500_000)
+        assert clock.now_sec == 1.5
+
+    def test_reset(self):
+        clock = Clock()
+        clock.advance(100)
+        clock.reset()
+        assert clock.now_usec == 0

@@ -1,0 +1,121 @@
+"""Tests for repro.simulation.engine."""
+
+import pytest
+
+from repro.simulation.engine import Engine, SimulationError
+
+
+class TestBasics:
+    def test_starts_at_zero(self):
+        assert Engine().now_usec == 0
+
+    def test_step_advances_clock(self):
+        engine = Engine()
+        engine.schedule(50, lambda: None)
+        assert engine.step() is True
+        assert engine.now_usec == 50
+
+    def test_step_empty_returns_false(self):
+        assert Engine().step() is False
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.schedule(100, lambda: None)
+        engine.run_until(100)
+        with pytest.raises(SimulationError):
+            engine.schedule(50, lambda: None)
+
+    def test_schedule_after(self):
+        engine = Engine()
+        engine.schedule(100, lambda: None)
+        engine.run_until(100)
+        event = engine.schedule_after(30, lambda: None)
+        assert event.when_usec == 130
+
+    def test_events_fired_counter(self):
+        engine = Engine()
+        for i in range(3):
+            engine.schedule(i * 10, lambda: None)
+        engine.run_until(100)
+        assert engine.events_fired == 3
+
+
+class TestRunUntil:
+    def test_runs_events_in_window(self):
+        engine = Engine()
+        fired = []
+        for t in (10, 20, 30, 40):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        engine.run_until(25)
+        assert fired == [10, 20]
+
+    def test_clock_lands_on_horizon(self):
+        engine = Engine()
+        engine.schedule(10, lambda: None)
+        engine.run_until(100)
+        assert engine.now_usec == 100
+
+    def test_event_at_horizon_included(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(100, lambda: fired.append(1))
+        engine.run_until(100)
+        assert fired == [1]
+
+    def test_horizon_before_now_raises(self):
+        engine = Engine()
+        engine.run_until(100)
+        with pytest.raises(SimulationError):
+            engine.run_until(50)
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule_after(10, lambda: fired.append("second"))
+
+        engine.schedule(10, first)
+        engine.run_until(100)
+        assert fired == ["first", "second"]
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self):
+        engine = Engine()
+        count = []
+        engine.schedule_periodic(10, lambda: count.append(1))
+        engine.run_until(55)
+        assert len(count) == 5  # at 10, 20, 30, 40, 50
+
+    def test_periodic_custom_start(self):
+        engine = Engine()
+        times = []
+        engine.schedule_periodic(
+            10, lambda: times.append(engine.now_usec), first_at_usec=0
+        )
+        engine.run_until(25)
+        assert times == [0, 10, 20]
+
+    def test_periodic_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule_periodic(0, lambda: None)
+
+    def test_cancel_pending_event(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule(10, lambda: fired.append(1))
+        engine.cancel(event)
+        engine.run_until(100)
+        assert fired == []
+
+    def test_runaway_guard(self):
+        engine = Engine()
+
+        def rearm():
+            engine.schedule_after(1, rearm)
+
+        engine.schedule(0, rearm)
+        with pytest.raises(SimulationError):
+            engine.run_to_completion(max_events=100)

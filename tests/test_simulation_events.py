@@ -1,0 +1,88 @@
+"""Tests for repro.simulation.events."""
+
+import pytest
+
+from repro.simulation.events import EventQueue
+
+
+class TestScheduling:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert queue.peek_time() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_schedule_and_pop(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, lambda: fired.append("a"), name="a")
+        event = queue.pop()
+        assert event.when_usec == 10
+        event.callback()
+        assert fired == ["a"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.schedule(30, lambda: None, name="late")
+        queue.schedule(10, lambda: None, name="early")
+        queue.schedule(20, lambda: None, name="mid")
+        names = [queue.pop().name for _ in range(3)]
+        assert names == ["early", "mid", "late"]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: None, name="low", priority=20)
+        queue.schedule(10, lambda: None, name="high", priority=1)
+        assert queue.pop().name == "high"
+
+    def test_fifo_among_equal_priority(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.schedule(10, lambda: None, name=f"e{i}")
+        names = [queue.pop().name for _ in range(5)]
+        assert names == [f"e{i}" for i in range(5)]
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.schedule(42, lambda: None)
+        assert queue.peek_time() == 42
+        assert len(queue) == 1
+
+
+class TestCancellation:
+    def test_cancel_removes_event(self):
+        queue = EventQueue()
+        event = queue.schedule(10, lambda: None, name="dead")
+        queue.schedule(20, lambda: None, name="alive")
+        queue.cancel(event)
+        assert len(queue) == 1
+        assert queue.pop().name == "alive"
+
+    def test_cancel_updates_peek(self):
+        queue = EventQueue()
+        event = queue.schedule(10, lambda: None)
+        queue.schedule(20, lambda: None)
+        queue.cancel(event)
+        assert queue.peek_time() == 20
+
+    def test_cancel_all_empties_queue(self):
+        queue = EventQueue()
+        events = [queue.schedule(i, lambda: None) for i in range(4)]
+        for event in events:
+            queue.cancel(event)
+        assert len(queue) == 0
+        assert queue.peek_time() is None
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1, lambda: None)
+        queue.schedule(2, lambda: None)
+        queue.clear()
+        assert len(queue) == 0

@@ -1,0 +1,151 @@
+"""Tests for interactive workloads, blocking, and BOOST priority."""
+
+import pytest
+
+from repro.cachesim.perfmodel import CacheBehavior
+from repro.core.ks4xen import KS4Xen
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.schedulers.credit import CreditScheduler
+from repro.workloads.interactive import InteractiveWorkload, web_tier_workload
+from repro.workloads.profiles import application_workload
+
+from conftest import make_vm
+
+
+def burst_behavior():
+    return CacheBehavior(wss_lines=1000, lapki=5.0, base_cpi=0.5)
+
+
+class TestWorkloadDefinition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InteractiveWorkload("x", burst_behavior(), 0, 100)
+        with pytest.raises(ValueError):
+            InteractiveWorkload("x", burst_behavior(), 100, -1)
+
+    def test_block_boundaries(self):
+        w = InteractiveWorkload("x", burst_behavior(), 1000, 100)
+        assert w.next_block_boundary(0) == 1000
+        assert w.next_block_boundary(999) == 1000
+        assert w.next_block_boundary(1000) == 2000
+        assert w.next_block_boundary(2500) == 3000
+
+    def test_web_tier_helper(self):
+        w = web_tier_workload()
+        assert w.think_usec == 20_000
+        assert w.burst_instructions == 5e6
+
+
+class TestBlockingExecution:
+    def test_interactive_vm_idles_between_bursts(self):
+        system = VirtualizedSystem(CreditScheduler())
+        vm = system.create_vm(
+            VmConfig(
+                name="web",
+                workload=InteractiveWorkload(
+                    "web", burst_behavior(),
+                    burst_instructions=5e6, think_usec=30_000,
+                ),
+                pinned_cores=[0],
+            )
+        )
+        ran = [0]
+        gid = vm.vcpus[0].gid
+        system.add_tick_observer(
+            lambda s, t: ran.__setitem__(0, ran[0] + (gid in s.last_tick_cycles))
+        )
+        system.run_ticks(60)
+        duty = ran[0] / 60
+        # 5M instructions is a fraction of one tick; then 3 ticks blocked.
+        assert duty < 0.5
+        assert vm.instructions_retired > 0
+
+    def test_burst_size_respected(self):
+        system = VirtualizedSystem(CreditScheduler())
+        vm = system.create_vm(
+            VmConfig(
+                name="web",
+                workload=InteractiveWorkload(
+                    "web", burst_behavior(), 5e6, 30_000
+                ),
+                pinned_cores=[0],
+            )
+        )
+        system.run_ticks(1)
+        # Exactly one burst retired before blocking.
+        assert vm.instructions_retired == pytest.approx(5e6)
+        assert vm.vcpus[0].blocked_until_usec is not None
+
+    def test_wakes_after_think_time(self):
+        system = VirtualizedSystem(CreditScheduler())
+        vm = system.create_vm(
+            VmConfig(
+                name="web",
+                workload=InteractiveWorkload(
+                    "web", burst_behavior(), 5e6, 15_000
+                ),
+                pinned_cores=[0],
+            )
+        )
+        system.run_ticks(1)  # burst, then block until 15ms
+        system.run_ticks(2)  # wakes at tick starting 20ms
+        assert vm.instructions_retired > 5e6
+
+
+class TestBoost:
+    def test_woken_vcpu_preempts_cpu_hog(self):
+        """With BOOST, an interactive VM gets serviced promptly even when
+        a CPU hog shares its core."""
+        system = VirtualizedSystem(CreditScheduler())
+        web = system.create_vm(
+            VmConfig(
+                name="web",
+                workload=InteractiveWorkload(
+                    "web", burst_behavior(), 5e6, 25_000
+                ),
+                pinned_cores=[0],
+            )
+        )
+        make_vm(system, "hog", app="povray", core=0)
+        system.run_ticks(120)
+        # The interactive VM completes ~1 burst per (service + think)
+        # cycle; with BOOST it never waits a full 30ms slice behind the
+        # hog, so it fits many bursts into the window.
+        bursts = web.instructions_retired / 5e6
+        assert bursts >= 20
+
+    def test_boost_does_not_starve_the_hog(self):
+        system = VirtualizedSystem(CreditScheduler())
+        system.create_vm(
+            VmConfig(
+                name="web",
+                workload=InteractiveWorkload(
+                    "web", burst_behavior(), 5e6, 25_000
+                ),
+                pinned_cores=[0],
+            )
+        )
+        hog = make_vm(system, "hog", app="povray", core=0)
+        system.run_ticks(120)
+        solo = VirtualizedSystem(CreditScheduler())
+        solo_hog = make_vm(solo, "hog", app="povray", core=0)
+        solo.run_ticks(120)
+        # The hog keeps the vast majority of the core.
+        assert hog.instructions_retired > 0.7 * solo_hog.instructions_retired
+
+    def test_kyoto_spares_quiet_interactive_vms(self):
+        """An interactive VM pollutes almost nothing: Kyoto never
+        punishes it even with a small permit."""
+        system = VirtualizedSystem(KS4Xen())
+        web = system.create_vm(
+            VmConfig(
+                name="web",
+                workload=web_tier_workload(),
+                llc_cap=50_000.0,
+                pinned_cores=[0],
+            )
+        )
+        make_vm(system, "dis", app="lbm", core=1, llc_cap=250_000.0)
+        system.run_ticks(120)
+        assert system.scheduler.kyoto.punishments(web) == 0

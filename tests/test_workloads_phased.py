@@ -1,0 +1,107 @@
+"""Tests for multi-phase workloads."""
+
+import pytest
+
+from repro.cachesim.perfmodel import CacheBehavior
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.schedulers.credit import CreditScheduler
+from repro.workloads.phased import Phase, PhasedWorkload, bursty_workload
+from repro.workloads.profiles import application_behavior
+
+
+def quiet():
+    return CacheBehavior(wss_lines=1000, lapki=1.0, base_cpi=0.5)
+
+
+def noisy():
+    return application_behavior("lbm")
+
+
+class TestPhaseSelection:
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            PhasedWorkload("empty", [])
+
+    def test_phase_length_positive(self):
+        with pytest.raises(ValueError):
+            Phase(quiet(), 0)
+
+    def test_single_phase_behaves_like_plain(self):
+        w = PhasedWorkload("single", [Phase(quiet(), 100)])
+        assert w.behavior_at(0) is w.behavior_at(1e9)
+
+    def test_phase_boundaries(self):
+        w = PhasedWorkload(
+            "two", [Phase(quiet(), 100), Phase(noisy(), 50)], repeat=False
+        )
+        assert w.phase_index_at(0) == 0
+        assert w.phase_index_at(99) == 0
+        assert w.phase_index_at(100) == 1
+        assert w.phase_index_at(149) == 1
+        assert w.phase_index_at(1000) == 1  # stays in the last phase
+
+    def test_repeat_cycles(self):
+        w = PhasedWorkload("cyc", [Phase(quiet(), 100), Phase(noisy(), 50)])
+        assert w.cycle_instructions == 150
+        assert w.phase_index_at(150) == 0
+        assert w.phase_index_at(250) == 1
+
+    def test_negative_position_rejected(self):
+        w = PhasedWorkload("w", [Phase(quiet(), 10)])
+        with pytest.raises(ValueError):
+            w.phase_index_at(-1)
+
+    def test_bursty_helper(self):
+        w = bursty_workload("b", quiet(), noisy(), 200, 100)
+        assert w.phase_index_at(0) == 0
+        assert w.phase_index_at(250) == 1
+
+
+class TestPhasedExecution:
+    def test_pollution_follows_phases(self):
+        """A quiet→noisy workload's measured miss rate must jump when
+        the noisy phase begins — the case for runtime monitoring."""
+        # ~2 ticks of quiet phase at ipc~2 (28M cycles/tick).
+        workload = PhasedWorkload(
+            "bursty",
+            [Phase(quiet(), 1.0e8), Phase(noisy(), 1.0e9)],
+            repeat=False,
+        )
+        system = VirtualizedSystem(CreditScheduler())
+        vm = system.create_vm(
+            VmConfig(name="b", workload=workload, pinned_cores=[0])
+        )
+        rates = []
+        gid = vm.vcpus[0].gid
+
+        def observer(s, t):
+            cycles = s.last_tick_cycles.get(gid, 0)
+            misses = s.last_tick_misses.get(gid, 0.0)
+            rates.append(misses / (cycles / s.freq_khz) if cycles else 0.0)
+
+        system.add_tick_observer(observer)
+        system.run_ticks(20)
+        assert rates[0] < 10_000          # quiet phase
+        assert max(rates) > 200_000       # noisy phase reached
+
+    def test_phase_change_detected_by_monitor(self):
+        from repro.core.ks4xen import KS4Xen
+
+        # Quiet phase: ~1.5e9 instructions at IPC ~1.8 is ~30 ticks.
+        workload = PhasedWorkload(
+            "bursty",
+            [Phase(quiet(), 1.5e9), Phase(noisy(), 2.0e10)],
+            repeat=False,
+        )
+        system = VirtualizedSystem(KS4Xen())
+        vm = system.create_vm(
+            VmConfig(name="b", workload=workload, llc_cap=50_000.0,
+                     pinned_cores=[0])
+        )
+        system.run_ticks(15)
+        quiet_punishments = system.scheduler.kyoto.punishments(vm)
+        system.run_ticks(150)
+        # Punished only once the noisy phase starts.
+        assert quiet_punishments == 0
+        assert system.scheduler.kyoto.punishments(vm) > 0

@@ -31,6 +31,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional
 
+from repro.lint.contracts import check as contract_check
+
 
 @dataclass
 class InsertionOutcome:
@@ -128,6 +130,11 @@ class LlcOccupancyDomain:
             self._occupancy[owner] = footprint_cap
 
         self._prune()
+        contract_check(
+            self.used_lines <= self.total_lines * (1.0 + 1e-9),
+            "occupancy-conservation",
+            f"{self.used_lines} lines resident in a {self.total_lines}-line LLC",
+        )
         return InsertionOutcome(
             inserted=n_lines, from_free=from_free, evicted_by_owner=evicted
         )
@@ -219,7 +226,7 @@ class LlcOccupancyDomain:
             capacity_active, pressures, footprint_caps
         )
         survive = math.exp(-total_insertions / capacity_active)
-        for owner in set(equilibrium) | (set(self._occupancy) & active_set):
+        for owner in sorted(set(equilibrium) | (set(self._occupancy) & active_set)):
             current = self._occupancy.get(owner, 0.0)
             target = equilibrium.get(owner, 0.0)
             if target >= current:
@@ -236,6 +243,11 @@ class LlcOccupancyDomain:
             for owner in self._occupancy:
                 self._occupancy[owner] *= scale
         self._prune()
+        contract_check(
+            self.used_lines <= self.total_lines * (1.0 + 1e-9),
+            "occupancy-conservation",
+            f"{self.used_lines} lines resident in a {self.total_lines}-line LLC",
+        )
 
 
 def waterfill_allocation(

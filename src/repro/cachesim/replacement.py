@@ -18,6 +18,8 @@ import random
 from abc import ABC, abstractmethod
 from typing import List, Optional
 
+from repro.simulation.rng import seeded_stream
+
 
 class SetState:
     """Replacement metadata for one cache set.
@@ -80,8 +82,8 @@ class RandomPolicy(ReplacementPolicy):
 
     name = "random"
 
-    def __init__(self, seed: int = 0) -> None:
-        self._rng = random.Random(seed)
+    def __init__(self, seed: int = 0, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng if rng is not None else seeded_stream(seed)
 
     def on_hit(self, state: SetState, way: int) -> None:
         # Random replacement keeps no recency order beyond occupancy.
@@ -106,11 +108,16 @@ class BipPolicy(ReplacementPolicy):
 
     name = "bip"
 
-    def __init__(self, epsilon: float = 1 / 32, seed: int = 0) -> None:
+    def __init__(
+        self,
+        epsilon: float = 1 / 32,
+        seed: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must be in [0,1], got {epsilon}")
         self.epsilon = epsilon
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else seeded_stream(seed)
 
     def on_hit(self, state: SetState, way: int) -> None:
         state.recency.remove(way)
@@ -153,9 +160,10 @@ class DipPolicy(ReplacementPolicy):
         psel_bits: int = 10,
         leaders_per_kind: int = 32,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self._lru = LruPolicy()
-        self._bip = BipPolicy(epsilon=epsilon, seed=seed)
+        self._bip = BipPolicy(epsilon=epsilon, seed=seed, rng=rng)
         self._psel_max = (1 << psel_bits) - 1
         self._psel = self._psel_max // 2
         self._leaders_per_kind = leaders_per_kind

@@ -9,14 +9,20 @@ Run any of the paper's reproduced experiments from a shell::
 
 Each experiment prints the same rows/series the paper's figure or table
 reports (see EXPERIMENTS.md for the paper-vs-measured record).
+
+The repo's own static-analysis gate (docs/static_analysis.md) runs as::
+
+    python -m repro lint [paths ...] [--format json] [--baseline FILE]
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
-import time
 from typing import Callable, Dict, List, Tuple
+
+from repro.util import elapsed_since, wall_clock
 
 from repro.experiments import (
     fig01, fig02, fig03, fig04, fig05, fig06,
@@ -100,6 +106,35 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         help="experiment names (see 'list'), or 'all'",
     )
+    lint_parser = subparsers.add_parser(
+        "lint", help="run kyotolint over the source tree"
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file; matching findings warn instead of failing",
+    )
+    lint_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from the current findings",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the known rules and exit",
+    )
     return parser
 
 
@@ -123,10 +158,45 @@ def run_experiments(names: List[str], out=sys.stdout) -> int:
     for name in names:
         description, runner = EXPERIMENTS[name]
         out.write(f"== {name}: {description} ==\n")
-        start = time.time()
+        start = wall_clock()
         out.write(runner())
-        out.write(f"\n[{time.time() - start:.1f}s]\n\n")
+        out.write(f"\n[{elapsed_since(start):.1f}s]\n\n")
     return 0
+
+
+def run_lint(args, out=sys.stdout) -> int:
+    """The ``repro lint`` subcommand (see repro.lint)."""
+    from repro import lint as kyotolint
+
+    if args.rules:
+        for rule in kyotolint.ALL_RULES:
+            out.write(f"{rule.rule_id}  {rule.description}\n")
+        return 0
+    paths = args.paths or [str(pathlib.Path(__file__).parent)]
+    missing = [p for p in paths if not pathlib.Path(p).exists()]
+    if missing:
+        sys.stderr.write(f"repro lint: error: no such path: {', '.join(missing)}\n")
+        return 2
+    findings = kyotolint.lint_paths(paths)
+    if args.baseline:
+        if args.update_baseline:
+            kyotolint.Baseline.from_findings(findings).save(args.baseline)
+            out.write(
+                f"baseline {args.baseline} updated "
+                f"({len(findings)} entries)\n"
+            )
+            return 0
+        try:
+            baseline = kyotolint.Baseline.load(args.baseline)
+        except kyotolint.BaselineError as exc:
+            sys.stderr.write(f"repro lint: error: {exc}\n")
+            return 2
+        baseline.apply(findings)
+    formatter = (
+        kyotolint.format_json if args.format == "json" else kyotolint.format_text
+    )
+    out.write(formatter(findings) + "\n")
+    return kyotolint.exit_code(findings)
 
 
 def main(argv: List[str] = None) -> int:
@@ -134,6 +204,8 @@ def main(argv: List[str] = None) -> int:
     if args.command == "list":
         print(list_experiments())
         return 0
+    if args.command == "lint":
+        return run_lint(args)
     return run_experiments(args.experiments)
 
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, TYPE_CHECKING
 
+from repro.lint.contracts import InvariantChecker
+
 from .monitor import DirectPmcMonitor, PollutionMonitor
 from .pollution import PollutionAccount
 
@@ -42,6 +44,9 @@ class KyotoEngine:
         self.quota_max_factor = quota_max_factor
         self.monitor_period_ticks = monitor_period_ticks
         self.accounts: Dict[int, PollutionAccount] = {}
+        #: Runtime contracts (docs/static_analysis.md): on under pytest,
+        #: toggled by KYOTO_CONTRACTS, no-op otherwise.
+        self.invariants = InvariantChecker("KyotoEngine")
 
     # -- registration -------------------------------------------------------------
 
@@ -75,6 +80,12 @@ class KyotoEngine:
             if account is None:
                 continue
             measured = self.monitor.sample(vm)
+            self.invariants.require(
+                measured >= 0.0,
+                "non-negative-sample",
+                f"monitor {self.monitor.name} returned {measured} for "
+                f"{vm.name}",
+            )
             # llc_cap_act is a *rate* (misses/ms); the debit covers the
             # whole monitoring period so that the sustainable average
             # rate equals the booked llc_cap regardless of how often the
@@ -85,6 +96,11 @@ class KyotoEngine:
         """Time-slice boundary: every managed VM earns quota."""
         for account in self.accounts.values():
             account.refill(ticks=self.system.ticks_per_slice)
+            self.invariants.require(
+                account.quota <= account.quota_max + 1e-9,
+                "quota-cap",
+                f"quota {account.quota} exceeds cap {account.quota_max}",
+            )
 
     # -- reporting ------------------------------------------------------------------
 

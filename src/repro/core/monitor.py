@@ -253,7 +253,8 @@ class FaultInjectingMonitor(PollutionMonitor):
     * ``drop_every``: every n-th sample is lost (reported as 0.0, as a
       missed sampling window would be),
     * ``noise_fraction``: multiplicative noise, uniform in
-      ``[1-f, 1+f]``, from a seeded RNG (deterministic tests).
+      ``[1-f, 1+f]``, from a seeded RNG (deterministic tests), or an
+      injected ``rng`` stream (e.g. ``RngRegistry.stream``).
     """
 
     name = "fault-injecting"
@@ -264,6 +265,7 @@ class FaultInjectingMonitor(PollutionMonitor):
         drop_every: int = 0,
         noise_fraction: float = 0.0,
         seed: int = 0,
+        rng=None,
     ) -> None:
         super().__init__(inner.system)
         if drop_every < 0:
@@ -272,12 +274,12 @@ class FaultInjectingMonitor(PollutionMonitor):
             raise ValueError(
                 f"noise_fraction must be in [0,1), got {noise_fraction}"
             )
-        import random as _random
+        from repro.simulation.rng import seeded_stream
 
         self.inner = inner
         self.drop_every = drop_every
         self.noise_fraction = noise_fraction
-        self._rng = _random.Random(seed)
+        self._rng = rng if rng is not None else seeded_stream(seed)
         self._count = 0
         self.dropped = 0
 

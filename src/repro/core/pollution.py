@@ -21,7 +21,8 @@ idle period cannot bank an unbounded pollution burst.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+
+from repro.lint.contracts import invariant
 
 
 @dataclass
@@ -74,6 +75,9 @@ class PollutionAccount:
             self.punishments += 1
         return newly_punished
 
+    @invariant(
+        lambda self: self.quota <= self.quota_max + 1e-9, name="quota-cap"
+    )
     def refill(self, ticks: int = 1) -> None:
         """Earn quota for ``ticks`` elapsed ticks of the time slice."""
         if ticks < 0:

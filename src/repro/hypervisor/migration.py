@@ -16,6 +16,8 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from repro.simulation.rng import seeded_stream
+
 from .system import VirtualizedSystem
 from .vcpu import VCpu
 
@@ -33,6 +35,7 @@ class PeriodicMigrator:
         min_dwell_ticks: int = 1,
         max_dwell_ticks: int = 3,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if period_ticks <= 0:
             raise ValueError(f"period_ticks must be positive, got {period_ticks}")
@@ -55,7 +58,7 @@ class PeriodicMigrator:
         self.period_ticks = period_ticks
         self.min_dwell_ticks = min_dwell_ticks
         self.max_dwell_ticks = max_dwell_ticks
-        self._rng = random.Random(seed)
+        self._rng = rng if rng is not None else seeded_stream(seed)
         self._away = False
         self._return_at_tick: Optional[int] = None
         self.migrations = 0

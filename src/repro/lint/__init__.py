@@ -1,0 +1,61 @@
+"""kyotolint: repo-specific static analysis plus runtime contracts.
+
+The reproduction's credibility rests on two properties no general-purpose
+linter checks: **determinism** (every stochastic stream derives from
+``(seed, name)``; nothing reads the wall clock or leaks set order into
+results) and **unit correctness** (equation 1 mixes kHz, cycles and
+milliseconds — by conversion, never by accident).  ``kyotolint`` enforces
+both statically over the AST (:mod:`repro.lint.walker`,
+:mod:`repro.lint.rules`) and dynamically via invariant contracts
+(:mod:`repro.lint.contracts`).
+
+Run it as ``repro lint [paths] [--format json] [--baseline FILE]``, or
+programmatically::
+
+    from repro.lint import lint_paths, exit_code
+    findings = lint_paths(["src/repro"])
+    assert exit_code(findings) == 0
+"""
+
+from .baseline import Baseline, BaselineError
+from .contracts import (
+    ContractViolation,
+    InvariantChecker,
+    check,
+    contracts_enabled,
+    invariant,
+    set_contracts_enabled,
+)
+from .report import exit_code, failing_findings, format_json, format_text
+from .rules import ALL_RULES, RULES_BY_ID, Finding, Rule
+from .walker import (
+    clear_cache,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineError",
+    "ContractViolation",
+    "Finding",
+    "InvariantChecker",
+    "RULES_BY_ID",
+    "Rule",
+    "check",
+    "clear_cache",
+    "contracts_enabled",
+    "exit_code",
+    "failing_findings",
+    "format_json",
+    "format_text",
+    "invariant",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "set_contracts_enabled",
+]

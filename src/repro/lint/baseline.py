@@ -1,0 +1,96 @@
+"""Baseline (grandfathering) support.
+
+A baseline file freezes the set of known violations at one point in time:
+findings matching a baseline entry are demoted to warnings, anything new
+fails the run.  This lets the linter land with a gate on day one while
+legacy violations are burned down incrementally — the acceptance bar for
+this repo is an *empty* baseline, so the file mostly exists for branches
+mid-migration.
+
+Entries match on ``(path, rule, line)``; the format is plain JSON so
+diffs are reviewable:
+
+.. code-block:: json
+
+    {"version": 1, "entries": [
+        {"path": "repro/foo.py", "rule": "D001", "line": 42}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, List, Set, Tuple
+
+from .rules.base import Finding
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+class Baseline:
+    """Set of grandfathered findings."""
+
+    def __init__(self, entries: Iterable[Tuple[str, str, int]] = ()) -> None:
+        self._entries: Set[Tuple[str, str, int]] = set(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def matches(self, finding: Finding) -> bool:
+        return (finding.path, finding.rule_id, finding.line) in self._entries
+
+    def apply(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Demote matching findings to baselined warnings; returns input."""
+        result = list(findings)
+        for finding in result:
+            if self.matches(finding):
+                finding.baselined = True
+                finding.severity = "warning"
+        return result
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(
+            (finding.path, finding.rule_id, finding.line)
+            for finding in findings
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        file_path = pathlib.Path(path)
+        if not file_path.exists():
+            return cls()
+        try:
+            payload = json.loads(file_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}")
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        entries = []
+        for entry in payload["entries"]:
+            try:
+                entries.append(
+                    (str(entry["path"]), str(entry["rule"]), int(entry["line"]))
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(f"bad baseline entry {entry!r}: {exc}")
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {"path": p, "rule": rule, "line": line}
+                for p, rule, line in sorted(self._entries)
+            ],
+        }
+        pathlib.Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,56 @@
+"""Inline suppression pragmas.
+
+Two forms, both comments:
+
+* same-line: ``x = random.random()  # kyotolint: disable=D001`` silences
+  the listed rules (comma-separated, or ``all``) on that line only;
+* file-level: ``# kyotolint: disable-file=U002`` anywhere in the file
+  silences the listed rules for the whole file.
+
+A pragma is a *justified* suppression: unlike a baseline entry it lives in
+the code next to the violation, so reviewers see it.  Prefer pragmas with
+a trailing justification comment over baseline entries for anything
+permanent.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+_LINE_PRAGMA_RE = re.compile(
+    r"#\s*kyotolint:\s*disable=([A-Za-z0-9,\s]+?)\s*(?:#|$)"
+)
+_FILE_PRAGMA_RE = re.compile(
+    r"#\s*kyotolint:\s*disable-file=([A-Za-z0-9,\s]+?)\s*(?:#|$)"
+)
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+class PragmaTable:
+    """Suppression state extracted from one file's source text."""
+
+    def __init__(self, source: str) -> None:
+        self.line_disables: Dict[int, Set[str]] = {}
+        self.file_disables: Set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _LINE_PRAGMA_RE.search(text)
+            if match:
+                self.line_disables.setdefault(lineno, set()).update(
+                    _parse_rule_list(match.group(1))
+                )
+            match = _FILE_PRAGMA_RE.search(text)
+            if match:
+                self.file_disables.update(_parse_rule_list(match.group(1)))
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is pragma-disabled at ``line``."""
+        if rule_id in self.file_disables or "ALL" in self.file_disables:
+            return True
+        disabled = self.line_disables.get(line)
+        if not disabled:
+            return False
+        return rule_id in disabled or "ALL" in disabled

@@ -1,0 +1,37 @@
+"""kyotolint rule registry — one module per rule family."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import FileContext, Finding, Rule
+from .determinism import (
+    BareRandomRule,
+    RawRandomConstructionRule,
+    SetIterationRule,
+    WallClockRule,
+)
+from .hygiene import MutableDefaultRule, SwallowedExceptionRule
+from .units import FloatEqualityRule, MixedUnitArithmeticRule
+
+#: Every rule kyotolint knows, in reporting order.
+ALL_RULES: List[Type[Rule]] = [
+    BareRandomRule,
+    RawRandomConstructionRule,
+    WallClockRule,
+    SetIterationRule,
+    MixedUnitArithmeticRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+    SwallowedExceptionRule,
+]
+
+RULES_BY_ID: Dict[str, Type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "FileContext",
+    "Finding",
+    "Rule",
+]

@@ -1,0 +1,122 @@
+"""Rule interface and the finding record shared by every rule family.
+
+A rule is a small, stateless-per-file object: the walker constructs one
+instance of each registered rule per linted file, feeds it every AST node
+whose type appears in ``node_types``, and collects the findings it emits.
+File-scoped context (import aliases, the file's repo-relative path, pragma
+table) lives on the :class:`FileContext` the walker passes alongside each
+node, so rules never re-walk the tree themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple, Type
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    baselined: bool = False
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+            "baselined": self.baselined,
+        }
+
+
+@dataclass
+class FileContext:
+    """Per-file facts rules need but should not recompute.
+
+    Attributes:
+        path: repo-relative posix path of the file being linted.
+        random_aliases: names bound to the ``random`` module
+            (``import random``, ``import random as r``).
+        random_from_imports: names imported *from* ``random``
+            (``from random import Random, choice``), mapped to the
+            original attribute name.
+        time_aliases: names bound to the ``time`` module.
+        time_from_imports: names imported from ``time``.
+        datetime_aliases: names bound to the ``datetime`` module.
+        datetime_from_imports: names imported from ``datetime``.
+    """
+
+    path: str
+    random_aliases: Set[str] = field(default_factory=set)
+    random_from_imports: Dict[str, str] = field(default_factory=dict)
+    time_aliases: Set[str] = field(default_factory=set)
+    time_from_imports: Dict[str, str] = field(default_factory=dict)
+    datetime_aliases: Set[str] = field(default_factory=set)
+    datetime_from_imports: Dict[str, str] = field(default_factory=dict)
+
+    def path_endswith(self, *suffixes: str) -> bool:
+        """True when the file path matches one of the allowlist suffixes."""
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+
+class Rule:
+    """Base class for all kyotolint rules."""
+
+    #: Stable identifier, e.g. ``"D001"``.
+    rule_id: str = "X000"
+    #: One-line description shown by ``repro lint --rules``.
+    description: str = ""
+    #: Default severity of fresh (non-baselined) findings.
+    severity: str = "error"
+    #: AST node classes this rule wants to see.
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Inspect one node; call :meth:`report` for each violation."""
+        raise NotImplementedError
+
+    def report(
+        self, node: ast.AST, ctx: FileContext, message: str
+    ) -> Finding:
+        finding = Finding(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity,
+        )
+        self.findings.append(finding)
+        return finding
+
+
+def call_name(node: ast.AST) -> Sequence[str]:
+    """Dotted-name parts of a call target (``a.b.c()`` -> ("a","b","c")).
+
+    Returns an empty tuple for targets that are not plain name/attribute
+    chains (subscripts, calls of calls, lambdas...).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()

@@ -1,0 +1,203 @@
+"""Determinism rules (D-family).
+
+The reproduction's headline guarantee is bit-identical replays: every
+stochastic stream must derive from ``(seed, name)`` via
+:mod:`repro.simulation.rng`, and simulated results must never depend on
+wall-clock time or on Python's arbitrary set iteration order.
+
+* **D001** — call of a bare ``random`` module function (``random.random()``,
+  ``random.randint(...)``, ``from random import choice``).  These draw from
+  the interpreter-global generator, whose state depends on import order and
+  on every other caller.
+* **D002** — ``random.Random(seed)`` constructed outside
+  ``simulation/rng.py``.  Components must accept an injected stream (or use
+  :func:`repro.simulation.rng.seeded_stream`) so that one master seed
+  reaches every corner of the simulation.
+* **D003** — wall-clock reads (``time.time``, ``time.perf_counter``,
+  ``time.monotonic``, ``datetime.now`` ...) anywhere except the sanctioned
+  ``repro/util.py`` helper.  Simulated code must use simulated time.
+* **D004** — iteration directly over a set expression (``for x in set(...)``,
+  ``for x in a | b`` over sets, set comprehensions).  Set order varies with
+  insertion history and hash seeding of compound keys; iterate
+  ``sorted(...)`` instead when order can reach results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .base import FileContext, Rule, call_name
+
+#: Files allowed to construct raw ``random.Random`` streams.
+RNG_ALLOWLIST = ("simulation/rng.py",)
+
+#: Files allowed to read the wall clock.
+WALL_CLOCK_ALLOWLIST = ("repro/util.py",)
+
+#: ``time`` module attributes that read the wall clock.
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+    "localtime",
+    "gmtime",
+}
+
+#: ``datetime.datetime`` / ``datetime.date`` constructors that read the clock.
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+class BareRandomRule(Rule):
+    """D001: module-level ``random.*`` functions share global state."""
+
+    rule_id = "D001"
+    description = (
+        "bare random.* module function; draw from an injected "
+        "random.Random stream instead"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        parts = call_name(node.func)
+        if len(parts) == 2 and parts[0] in ctx.random_aliases:
+            if parts[1] != "Random":
+                self.report(
+                    node,
+                    ctx,
+                    f"call to random.{parts[1]}() uses the global RNG; "
+                    "use a named stream from repro.simulation.rng",
+                )
+        elif len(parts) == 1 and parts[0] in ctx.random_from_imports:
+            original = ctx.random_from_imports[parts[0]]
+            if original != "Random":
+                self.report(
+                    node,
+                    ctx,
+                    f"call to random-module function {original}() uses the "
+                    "global RNG; use a named stream from repro.simulation.rng",
+                )
+
+
+class RawRandomConstructionRule(Rule):
+    """D002: ``random.Random(...)`` outside the RNG registry module."""
+
+    rule_id = "D002"
+    description = (
+        "random.Random constructed outside simulation/rng.py; accept an "
+        "injected stream or use repro.simulation.rng.seeded_stream"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.path_endswith(*RNG_ALLOWLIST):
+            return
+        parts = call_name(node.func)
+        is_attr = (
+            len(parts) == 2
+            and parts[0] in ctx.random_aliases
+            and parts[1] == "Random"
+        )
+        is_name = (
+            len(parts) == 1
+            and ctx.random_from_imports.get(parts[0]) == "Random"
+        )
+        if is_attr or is_name:
+            self.report(
+                node,
+                ctx,
+                "random.Random() constructed outside simulation/rng.py; "
+                "inject a stream (RngRegistry.stream / seeded_stream)",
+            )
+
+
+class WallClockRule(Rule):
+    """D003: wall-clock reads outside the sanctioned helper."""
+
+    rule_id = "D003"
+    description = (
+        "wall-clock read outside repro/util.wall_clock(); simulated code "
+        "must use simulated time"
+    )
+    node_types = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.path_endswith(*WALL_CLOCK_ALLOWLIST):
+            return
+        parts = call_name(node.func)
+        culprit = self._wall_clock_call(parts, ctx)
+        if culprit:
+            self.report(
+                node,
+                ctx,
+                f"wall-clock call {culprit}; route timing through "
+                "repro.util.wall_clock() or use simulated time",
+            )
+
+    def _wall_clock_call(self, parts, ctx: FileContext) -> Optional[str]:
+        if not parts:
+            return None
+        # time.time(), t.perf_counter() with `import time as t`
+        if len(parts) == 2 and parts[0] in ctx.time_aliases:
+            if parts[1] in _TIME_FUNCS:
+                return f"time.{parts[1]}()"
+        # from time import time / perf_counter
+        if len(parts) == 1 and parts[0] in ctx.time_from_imports:
+            original = ctx.time_from_imports[parts[0]]
+            if original in _TIME_FUNCS:
+                return f"time.{original}()"
+        # datetime.datetime.now(), datetime.date.today()
+        if (
+            len(parts) == 3
+            and parts[0] in ctx.datetime_aliases
+            and parts[1] in ("datetime", "date")
+            and parts[2] in _DATETIME_FUNCS
+        ):
+            return f"datetime.{parts[1]}.{parts[2]}()"
+        # from datetime import datetime; datetime.now()
+        if len(parts) == 2 and parts[0] in ctx.datetime_from_imports:
+            original = ctx.datetime_from_imports[parts[0]]
+            if original in ("datetime", "date") and parts[1] in _DATETIME_FUNCS:
+                return f"datetime.{original}.{parts[1]}()"
+        return None
+
+
+def _is_set_valued(node: ast.AST) -> bool:
+    """Conservatively true when ``node`` evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        parts = call_name(node.func)
+        return parts in (("set",), ("frozenset",))
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        # Set algebra: either side being a set makes the result a set.
+        return _is_set_valued(node.left) or _is_set_valued(node.right)
+    return False
+
+
+class SetIterationRule(Rule):
+    """D004: iteration order of a set can leak into results."""
+
+    rule_id = "D004"
+    description = (
+        "iteration directly over a set expression; wrap in sorted() when "
+        "order can reach results"
+    )
+    node_types = (ast.For, ast.comprehension)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        iter_expr = node.iter  # both ast.For and ast.comprehension have .iter
+        if _is_set_valued(iter_expr):
+            self.report(
+                iter_expr,
+                ctx,
+                "iterating directly over a set; set order is "
+                "insertion/hash dependent — iterate sorted(...) instead",
+            )

@@ -1,0 +1,74 @@
+"""API-hygiene rules (H-family).
+
+* **H001** — mutable default argument (``def f(x, acc=[])``).  The default
+  is evaluated once at definition time and shared across calls; in a
+  simulation that aliasing silently couples independent components.
+* **H002** — a broad exception handler whose body is only ``pass``
+  (``except: pass`` / ``except Exception: pass``).  Swallowing everything
+  hides the very invariant violations the contracts layer exists to
+  surface.  Narrow handlers (``except KeyError: pass``) are left alone.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import FileContext, Rule, call_name
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = {("list",), ("dict",), ("set",), ("bytearray",), ("deque",)}
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node.func) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    """H001: mutable default arguments are shared across calls."""
+
+    rule_id = "H001"
+    description = "mutable default argument; use None and construct inside"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self.report(
+                    default,
+                    ctx,
+                    f"mutable default argument in {node.name}(); the value "
+                    "is shared across every call — default to None",
+                )
+
+
+class SwallowedExceptionRule(Rule):
+    """H002: a broad handler that silently discards the exception."""
+
+    rule_id = "H002"
+    description = "broad except handler with a pass-only body swallows errors"
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        if not all(isinstance(stmt, ast.Pass) for stmt in node.body):
+            return
+        if node.type is None:
+            self.report(
+                node, ctx, "bare 'except: pass' swallows every error silently"
+            )
+            return
+        parts = call_name(node.type)
+        if len(parts) == 1 and parts[0] in _BROAD_EXCEPTIONS:
+            self.report(
+                node,
+                ctx,
+                f"'except {parts[0]}: pass' swallows every error silently; "
+                "narrow the exception or handle it",
+            )

@@ -1,0 +1,139 @@
+"""Unit-correctness rules (U-family).
+
+Equation 1 (``llc_misses * cpu_freq_khz / unhalted_core_cycles``) is the
+paper's load-bearing arithmetic, and the codebase encodes units in
+identifier suffixes (``freq_khz``, ``tick_usec``, ``period_ticks``,
+``sampling_cost_cycles``).  Multiplication and division *are* how unit
+conversions happen, so they are never flagged; adding, subtracting or
+comparing two quantities of different units is always a bug.
+
+* **U001** — an additive operation or comparison whose operands carry
+  conflicting unit suffixes (``_khz`` + ``_usec``, ``x_ms < y_ticks``)
+  without an intervening conversion call.  Operands that are calls (e.g.
+  ``usec_to_cycles(...)``) carry no suffix and are not flagged — a
+  conversion function is the sanctioned way to cross units.
+* **U002** — ``==`` / ``!=`` against a float literal with a fractional
+  part.  Such literals are rarely exactly representable in binary and the
+  comparison silently fails; compare with a tolerance (or restructure).
+  Whole-valued literals (``0.0``, ``1.0``) are exact and commonly used as
+  sentinels, so they are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from .base import FileContext, Rule
+
+#: Recognised unit suffixes.  Each suffix is its own unit: ``_ms`` vs
+#: ``_usec`` is just as wrong as ``_ms`` vs ``_ticks``.
+_UNIT_SUFFIXES = (
+    "hz",
+    "khz",
+    "mhz",
+    "ghz",
+    "ms",
+    "msec",
+    "usec",
+    "sec",
+    "ticks",
+    "cycles",
+)
+
+_SUFFIX_RE = re.compile(r"(?:^|_)({})$".format("|".join(_UNIT_SUFFIXES)))
+
+
+def unit_suffix_of_identifier(name: str) -> Optional[str]:
+    """The unit suffix carried by an identifier, if any."""
+    match = _SUFFIX_RE.search(name)
+    return match.group(1) if match else None
+
+
+def unit_of_expr(node: ast.AST) -> Optional[str]:
+    """Infer the unit of an expression from identifier suffixes.
+
+    Returns None when no unit can be inferred (literals, calls —
+    conversion functions are the sanctioned unit boundary) and propagates
+    through unary ops and through additive chains whose sides agree.
+    """
+    if isinstance(node, ast.Name):
+        return unit_suffix_of_identifier(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_suffix_of_identifier(node.attr)
+    if isinstance(node, ast.UnaryOp):
+        return unit_of_expr(node.operand)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = unit_of_expr(node.left)
+        right = unit_of_expr(node.right)
+        if left is not None and right is not None and left == right:
+            return left
+    return None
+
+
+class MixedUnitArithmeticRule(Rule):
+    """U001: additive arithmetic / comparison across unit suffixes."""
+
+    rule_id = "U001"
+    description = (
+        "arithmetic or comparison mixing identifiers with conflicting "
+        "unit suffixes without an explicit conversion call"
+    )
+    node_types = (ast.BinOp, ast.Compare)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.BinOp):
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return
+            self._check_pair(node, ctx, node.left, node.right)
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            for left, right in zip(operands, operands[1:]):
+                self._check_pair(node, ctx, left, right)
+
+    def _check_pair(
+        self, node: ast.AST, ctx: FileContext, left: ast.AST, right: ast.AST
+    ) -> None:
+        unit_left = unit_of_expr(left)
+        unit_right = unit_of_expr(right)
+        if (
+            unit_left is not None
+            and unit_right is not None
+            and unit_left != unit_right
+        ):
+            self.report(
+                node,
+                ctx,
+                f"mixing units _{unit_left} and _{unit_right} without a "
+                "conversion call (see repro.simulation.clock converters)",
+            )
+
+
+class FloatEqualityRule(Rule):
+    """U002: exact equality against a fractional float literal."""
+
+    rule_id = "U002"
+    description = (
+        "== / != against a fractional float literal; compare with a "
+        "tolerance instead"
+    )
+    node_types = (ast.Compare,)
+
+    def visit(self, node: ast.Compare, ctx: FileContext) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        for comparator in [node.left] + list(node.comparators):
+            if (
+                isinstance(comparator, ast.Constant)
+                and isinstance(comparator.value, float)
+                and not comparator.value.is_integer()
+            ):
+                self.report(
+                    node,
+                    ctx,
+                    f"exact comparison against float literal "
+                    f"{comparator.value!r} is representation-dependent; "
+                    "use math.isclose or an epsilon",
+                )
+                return

@@ -1,0 +1,144 @@
+"""Single-pass multi-rule AST walker with per-file caching.
+
+One parse and one tree traversal per file regardless of how many rules
+are active: rules declare the node types they care about and the walker
+dispatches each node to the interested rules only.  Results are cached
+per (path, content-hash) so the pytest lint gate and a CLI run in the
+same process never re-lint an unchanged file.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import pathlib
+from typing import Dict, Iterable, List, Optional, Tuple, Type
+
+from .pragmas import PragmaTable
+from .rules import ALL_RULES
+from .rules.base import FileContext, Finding, Rule
+
+#: (posix path, sha256 of source) -> findings.  Process-lifetime cache.
+_CACHE: Dict[Tuple[str, str], List[Finding]] = {}
+
+
+def _collect_imports(tree: ast.Module, ctx: FileContext) -> None:
+    """Record how ``random`` / ``time`` / ``datetime`` are reachable."""
+    module_aliases = {
+        "random": ctx.random_aliases,
+        "time": ctx.time_aliases,
+        "datetime": ctx.datetime_aliases,
+    }
+    from_imports = {
+        "random": ctx.random_from_imports,
+        "time": ctx.time_from_imports,
+        "datetime": ctx.datetime_from_imports,
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in module_aliases:
+                    module_aliases[alias.name].add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module in from_imports:
+            for alias in node.names:
+                from_imports[node.module][alias.asname or alias.name] = (
+                    alias.name
+                )
+
+
+def normalize_path(path: str) -> str:
+    """Posix form of ``path``, relative to the repository when possible."""
+    posix = pathlib.PurePath(path).as_posix()
+    for anchor in ("src/repro/", "repro/"):
+        index = posix.rfind(anchor)
+        if index >= 0:
+            return posix[index:]
+    return posix
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[Type[Rule]]] = None,
+) -> List[Finding]:
+    """Lint one file's source text and return its findings.
+
+    ``path`` participates in rule allowlists (e.g. ``simulation/rng.py``
+    may construct raw streams), so virtual paths in tests should mimic
+    real repo layout when they want allowlist behaviour.
+    """
+    rule_classes = list(ALL_RULES if rules is None else rules)
+    ctx = FileContext(path=normalize_path(path))
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="E999",
+                path=ctx.path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    _collect_imports(tree, ctx)
+    pragmas = PragmaTable(source)
+
+    instances = [rule_class() for rule_class in rule_classes]
+    dispatch: Dict[type, List[Rule]] = {}
+    for rule in instances:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            rule.visit(node, ctx)
+
+    findings: List[Finding] = []
+    for rule in instances:
+        for finding in rule.findings:
+            if not pragmas.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def lint_file(
+    path: str, rules: Optional[Iterable[Type[Rule]]] = None
+) -> List[Finding]:
+    """Lint one file from disk, with content-hash caching."""
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    key = (normalize_path(path), hashlib.sha256(text.encode("utf-8")).hexdigest())
+    if rules is None and key in _CACHE:
+        return list(_CACHE[key])
+    findings = lint_source(text, path=path, rules=rules)
+    if rules is None:
+        _CACHE[key] = list(findings)
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    result: List[str] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            result.extend(str(p) for p in path.rglob("*.py"))
+        else:
+            result.append(str(path))
+    return sorted(set(result))
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Iterable[Type[Rule]]] = None
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules=rules))
+    return findings
+
+
+def clear_cache() -> None:
+    """Drop the per-file findings cache (tests)."""
+    _CACHE.clear()

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.lint.contracts import InvariantChecker
+
 from .clock import Clock
 from .events import Event, EventQueue
 
@@ -33,6 +35,8 @@ class Engine:
         self.queue = EventQueue()
         self._running = False
         self._fired = 0
+        #: Runtime contracts (docs/static_analysis.md); cheap when disabled.
+        self.invariants = InvariantChecker("Engine")
 
     @property
     def now_usec(self) -> int:
@@ -115,6 +119,12 @@ class Engine:
         if when is None:
             return False
         event = self.queue.pop()
+        self.invariants.require(
+            event.when_usec >= self.clock.now_usec,
+            "clock-monotonic",
+            f"event '{event.name}' at {event.when_usec} behind clock "
+            f"{self.clock.now_usec}",
+        )
         self.clock.advance_to(event.when_usec)
         event.callback()
         self._fired += 1

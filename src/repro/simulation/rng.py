@@ -24,6 +24,20 @@ def derive_seed(master_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def seeded_stream(seed: int, name: str = "") -> random.Random:
+    """A standalone deterministic stream for components without a registry.
+
+    Components that accept an optional injected :class:`random.Random`
+    (replacement policies, migrators, fault injectors) default to this
+    helper instead of constructing ``random.Random`` directly, so the
+    construction of raw generators stays confined to this module
+    (kyotolint rule D002).  ``name`` decorrelates streams sharing a seed.
+    """
+    if name:
+        return random.Random(derive_seed(seed, name))
+    return random.Random(seed)
+
+
 class RngRegistry:
     """Factory of named, reproducible :class:`random.Random` streams."""
 

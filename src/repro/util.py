@@ -1,0 +1,27 @@
+"""Small shared utilities.
+
+This module is the repo's **one sanctioned wall-clock entry point**:
+kyotolint rule D003 forbids ``time.time()`` / ``datetime.now()`` anywhere
+else under ``src/repro``, so reporting code that genuinely needs elapsed
+real time (the CLI's per-experiment timing) must route through
+:func:`wall_clock`.  Simulation code must never need it — simulated time
+lives in :mod:`repro.simulation.clock`.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_clock() -> float:
+    """Seconds since the epoch, for *reporting only*.
+
+    Never feed this into simulation logic: results must be a function of
+    the experiment seed alone.
+    """
+    return time.time()
+
+
+def elapsed_since(start: float) -> float:
+    """Wall-clock seconds elapsed since ``start`` (a wall_clock() value)."""
+    return wall_clock() - start

@@ -13,11 +13,11 @@ long samples never materialise in memory.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from repro.cachesim.perfmodel import CacheBehavior
+from repro.simulation.rng import seeded_stream
 
 from .base import LINE_BYTES
 
@@ -72,7 +72,7 @@ def generate_trace(
         raise ValueError(f"num_accesses must be >= 0, got {num_accesses}")
     if config is None:
         config = TraceConfig()
-    rng = random.Random(config.seed)
+    rng = seeded_stream(config.seed)
 
     wss_lines = max(1, int(behavior.wss_lines))
     hot_lines = max(1, int(wss_lines * config.hot_fraction))
@@ -106,7 +106,7 @@ def pointer_chain_addresses(
     """
     num_lines = max(1, wss_bytes // LINE_BYTES)
     order = list(range(num_lines))
-    random.Random(seed).shuffle(order)
+    seeded_stream(seed).shuffle(order)
     base_line = base_address // LINE_BYTES
     return [(base_line + line) * LINE_BYTES for line in order]
 

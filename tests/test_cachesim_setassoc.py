@@ -163,7 +163,6 @@ class TestWorkingSetBehaviour:
         """The classic LRU pathology: a cyclic scan one line larger than
         the cache misses on every single access."""
         cache = tiny_cache(size_kib=1, assoc=2)
-        lines = cache.spec.num_lines
         # num_sets+1 distinct tags all mapping around: simplest: scan
         # lines+num_sets lines cyclically so every set sees assoc+... use
         # 3 tags in one set with assoc 2:

@@ -112,7 +112,7 @@ class TestEnforcement:
         sen, dis = gcc_lbm_pair(system, llc_cap=0.0)
         # gcc also has a zero permit here; use separate permits instead.
         system = ks4xen_system()
-        sen = system.create_vm(
+        system.create_vm(
             VmConfig(name="sen", workload=application_workload("gcc"),
                      llc_cap=250_000.0, pinned_cores=[0])
         )

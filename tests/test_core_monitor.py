@@ -187,7 +187,8 @@ class TestMcSimReplayMonitor:
             system.run_ticks(10)
             return monitor.sample(vm)
 
-        replay_factory = lambda s: McSimReplayMonitor(s, ReplayService())
+        def replay_factory(s):
+            return McSimReplayMonitor(s, ReplayService())
         replay_inflation = measure(replay_factory, True) / measure(
             replay_factory, False
         )

@@ -1,0 +1,69 @@
+"""The standing lint gate: src/repro must stay kyotolint-clean.
+
+This is the enforcement half of docs/static_analysis.md — any new
+violation anywhere under ``src/repro`` that is neither pragma'd nor
+baselined fails the test suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import repro
+from repro.lint import (
+    Baseline,
+    exit_code,
+    failing_findings,
+    format_text,
+    lint_paths,
+    lint_source,
+)
+
+REPO_ROOT = pathlib.Path(repro.__file__).resolve().parent.parent.parent
+PACKAGE_DIR = pathlib.Path(repro.__file__).resolve().parent
+BASELINE_PATH = REPO_ROOT / "kyotolint-baseline.json"
+
+
+def test_src_repro_is_lint_clean():
+    findings = lint_paths([str(PACKAGE_DIR)])
+    baseline = (
+        Baseline.load(str(BASELINE_PATH))
+        if BASELINE_PATH.exists()
+        else Baseline()
+    )
+    baseline.apply(findings)
+    assert exit_code(findings) == 0, (
+        "kyotolint violations in src/repro:\n" + format_text(findings)
+    )
+
+
+def test_baseline_is_empty():
+    """Acceptance bar: everything is fixed or pragma'd, nothing grandfathered."""
+    if BASELINE_PATH.exists():
+        assert len(Baseline.load(str(BASELINE_PATH))) == 0
+
+
+def test_gate_catches_injected_nondeterminism(tmp_path):
+    """A scratch file with random.random() must fail the same gate logic."""
+    scratch = tmp_path / "scratch.py"
+    scratch.write_text("import random\nx = random.random()\n")
+    findings = lint_paths([str(PACKAGE_DIR), str(tmp_path)])
+    assert exit_code(findings) == 1
+    assert [f.rule_id for f in failing_findings(findings)] == ["D001"]
+
+
+def test_gate_checks_every_source_file():
+    """The gate's file sweep sees the whole package (no silent pruning)."""
+    from repro.lint import iter_python_files
+
+    files = iter_python_files([str(PACKAGE_DIR)])
+    assert len(files) > 80  # 89 modules at the time of writing; growing
+    assert any(path.endswith("core/engine.py") for path in files)
+    assert any(path.endswith("lint/walker.py") for path in files)
+
+
+def test_tests_directory_unit_mixing_smoke():
+    """U001 logic sanity on a real-repo idiom: clock conversions are clean."""
+    clock_src = (PACKAGE_DIR / "simulation" / "clock.py").read_text()
+    findings = lint_source(clock_src, path="repro/simulation/clock.py")
+    assert findings == []

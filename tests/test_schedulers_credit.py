@@ -35,7 +35,7 @@ class TestSoloVm:
 class TestFairSharing:
     def test_equal_weights_split_evenly(self, xcs_system):
         a = make_vm(xcs_system, "a", core=0)
-        b = make_vm(xcs_system, "b", core=0)
+        make_vm(xcs_system, "b", core=0)
         share = duty_cycle(xcs_system, a, ticks=90)
         assert share == pytest.approx(0.5, abs=0.1)
 

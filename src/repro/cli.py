@@ -5,10 +5,15 @@ Run any of the paper's reproduced experiments from a shell::
     python -m repro list
     python -m repro run fig05
     python -m repro run table1 fig02
-    python -m repro run all
+    python -m repro run all --jobs 4 --json out/
+    python -m repro campaign out/ --output BENCH.json
 
 Each experiment prints the same rows/series the paper's figure or table
 reports (see EXPERIMENTS.md for the paper-vs-measured record).
+``--jobs N`` fans experiments out over worker processes (reports stay
+byte-identical to a serial run), ``--json DIR`` writes one JSON artifact
+per experiment, and ``campaign`` aggregates an artifact directory into a
+single summary (see docs/telemetry.md).
 
 The repo's own static-analysis gate (docs/static_analysis.md) runs as::
 
@@ -20,73 +25,15 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.util import elapsed_since, wall_clock
+from repro.experiments import campaign as campaign_mod
+from repro.experiments.registry import REGISTRY, expand_names
 
-from repro.experiments import (
-    fig01, fig02, fig03, fig04, fig05, fig06,
-    fig07, fig08, fig09, fig10, fig11, fig12, tables,
-)
-
-#: name -> (description, runner returning the printable report).
+#: name -> (description, runner) — kept as the CLI's legacy public
+#: surface; the canonical table is repro.experiments.registry.REGISTRY.
 EXPERIMENTS: Dict[str, Tuple[str, Callable[[], str]]] = {
-    "table1": (
-        "experimental machine",
-        lambda: tables.format_table1(tables.run_table1()),
-    ),
-    "table2": (
-        "experimental VMs",
-        lambda: tables.format_table2(tables.run_table2()),
-    ),
-    "fig01": (
-        "LLC contention impact matrix",
-        lambda: fig01.format_report(fig01.run()),
-    ),
-    "fig02": (
-        "LLC misses per tick (v2_rep)",
-        lambda: fig02.format_report(fig02.run()),
-    ),
-    "fig03": (
-        "the processor is a good lever",
-        lambda: fig03.format_report(fig03.run()),
-    ),
-    "fig04": (
-        "equation 1 vs LLCM indicators",
-        lambda: fig04.format_report(fig04.run()),
-    ),
-    "fig05": (
-        "KS4Xen effectiveness",
-        lambda: fig05.format_report(fig05.run()),
-    ),
-    "fig06": (
-        "KS4Xen scalability",
-        lambda: fig06.format_report(fig06.run()),
-    ),
-    "fig07": (
-        "Pisces architecture audit",
-        lambda: fig07.format_report(fig07.run()),
-    ),
-    "fig08": (
-        "Kyoto vs Pisces",
-        lambda: fig08.format_report(fig08.run()),
-    ),
-    "fig09": (
-        "vCPU migration overhead",
-        lambda: fig09.format_report(fig09.run()),
-    ),
-    "fig10": (
-        "when isolation can be skipped",
-        lambda: fig10.format_report(fig10.run()),
-    ),
-    "fig11": (
-        "dedication vs no dedication",
-        lambda: fig11.format_report(fig11.run()),
-    ),
-    "fig12": (
-        "KS4Xen overhead",
-        lambda: fig12.format_report(fig12.run()),
-    ),
+    spec.name: (spec.description, spec.runner) for spec in REGISTRY.values()
 }
 
 
@@ -105,6 +52,32 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="+",
         help="experiment names (see 'list'), or 'all'",
+    )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; output is identical)",
+    )
+    run_parser.add_argument(
+        "--json",
+        dest="json_dir",
+        metavar="DIR",
+        help="write one {name}.json artifact per experiment into DIR",
+    )
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="aggregate a --json artifact directory into one summary",
+    )
+    campaign_parser.add_argument(
+        "artifact_dir",
+        help="directory of {name}.json artifacts from 'run --json'",
+    )
+    campaign_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the campaign summary JSON to FILE instead of stdout",
     )
     lint_parser = subparsers.add_parser(
         "lint", help="run kyotolint over the source tree"
@@ -146,22 +119,26 @@ def list_experiments() -> str:
     return "\n".join(lines)
 
 
-def run_experiments(names: List[str], out=sys.stdout) -> int:
-    if "all" in names:
-        names = list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
+def run_experiments(
+    names: List[str],
+    out=sys.stdout,
+    jobs: int = 1,
+    json_dir: Optional[str] = None,
+) -> int:
+    """Run experiments (the ``repro run`` subcommand).
+
+    ``all`` expands deterministically to the registry order and repeated
+    names run once; a crashing experiment is reported and the batch
+    continues (nonzero exit code).  ``jobs > 1`` fans out over worker
+    processes without changing the report text.
+    """
+    known, unknown = expand_names(names)
     if unknown:
         out.write(
             f"unknown experiment(s): {', '.join(unknown)}\n{list_experiments()}\n"
         )
         return 2
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        out.write(f"== {name}: {description} ==\n")
-        start = wall_clock()
-        out.write(runner())
-        out.write(f"\n[{elapsed_since(start):.1f}s]\n\n")
-    return 0
+    return campaign_mod.run_campaign(known, jobs=jobs, json_dir=json_dir, out=out)
 
 
 def run_lint(args, out=sys.stdout) -> int:
@@ -199,14 +176,18 @@ def run_lint(args, out=sys.stdout) -> int:
     return kyotolint.exit_code(findings)
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print(list_experiments())
         return 0
     if args.command == "lint":
         return run_lint(args)
-    return run_experiments(args.experiments)
+    if args.command == "campaign":
+        return campaign_mod.summarize_campaign(args.artifact_dir, output=args.output)
+    return run_experiments(
+        args.experiments, jobs=args.jobs, json_dir=args.json_dir
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

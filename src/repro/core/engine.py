@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.lint.contracts import InvariantChecker
+from repro.telemetry import MetricsRecorder, current_recorder
 
 from .monitor import DirectPmcMonitor, PollutionMonitor
 from .pollution import PollutionAccount
@@ -34,6 +35,7 @@ class KyotoEngine:
         monitor: Optional[PollutionMonitor] = None,
         quota_max_factor: float = 3.0,
         monitor_period_ticks: int = 1,
+        recorder: Optional[MetricsRecorder] = None,
     ) -> None:
         if monitor_period_ticks <= 0:
             raise ValueError(
@@ -47,6 +49,18 @@ class KyotoEngine:
         #: Runtime contracts (docs/static_analysis.md): on under pytest,
         #: toggled by KYOTO_CONTRACTS, no-op otherwise.
         self.invariants = InvariantChecker("KyotoEngine")
+        #: Telemetry hook (docs/telemetry.md): defaults to the system's
+        #: recorder so one ``recording()`` scope covers the whole stack.
+        if recorder is not None:
+            self.recorder = recorder
+        else:
+            system_recorder = getattr(system, "recorder", None)
+            self.recorder = (
+                system_recorder if system_recorder is not None else current_recorder()
+            )
+        #: vm_id -> vm.cycles_run at its last monitoring sample; used to
+        #: skip VMs that never executed during a period (see on_tick_end).
+        self._cycles_at_last_sample: Dict[int, int] = {}
 
     # -- registration -------------------------------------------------------------
 
@@ -56,7 +70,9 @@ class KyotoEngine:
             return None
         if vm.vm_id not in self.accounts:
             self.accounts[vm.vm_id] = PollutionAccount(
-                llc_cap=vm.llc_cap, quota_max_factor=self.quota_max_factor
+                llc_cap=vm.llc_cap,
+                quota_max_factor=self.quota_max_factor,
+                recorder=self.recorder,
             )
         return self.accounts[vm.vm_id]
 
@@ -72,12 +88,26 @@ class KyotoEngine:
         return account is not None and account.parked
 
     def on_tick_end(self, tick_index: int) -> None:
-        """Run the monitoring period: measure and debit each managed VM."""
+        """Run the monitoring period: measure and debit each managed VM.
+
+        Only VMs that actually *executed* during the period are sampled:
+        debiting a parked or blocked VM would append a zero-rate entry to
+        its :class:`PollutionAccount`, diluting ``samples`` and
+        ``mean_measured`` with periods in which the VM could not pollute
+        at all.  Execution is detected by the VM's cumulative
+        ``cycles_run`` moving since the previous sample.
+        """
         if (tick_index + 1) % self.monitor_period_ticks != 0:
             return
         for vm in self.system.vms:
             account = self.accounts.get(vm.vm_id)
             if account is None:
+                continue
+            cycles_run = vm.cycles_run
+            ran = cycles_run != self._cycles_at_last_sample.get(vm.vm_id, 0)
+            self._cycles_at_last_sample[vm.vm_id] = cycles_run
+            if not ran:
+                self.recorder.inc("kyoto.idle_skips")
                 continue
             measured = self.monitor.sample(vm)
             self.invariants.require(
@@ -90,7 +120,14 @@ class KyotoEngine:
             # whole monitoring period so that the sustainable average
             # rate equals the booked llc_cap regardless of how often the
             # monitor runs.
-            account.debit(measured * self.monitor_period_ticks)
+            newly_punished = account.debit(measured * self.monitor_period_ticks)
+            self.recorder.inc("kyoto.samples")
+            if newly_punished:
+                self.recorder.inc("kyoto.punishments")
+            if self.recorder.enabled:
+                self.recorder.record(
+                    f"kyoto.quota.{vm.name}", tick_index, account.quota
+                )
 
     def on_accounting(self, tick_index: int) -> None:
         """Time-slice boundary: every managed VM earns quota."""

@@ -21,8 +21,10 @@ idle period cannot bank an unbounded pollution burst.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.lint.contracts import invariant
+from repro.telemetry import NULL_RECORDER, MetricsRecorder
 
 
 @dataclass
@@ -31,6 +33,10 @@ class PollutionAccount:
 
     llc_cap: float
     quota_max_factor: float = 3.0
+    #: Optional telemetry hook (docs/telemetry.md); no-op by default.
+    recorder: Optional[MetricsRecorder] = field(
+        default=None, repr=False, compare=False
+    )
     quota: float = field(init=False)
     punishments: int = field(default=0, init=False)
     #: Sum of every measured llc_cap_act debit (for reporting).
@@ -44,6 +50,8 @@ class PollutionAccount:
             raise ValueError(
                 f"quota_max_factor must be positive, got {self.quota_max_factor}"
             )
+        if self.recorder is None:
+            self.recorder = NULL_RECORDER
         self.quota = self.quota_max
 
     @property
@@ -73,6 +81,9 @@ class PollutionAccount:
         newly_punished = self.parked and not was_parked
         if newly_punished:
             self.punishments += 1
+        self.recorder.inc("pollution.debited_total", measured_llc_cap_act)
+        if newly_punished:
+            self.recorder.inc("pollution.punishments")
         return newly_punished
 
     @invariant(

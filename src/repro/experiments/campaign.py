@@ -1,0 +1,235 @@
+"""Parallel campaign runner and JSON artifact aggregation.
+
+A *campaign* is a batch of experiments run as one unit:
+
+* experiments fan out over ``--jobs N`` worker processes
+  (:mod:`multiprocessing`); every experiment is internally seeded
+  through :mod:`repro.simulation.rng`, so the parallel reports are
+  byte-identical to a serial run and results stream out in request
+  order regardless of completion order,
+* one crashing driver no longer aborts the batch — the failure is
+  captured (message + traceback) in the experiment's artifact, the
+  remaining experiments still run, and the campaign exits nonzero,
+* ``--json DIR`` writes one ``{name}.json`` artifact per experiment
+  (schema ``repro.artifact/1``): the report text, the failure if any,
+  wall time, and the full ``repro.telemetry/1`` telemetry document,
+* :func:`aggregate_dir` folds a directory of artifacts into a single
+  campaign summary (schema ``repro.campaign/1``) suitable for
+  committing as a ``BENCH_*.json`` perf-trajectory point.
+
+Wall-clock reads route through :func:`repro.util.wall_clock` — the one
+sanctioned entry point (kyotolint D003); wall time never feeds back into
+simulated results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import traceback
+from typing import Any, Dict, IO, List, Optional, Sequence
+
+from repro.telemetry import MetricsRecorder, recording, to_json_dict
+from repro.util import elapsed_since, wall_clock
+
+from .registry import REGISTRY, expand_names
+
+#: Schema identifier of one per-experiment artifact file.
+ARTIFACT_SCHEMA = "repro.artifact/1"
+#: Schema identifier of the aggregated campaign summary.
+CAMPAIGN_SCHEMA = "repro.campaign/1"
+
+
+class CampaignError(ValueError):
+    """Raised on invalid campaign inputs (bad names, empty directories)."""
+
+
+def run_one(name: str) -> Dict[str, Any]:
+    """Run one registered experiment and return its artifact dict.
+
+    Never raises for a failing experiment: the exception is captured in
+    the artifact so the rest of the batch keeps running.  This function
+    is the unit of work shipped to ``multiprocessing`` workers, so it
+    must stay picklable (module-level, name argument only).
+    """
+    spec = REGISTRY[name]
+    recorder = MetricsRecorder()
+    start = wall_clock()
+    ok = True
+    report = ""
+    error: Optional[str] = None
+    failure_traceback: Optional[str] = None
+    try:
+        with recording(recorder):
+            report = spec.runner()
+    except Exception as exc:  # a crashing driver must not abort the batch
+        ok = False
+        error = f"{type(exc).__name__}: {exc}"
+        failure_traceback = traceback.format_exc()
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "name": name,
+        "description": spec.description,
+        "ok": ok,
+        "report": report,
+        "error": error,
+        "traceback": failure_traceback,
+        "wall_time_sec": elapsed_since(start),
+        "telemetry": to_json_dict(recorder),
+    }
+
+
+def _artifact_stream(names: Sequence[str], jobs: int):
+    """Yield artifacts for ``names`` in request order.
+
+    Serial (``jobs <= 1`` or a single experiment) runs in-process;
+    otherwise a worker pool computes out of order while ``imap``
+    delivers in order, so the observable output is identical.
+    """
+    if jobs <= 1 or len(names) <= 1:
+        for name in names:
+            yield run_one(name)
+        return
+    with multiprocessing.Pool(processes=min(jobs, len(names))) as pool:
+        for artifact in pool.imap(run_one, list(names)):
+            yield artifact
+
+
+def write_artifact(json_dir: str, artifact: Dict[str, Any]) -> str:
+    """Write one ``{name}.json`` artifact; returns the path written."""
+    os.makedirs(json_dir, exist_ok=True)
+    path = os.path.join(json_dir, f"{artifact['name']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_campaign(
+    names: Sequence[str],
+    jobs: int = 1,
+    json_dir: Optional[str] = None,
+    out: IO[str] = sys.stdout,
+) -> int:
+    """Run a campaign; returns the process exit code (0 ok, 1 failures).
+
+    ``names`` must already be registry names (use
+    :func:`repro.experiments.registry.expand_names` for user input).
+    Reports stream to ``out`` in the legacy serial format; artifacts go
+    to ``json_dir`` when given.
+    """
+    if jobs < 1:
+        raise CampaignError(f"jobs must be >= 1, got {jobs}")
+    unknown = [name for name in names if name not in REGISTRY]
+    if unknown:
+        raise CampaignError(f"unknown experiment(s): {', '.join(unknown)}")
+    failed: List[str] = []
+    for artifact in _artifact_stream(names, jobs):
+        out.write(f"== {artifact['name']}: {artifact['description']} ==\n")
+        if artifact["ok"]:
+            out.write(artifact["report"])
+        else:
+            failed.append(artifact["name"])
+            out.write(f"!! {artifact['name']} failed: {artifact['error']}\n")
+            if artifact["traceback"]:
+                out.write(artifact["traceback"])
+        out.write(f"\n[{artifact['wall_time_sec']:.1f}s]\n\n")
+        if json_dir is not None:
+            write_artifact(json_dir, artifact)
+    if failed:
+        out.write(f"FAILED: {', '.join(failed)}\n")
+        return 1
+    return 0
+
+
+# -- aggregation -------------------------------------------------------------
+
+
+def load_artifacts(json_dir: str) -> List[Dict[str, Any]]:
+    """Load every ``repro.artifact/1`` document in ``json_dir``.
+
+    Non-artifact JSON files (e.g. a previously written campaign summary
+    in the same directory) are skipped, not errors.
+    """
+    if not os.path.isdir(json_dir):
+        raise CampaignError(f"no such artifact directory: {json_dir}")
+    artifacts: List[Dict[str, Any]] = []
+    for entry in sorted(os.listdir(json_dir)):
+        if not entry.endswith(".json"):
+            continue
+        path = os.path.join(json_dir, entry)
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise CampaignError(f"unreadable artifact {path}: {exc}") from exc
+        if isinstance(data, dict) and data.get("schema") == ARTIFACT_SCHEMA:
+            artifacts.append(data)
+    if not artifacts:
+        raise CampaignError(
+            f"no {ARTIFACT_SCHEMA} artifacts found in {json_dir}"
+        )
+    return artifacts
+
+
+def aggregate_artifacts(artifacts: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-experiment artifacts into one campaign summary dict."""
+    experiments = []
+    for artifact in artifacts:
+        report = artifact.get("report", "") or ""
+        telemetry = artifact.get("telemetry", {}) or {}
+        experiments.append(
+            {
+                "name": artifact["name"],
+                "ok": bool(artifact["ok"]),
+                "wall_time_sec": round(float(artifact["wall_time_sec"]), 3),
+                "report_sha256": hashlib.sha256(
+                    report.encode("utf-8")
+                ).hexdigest(),
+                "error": artifact.get("error"),
+                "telemetry_counters": telemetry.get("counters", {}),
+            }
+        )
+    failed = [entry["name"] for entry in experiments if not entry["ok"]]
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "num_experiments": len(experiments),
+        "num_failed": len(failed),
+        "failed": failed,
+        "total_wall_time_sec": round(
+            sum(entry["wall_time_sec"] for entry in experiments), 3
+        ),
+        "experiments": experiments,
+    }
+
+
+def aggregate_dir(json_dir: str) -> Dict[str, Any]:
+    """Aggregate every artifact in ``json_dir`` into a campaign summary."""
+    return aggregate_artifacts(load_artifacts(json_dir))
+
+
+def summarize_campaign(
+    json_dir: str,
+    output: Optional[str] = None,
+    out: IO[str] = sys.stdout,
+) -> int:
+    """The ``repro campaign`` subcommand: aggregate and emit JSON."""
+    try:
+        summary = aggregate_dir(json_dir)
+    except CampaignError as exc:
+        sys.stderr.write(f"repro campaign: error: {exc}\n")
+        return 2
+    text = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    if output is not None:
+        parent = os.path.dirname(output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        out.write(f"campaign summary written to {output}\n")
+    else:
+        out.write(text)
+    return 0 if summary["num_failed"] == 0 else 1

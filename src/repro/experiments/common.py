@@ -85,10 +85,30 @@ def execution_time_sec(
     """Run until ``vm`` finishes and return its completion time (seconds)."""
     while not vm.finished:
         if system.tick_index >= max_ticks:
-            raise RuntimeError(
-                f"{vm.name} did not finish within {max_ticks} ticks"
-            )
+            raise RuntimeError(_budget_exhausted_message(system, vm, max_ticks))
         system.run_ticks(1)
     finish_usec = vm.finish_time_usec
     assert finish_usec is not None
     return finish_usec / 1e6
+
+
+def _budget_exhausted_message(
+    system: VirtualizedSystem, vm: VirtualMachine, max_ticks: int
+) -> str:
+    """Diagnosable tick-budget failure: simulated time + VM progress.
+
+    Campaign artifacts capture this text verbatim, so it must say *how
+    far* the VM got, not just that the budget ran out.
+    """
+    elapsed_sim_sec = system.engine.clock.now_usec / 1e6
+    done = sum(vcpu.progress.instructions_done for vcpu in vm.vcpus)
+    total = sum(
+        vcpu.progress.workload.total_instructions or 0.0 for vcpu in vm.vcpus
+    )
+    progress = f"{done:.4g}/{total:.4g} instructions"
+    if total > 0:
+        progress += f" ({100.0 * done / total:.1f}%)"
+    return (
+        f"{vm.name} did not finish within {max_ticks} ticks "
+        f"({elapsed_sim_sec:.3f} simulated seconds); progress: {progress}"
+    )

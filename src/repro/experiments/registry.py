@@ -1,0 +1,142 @@
+"""Registry of runnable experiments.
+
+``repro.cli`` used to hold a private table of lambdas; the campaign
+runner needs *picklable* runner functions (``multiprocessing`` ships the
+work to workers by qualified name), and other tools want to enumerate
+experiments without importing the CLI.  Each runner is a module-level
+zero-argument function returning the experiment's printable report; all
+stochastic inputs derive from fixed seeds through
+:mod:`repro.simulation.rng`, so a runner's report is byte-identical no
+matter which process (or how many processes) executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from . import (
+    fig01, fig02, fig03, fig04, fig05, fig06,
+    fig07, fig08, fig09, fig10, fig11, fig12, tables,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: name, description, report producer."""
+
+    name: str
+    description: str
+    runner: Callable[[], str]
+
+
+def table1_report() -> str:
+    return tables.format_table1(tables.run_table1())
+
+
+def table2_report() -> str:
+    return tables.format_table2(tables.run_table2())
+
+
+def fig01_report() -> str:
+    return fig01.format_report(fig01.run())
+
+
+def fig02_report() -> str:
+    return fig02.format_report(fig02.run())
+
+
+def fig03_report() -> str:
+    return fig03.format_report(fig03.run())
+
+
+def fig04_report() -> str:
+    return fig04.format_report(fig04.run())
+
+
+def fig05_report() -> str:
+    return fig05.format_report(fig05.run())
+
+
+def fig06_report() -> str:
+    return fig06.format_report(fig06.run())
+
+
+def fig07_report() -> str:
+    return fig07.format_report(fig07.run())
+
+
+def fig08_report() -> str:
+    return fig08.format_report(fig08.run())
+
+
+def fig09_report() -> str:
+    return fig09.format_report(fig09.run())
+
+
+def fig10_report() -> str:
+    return fig10.format_report(fig10.run())
+
+
+def fig11_report() -> str:
+    return fig11.format_report(fig11.run())
+
+
+def fig12_report() -> str:
+    return fig12.format_report(fig12.run())
+
+
+#: Canonical experiment order — the order ``run all`` executes.
+_SPECS: Tuple[ExperimentSpec, ...] = (
+    ExperimentSpec("table1", "experimental machine", table1_report),
+    ExperimentSpec("table2", "experimental VMs", table2_report),
+    ExperimentSpec("fig01", "LLC contention impact matrix", fig01_report),
+    ExperimentSpec("fig02", "LLC misses per tick (v2_rep)", fig02_report),
+    ExperimentSpec("fig03", "the processor is a good lever", fig03_report),
+    ExperimentSpec("fig04", "equation 1 vs LLCM indicators", fig04_report),
+    ExperimentSpec("fig05", "KS4Xen effectiveness", fig05_report),
+    ExperimentSpec("fig06", "KS4Xen scalability", fig06_report),
+    ExperimentSpec("fig07", "Pisces architecture audit", fig07_report),
+    ExperimentSpec("fig08", "Kyoto vs Pisces", fig08_report),
+    ExperimentSpec("fig09", "vCPU migration overhead", fig09_report),
+    ExperimentSpec("fig10", "when isolation can be skipped", fig10_report),
+    ExperimentSpec("fig11", "dedication vs no dedication", fig11_report),
+    ExperimentSpec("fig12", "KS4Xen overhead", fig12_report),
+)
+
+#: name -> spec, in canonical order (dicts preserve insertion order).
+REGISTRY: Dict[str, ExperimentSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def experiment_names() -> List[str]:
+    """All experiment names in canonical (``run all``) order."""
+    return [spec.name for spec in _SPECS]
+
+
+def expand_names(names: Sequence[str]) -> Tuple[List[str], List[str]]:
+    """Resolve a user-supplied experiment list.
+
+    ``"all"`` expands to the canonical registry order; duplicates are
+    dropped keeping the first occurrence, so the result is deterministic
+    for any input.  Returns ``(known, unknown)`` — ``known`` preserves
+    request order and is ready to run, ``unknown`` preserves the order
+    the unrecognised names first appeared.
+    """
+    requested: List[str] = []
+    for name in names:
+        if name == "all":
+            requested.extend(experiment_names())
+        else:
+            requested.append(name)
+    seen = set()
+    known: List[str] = []
+    unknown: List[str] = []
+    for name in requested:
+        if name in seen:
+            continue
+        seen.add(name)
+        if name in REGISTRY:
+            known.append(name)
+        else:
+            unknown.append(name)
+    return known, unknown

@@ -9,7 +9,7 @@ the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.hardware.specs import KIB, MIB, MachineSpec, paper_machine
@@ -21,7 +21,7 @@ class Table1Result:
     rows: List[List[str]]
 
 
-def run_table1(machine: MachineSpec = None) -> Table1Result:
+def run_table1(machine: Optional[MachineSpec] = None) -> Table1Result:
     if machine is None:
         machine = paper_machine()
     socket = machine.sockets[0]

@@ -40,6 +40,7 @@ from repro.simulation.clock import (
 )
 from repro.simulation.engine import Engine
 from repro.simulation.rng import RngRegistry
+from repro.telemetry import MetricsRecorder, current_recorder
 
 from .vcpu import VCpu
 from .vm import VirtualMachine, VmConfig
@@ -66,6 +67,7 @@ class VirtualizedSystem:
         context_switch_cost_cycles: int = 20_000,
         perf_jitter_fraction: float = 0.0,
         seed: int = 0,
+        recorder: Optional[MetricsRecorder] = None,
     ) -> None:
         if tick_usec <= 0:
             raise ValueError(f"tick_usec must be positive, got {tick_usec}")
@@ -95,6 +97,9 @@ class VirtualizedSystem:
         self.perf_jitter_fraction = perf_jitter_fraction
         self.rng = RngRegistry(seed)
         self._jitter_stream = self.rng.stream("perf-jitter")
+        #: Telemetry hook (docs/telemetry.md).  Strictly an observer —
+        #: nothing reads it back — so recording never changes results.
+        self.recorder = recorder if recorder is not None else current_recorder()
 
         # Shared-LLC occupancy domain per socket.
         self.llc_domains: List[LlcOccupancyDomain] = []
@@ -109,7 +114,7 @@ class VirtualizedSystem:
         }
         self.perfctr = PerfctrVirtualizer(self.core_counters)
 
-        self.engine = Engine()
+        self.engine = Engine(recorder=self.recorder)
         self.vms: List[VirtualMachine] = []
         self.vcpus: List[VCpu] = []
         self.tick_index = 0
@@ -196,6 +201,7 @@ class VirtualizedSystem:
                 self._pending_penalty_cycles.get(core.core_id, 0)
                 + self.context_switch_cost_cycles
             )
+            self.recorder.inc("sys.context_switches")
 
     def migrate_vcpu(self, vcpu: VCpu, new_core_id: int) -> None:
         """Re-pin a vCPU to another core (possibly on another socket).
@@ -220,6 +226,8 @@ class VirtualizedSystem:
         self.scheduler.reassign_vcpu(vcpu, new_core_id)
         if old_socket is not None and old_socket != new_core.socket_id:
             self.llc_domains[old_socket].flush_owner(vcpu.gid)
+            self.recorder.inc("sys.cross_socket_migrations")
+        self.recorder.inc("sys.vcpu_migrations")
 
     def is_memory_remote(self, vcpu: VCpu, core_id: int) -> bool:
         """True if running on ``core_id`` makes the vCPU's memory remote."""
@@ -285,6 +293,20 @@ class VirtualizedSystem:
         if (self.tick_index + 1) % self.ticks_per_slice == 0:
             self.scheduler.on_accounting(self.tick_index)
         self.engine.clock.advance(self.tick_usec)
+        if self.recorder.enabled:
+            # Per-tick aggregates; guarded so disabled telemetry skips
+            # the summations entirely.
+            self.recorder.record(
+                "sys.llc_misses_per_tick",
+                self.tick_index,
+                sum(self.last_tick_misses.values()),
+            )
+            self.recorder.record(
+                "sys.instructions_per_tick",
+                self.tick_index,
+                sum(self.last_tick_instructions.values()),
+            )
+            self.recorder.gauge("sys.final_tick", float(self.tick_index))
         for observer in self._tick_observers:
             observer(self, self.tick_index)
         self.tick_index += 1

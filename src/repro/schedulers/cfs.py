@@ -92,6 +92,12 @@ class CfsScheduler(Scheduler):
             account.vruntime += (
                 self.system.tick_usec * NICE0_WEIGHT / account.weight
             )
+            self.system.recorder.inc("cfs.vcpu_ticks_run")
+        if self.system.recorder.enabled and self.accounts:
+            self.system.recorder.gauge(
+                "cfs.min_vruntime",
+                min(account.vruntime for account in self.accounts.values()),
+            )
 
     def on_accounting(self, tick_index: int) -> None:
         """CFS has no slice-based credit refill; nothing to do."""

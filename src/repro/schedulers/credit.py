@@ -109,6 +109,7 @@ class CreditScheduler(Scheduler):
     def on_vcpu_wake(self, vcpu) -> None:
         if self.accounts[vcpu.gid].priority is Priority.UNDER:
             self._boosted.add(vcpu.gid)
+            self.system.recorder.inc("credit.boosts")
 
     def _pick(self, core_id: int) -> Optional["VCpu"]:
         candidates = self._candidates(core_id)
@@ -160,6 +161,7 @@ class CreditScheduler(Scheduler):
                     other_socket.append(entry)
         for source_core, vcpu in same_socket + other_socket:
             self.reassign_vcpu(vcpu, core_id)
+            self.system.recorder.inc("credit.steals")
             return vcpu
         return None
 
@@ -189,6 +191,7 @@ class CreditScheduler(Scheduler):
                 continue
             account = self.accounts[vcpu.gid]
             account.credits -= CREDITS_PER_TICK
+            self.system.recorder.inc("credit.credits_burned", CREDITS_PER_TICK)
             # BOOST lasts until the vCPU has been serviced once.
             self._boosted.discard(vcpu.gid)
             # A vCPU owns the core for a full time slice (Xen: 30 ms)
@@ -204,6 +207,7 @@ class CreditScheduler(Scheduler):
             self._stint[core.core_id] = stint
 
     def on_accounting(self, tick_index: int) -> None:
+        self.system.recorder.inc("credit.accounting_passes")
         slice_credits = float(CREDITS_PER_TICK * self.system.ticks_per_slice)
         for core in self.system.machine.cores:
             active = [

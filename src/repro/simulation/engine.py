@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.lint.contracts import InvariantChecker
+from repro.telemetry import MetricsRecorder, current_recorder
 
 from .clock import Clock
 from .events import Event, EventQueue
@@ -30,13 +31,20 @@ class Engine:
         engine.run_until(5_000_000)   # five simulated seconds
     """
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
         self.clock = clock if clock is not None else Clock()
         self.queue = EventQueue()
         self._running = False
         self._fired = 0
         #: Runtime contracts (docs/static_analysis.md); cheap when disabled.
         self.invariants = InvariantChecker("Engine")
+        #: Telemetry hook (docs/telemetry.md); a no-op unless a recorder
+        #: is injected or ambient via repro.telemetry.recording().
+        self.recorder = recorder if recorder is not None else current_recorder()
 
     @property
     def now_usec(self) -> int:
@@ -128,6 +136,7 @@ class Engine:
         self.clock.advance_to(event.when_usec)
         event.callback()
         self._fired += 1
+        self.recorder.inc("sim.events_fired")
         return True
 
     def run_until(self, until_usec: int) -> None:

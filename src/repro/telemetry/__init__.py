@@ -1,0 +1,42 @@
+"""Telemetry: structured metrics out of the simulation (docs/telemetry.md).
+
+Public surface:
+
+* :class:`MetricsRecorder` / :class:`NullRecorder` / :data:`NULL_RECORDER`
+* :class:`BoundedSeries` — the bounded per-tick reservoir
+* :func:`current_recorder` / :func:`recording` — ambient-recorder plumbing
+* :func:`to_json_dict` / :func:`from_json_dict` — the
+  ``repro.telemetry/1`` JSON schema
+"""
+
+from .recorder import (
+    COMPACTION_COUNTER,
+    DEFAULT_MAX_SERIES_POINTS,
+    NULL_RECORDER,
+    BoundedSeries,
+    MetricsRecorder,
+    NullRecorder,
+    current_recorder,
+    recording,
+)
+from .export import (
+    TELEMETRY_SCHEMA,
+    TelemetrySchemaError,
+    from_json_dict,
+    to_json_dict,
+)
+
+__all__ = [
+    "BoundedSeries",
+    "COMPACTION_COUNTER",
+    "DEFAULT_MAX_SERIES_POINTS",
+    "MetricsRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TELEMETRY_SCHEMA",
+    "TelemetrySchemaError",
+    "current_recorder",
+    "from_json_dict",
+    "recording",
+    "to_json_dict",
+]

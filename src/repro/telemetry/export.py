@@ -1,0 +1,94 @@
+"""JSON export schema for telemetry (``repro.telemetry/1``).
+
+The schema is flat and self-describing so campaign artifacts stay
+greppable and diffable::
+
+    {
+      "schema": "repro.telemetry/1",
+      "max_series_points": 4096,
+      "counters": {"kyoto.samples": 120.0, ...},
+      "gauges": {"sim.final_tick": 119.0, ...},
+      "series": {
+        "sys.llc_misses_per_tick": {
+          "ticks": [0, 1, ...],
+          "values": [8123.0, ...],
+          "offered": 120,
+          "dropped": 0,
+          "stride": 1
+        }
+      }
+    }
+
+``offered``/``dropped``/``stride`` make reservoir truncation visible in
+the artifact itself; consumers must treat ``dropped > 0`` as "the series
+is a deterministic 1-in-``stride`` decimation of the full run".
+:func:`from_json_dict` restores a recorder exactly, so export/import is
+a lossless round trip (which the test suite pins).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .recorder import BoundedSeries, MetricsRecorder
+
+#: Schema identifier embedded in every export.
+TELEMETRY_SCHEMA = "repro.telemetry/1"
+
+
+class TelemetrySchemaError(ValueError):
+    """Raised when an imported document does not match the schema."""
+
+
+def to_json_dict(recorder: MetricsRecorder) -> Dict[str, Any]:
+    """Serialise a recorder to a JSON-ready dict (sorted, stable keys)."""
+    series: Dict[str, Any] = {}
+    for name in recorder.series_names():
+        entry = recorder.series(name)
+        assert entry is not None
+        series[name] = {
+            "ticks": list(entry.ticks),
+            "values": list(entry.values),
+            "offered": entry.offered,
+            "dropped": entry.dropped,
+            "stride": entry.stride,
+        }
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "max_series_points": recorder.max_series_points,
+        "counters": {k: recorder.counters[k] for k in sorted(recorder.counters)},
+        "gauges": {k: recorder.gauges[k] for k in sorted(recorder.gauges)},
+        "series": series,
+    }
+
+
+def from_json_dict(data: Dict[str, Any]) -> MetricsRecorder:
+    """Rebuild a :class:`MetricsRecorder` from :func:`to_json_dict` output."""
+    if not isinstance(data, dict):
+        raise TelemetrySchemaError(f"telemetry document must be a dict, got {type(data).__name__}")
+    schema = data.get("schema")
+    if schema != TELEMETRY_SCHEMA:
+        raise TelemetrySchemaError(
+            f"unsupported telemetry schema {schema!r}; expected {TELEMETRY_SCHEMA!r}"
+        )
+    recorder = MetricsRecorder(
+        max_series_points=int(data.get("max_series_points", 0) or 2)
+    )
+    for name, value in data.get("counters", {}).items():
+        recorder.counters[name] = float(value)
+    for name, value in data.get("gauges", {}).items():
+        recorder.gauges[name] = float(value)
+    for name, entry in data.get("series", {}).items():
+        ticks = entry.get("ticks", [])
+        values = entry.get("values", [])
+        if len(ticks) != len(values):
+            raise TelemetrySchemaError(
+                f"series {name!r} has {len(ticks)} ticks but {len(values)} values"
+            )
+        series = BoundedSeries(name, recorder.max_series_points)
+        series.ticks = [int(t) for t in ticks]
+        series.values = [float(v) for v in values]
+        series.offered = int(entry.get("offered", len(ticks)))
+        series.stride = int(entry.get("stride", 1))
+        recorder._series[name] = series
+    return recorder

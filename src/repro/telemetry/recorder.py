@@ -1,0 +1,171 @@
+"""Lightweight, dependency-free metrics recording.
+
+The simulation computes rich per-period series internally (per-tick LLC
+misses, pollution quotas, credit burn, punishments) and, before this
+module existed, threw them away after formatting the human-readable
+report.  A :class:`MetricsRecorder` captures three kinds of metrics:
+
+* **counters** — monotonically accumulated totals (``inc``),
+* **gauges** — last-write-wins scalars (``gauge``),
+* **series** — per-tick time series with a *bounded reservoir*
+  (:class:`BoundedSeries`): memory stays bounded for arbitrarily long
+  runs, and any resolution loss is counted, never silent.
+
+Recording is strictly an *observer*: nothing in the simulation reads a
+recorder back, so enabling telemetry cannot change simulated results.
+The :class:`NullRecorder` (module singleton :data:`NULL_RECORDER`) is the
+default everywhere — its methods are no-ops, so unmonitored runs pay one
+attribute lookup and call per hook at most, and hot per-substep paths
+guard on :attr:`MetricsRecorder.enabled` to pay nothing at all.
+
+Components resolve their recorder at construction time from the ambient
+:func:`current_recorder`, which the campaign runner swaps in via the
+:func:`recording` context manager — so the 14 experiment drivers gained
+telemetry without threading a parameter through every call site.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Default cap on stored points per series.
+DEFAULT_MAX_SERIES_POINTS = 4096
+
+#: Counter bumped by :meth:`MetricsRecorder.record` whenever a series
+#: compacts its reservoir (truncation is logged, not silent).
+COMPACTION_COUNTER = "telemetry.series_compactions"
+
+
+class BoundedSeries:
+    """A per-tick series whose storage never exceeds ``max_points``.
+
+    Points are accepted at a stride that starts at 1; when the reservoir
+    fills, every other stored point is discarded and the stride doubles,
+    so the series always spans the whole run at a coarser resolution.
+    The policy is purely count-based and therefore deterministic: the
+    same sequence of appends always yields the same stored points.
+    """
+
+    def __init__(
+        self, name: str, max_points: int = DEFAULT_MAX_SERIES_POINTS
+    ) -> None:
+        if max_points < 2:
+            raise ValueError(f"max_points must be >= 2, got {max_points}")
+        self.name = name
+        self.max_points = max_points
+        self.ticks: List[int] = []
+        self.values: List[float] = []
+        #: Total points offered via :meth:`append` (stored or not).
+        self.offered = 0
+        #: Current acceptance stride (1 until the first compaction).
+        self.stride = 1
+
+    def append(self, tick: int, value: float) -> bool:
+        """Offer one point.  Returns True when a compaction happened."""
+        index = self.offered
+        self.offered += 1
+        if index % self.stride != 0:
+            return False
+        compacted = False
+        if len(self.ticks) >= self.max_points:
+            self.ticks = self.ticks[::2]
+            self.values = self.values[::2]
+            self.stride *= 2
+            compacted = True
+            if index % self.stride != 0:
+                return compacted
+        self.ticks.append(tick)
+        self.values.append(value)
+        return compacted
+
+    @property
+    def dropped(self) -> int:
+        """Points offered but not stored (resolution lost to bounding)."""
+        return self.offered - len(self.ticks)
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+
+class MetricsRecorder:
+    """Counters, gauges and bounded per-tick series."""
+
+    #: Hot paths may skip derived-value computation when this is False.
+    enabled = True
+
+    def __init__(
+        self, max_series_points: int = DEFAULT_MAX_SERIES_POINTS
+    ) -> None:
+        self.max_series_points = max_series_points
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self._series: Dict[str, BoundedSeries] = {}
+
+    # -- writing ---------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` into counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def record(self, name: str, tick: int, value: float) -> None:
+        """Append one point to per-tick series ``name``."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = BoundedSeries(
+                name, self.max_series_points
+            )
+        if series.append(tick, value):
+            self.inc(COMPACTION_COUNTER)
+
+    # -- reading ---------------------------------------------------------------
+
+    def series(self, name: str) -> Optional[BoundedSeries]:
+        """The named series, or None if never recorded."""
+        return self._series.get(name)
+
+    def series_names(self) -> List[str]:
+        """Sorted names of all recorded series."""
+        return sorted(self._series)
+
+
+class NullRecorder(MetricsRecorder):
+    """The default no-op recorder: accepts every call, stores nothing."""
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def record(self, name: str, tick: int, value: float) -> None:
+        return None
+
+
+#: Shared stateless no-op instance used as the default hook everywhere.
+NULL_RECORDER = NullRecorder()
+
+_current: MetricsRecorder = NULL_RECORDER
+
+
+def current_recorder() -> MetricsRecorder:
+    """The ambient recorder new components pick up at construction."""
+    return _current
+
+
+@contextmanager
+def recording(recorder: MetricsRecorder) -> Iterator[MetricsRecorder]:
+    """Make ``recorder`` the ambient recorder for the duration of a run."""
+    global _current
+    previous = _current
+    _current = recorder
+    try:
+        yield recorder
+    finally:
+        _current = previous

@@ -99,7 +99,7 @@ def pointer_chase_behavior(
 def micro_workload(
     wss_bytes: int,
     socket: Optional[SocketSpec] = None,
-    total_instructions: float = None,
+    total_instructions: Optional[float] = None,
     disruptive: bool = False,
 ) -> Workload:
     """A micro-benchmark workload over ``wss_bytes`` of memory."""

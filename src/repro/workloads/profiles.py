@@ -31,7 +31,7 @@ values (250k in Fig 5, 50k in Fig 6) can be used verbatim.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cachesim.perfmodel import CacheBehavior
 
@@ -47,7 +47,7 @@ def _behavior(
     theta: float,
     stream_fraction: float,
     mlp: float,
-    pollution_footprint_mb: float = None,
+    pollution_footprint_mb: Optional[float] = None,
 ) -> CacheBehavior:
     footprint = (
         bytes_to_lines(pollution_footprint_mb * MB)
@@ -156,7 +156,9 @@ def application_behavior(name: str) -> CacheBehavior:
     return _behavior(*params)
 
 
-def application_workload(name: str, total_instructions: float = None) -> Workload:
+def application_workload(
+    name: str, total_instructions: Optional[float] = None
+) -> Workload:
     """Build a :class:`Workload` for application ``name``.
 
     ``total_instructions`` makes the workload finite (used by the
@@ -182,6 +184,8 @@ def vm_application(vm_name: str) -> str:
     )
 
 
-def vm_workload(vm_name: str, total_instructions: float = None) -> Workload:
+def vm_workload(
+    vm_name: str, total_instructions: Optional[float] = None
+) -> Workload:
     """Workload for a Table 2 VM name."""
     return application_workload(vm_application(vm_name), total_instructions)

@@ -1,0 +1,166 @@
+"""Tests for the campaign runner: registry, fan-out, artifacts, summary."""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.experiments.campaign import (
+    ARTIFACT_SCHEMA,
+    CAMPAIGN_SCHEMA,
+    CampaignError,
+    aggregate_dir,
+    load_artifacts,
+    run_campaign,
+    run_one,
+    summarize_campaign,
+)
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentSpec,
+    expand_names,
+    experiment_names,
+)
+from repro.cli import run_experiments
+
+#: Cheap experiments for runner tests (sub-second each).
+FAST = ["table1", "table2", "fig07"]
+
+
+def _crash():
+    raise RuntimeError("stub experiment crash")
+
+
+@pytest.fixture
+def crashy(monkeypatch):
+    """Temporarily register a deterministic crashing experiment."""
+    monkeypatch.setitem(
+        REGISTRY, "crashy", ExperimentSpec("crashy", "always fails", _crash)
+    )
+    return "crashy"
+
+
+class TestExpandNames:
+    def test_all_expands_in_registry_order(self):
+        known, unknown = expand_names(["all"])
+        assert known == experiment_names()
+        assert unknown == []
+
+    def test_duplicates_run_once_keeping_first_position(self):
+        known, unknown = expand_names(["table2", "table1", "table2"])
+        assert known == ["table2", "table1"]
+        assert unknown == []
+
+    def test_all_plus_explicit_name_is_deduplicated(self):
+        known, __ = expand_names(["fig05", "all"])
+        assert known.count("fig05") == 1
+        assert known[0] == "fig05"
+
+    def test_unknown_names_reported_in_order(self):
+        known, unknown = expand_names(["nope", "table1", "wat"])
+        assert known == ["table1"]
+        assert unknown == ["nope", "wat"]
+
+
+class TestRunOne:
+    def test_success_artifact_shape(self):
+        artifact = run_one("table1")
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+        assert artifact["ok"] is True
+        assert "8096 MB" in artifact["report"]
+        assert artifact["error"] is None
+        assert artifact["wall_time_sec"] >= 0.0
+        assert artifact["telemetry"]["schema"] == "repro.telemetry/1"
+
+    def test_failure_is_captured_not_raised(self, crashy):
+        artifact = run_one(crashy)
+        assert artifact["ok"] is False
+        assert "RuntimeError: stub experiment crash" in artifact["error"]
+        assert "Traceback" in artifact["traceback"]
+
+
+class TestCrashResilience:
+    def test_batch_continues_past_crash_and_exits_nonzero(self, crashy, tmp_path):
+        out = io.StringIO()
+        code = run_campaign(
+            [crashy, "table1"], jobs=1, json_dir=str(tmp_path), out=out
+        )
+        text = out.getvalue()
+        assert code == 1
+        assert "!! crashy failed: RuntimeError: stub experiment crash" in text
+        assert "8096 MB" in text  # table1 still ran
+        assert "FAILED: crashy" in text
+        # ... and the failure is diagnosable from the JSON artifact.
+        artifact = json.loads((tmp_path / "crashy.json").read_text())
+        assert artifact["ok"] is False
+        assert "stub experiment crash" in artifact["error"]
+
+    def test_cli_run_experiments_keeps_going(self, crashy):
+        out = io.StringIO()
+        assert run_experiments([crashy, "table2"], out=out) == 1
+        assert "vdis2" in out.getvalue()
+
+    def test_unknown_jobs_rejected(self):
+        with pytest.raises(CampaignError):
+            run_campaign(["table1"], jobs=0)
+
+    def test_unexpanded_unknown_name_rejected(self):
+        with pytest.raises(CampaignError):
+            run_campaign(["not-an-experiment"])
+
+
+class TestParallelDeterminism:
+    def test_parallel_reports_byte_identical_to_serial(self, tmp_path):
+        serial_dir, parallel_dir = str(tmp_path / "s"), str(tmp_path / "p")
+        serial_out, parallel_out = io.StringIO(), io.StringIO()
+        assert run_campaign(FAST, jobs=1, json_dir=serial_dir, out=serial_out) == 0
+        assert run_campaign(FAST, jobs=2, json_dir=parallel_dir, out=parallel_out) == 0
+        for name in FAST:
+            serial = json.loads(open(os.path.join(serial_dir, f"{name}.json")).read())
+            parallel = json.loads(open(os.path.join(parallel_dir, f"{name}.json")).read())
+            assert parallel["report"] == serial["report"]
+            assert parallel["telemetry"] == serial["telemetry"]
+
+    def test_parallel_stdout_streams_in_request_order(self):
+        out = io.StringIO()
+        assert run_campaign(FAST, jobs=2, out=out) == 0
+        text = out.getvalue()
+        positions = [text.index(f"== {name}:") for name in FAST]
+        assert positions == sorted(positions)
+
+
+class TestAggregation:
+    def test_summary_shape(self, crashy, tmp_path):
+        run_campaign(
+            ["table1", crashy], jobs=1, json_dir=str(tmp_path), out=io.StringIO()
+        )
+        summary = aggregate_dir(str(tmp_path))
+        assert summary["schema"] == CAMPAIGN_SCHEMA
+        assert summary["num_experiments"] == 2
+        assert summary["num_failed"] == 1
+        assert summary["failed"] == ["crashy"]
+        by_name = {e["name"]: e for e in summary["experiments"]}
+        assert by_name["table1"]["ok"] is True
+        assert len(by_name["table1"]["report_sha256"]) == 64
+        assert by_name["crashy"]["error"] is not None
+
+    def test_summarize_writes_output_file_and_skips_it_on_reload(self, tmp_path):
+        run_campaign(["table1"], jobs=1, json_dir=str(tmp_path), out=io.StringIO())
+        output = str(tmp_path / "campaign.json")
+        out = io.StringIO()
+        assert summarize_campaign(str(tmp_path), output=output, out=out) == 0
+        assert "campaign summary written" in out.getvalue()
+        summary = json.loads(open(output).read())
+        assert summary["num_experiments"] == 1
+        # The summary in the same directory is not mistaken for an artifact.
+        assert len(load_artifacts(str(tmp_path))) == 1
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(CampaignError):
+            aggregate_dir(str(tmp_path))
+        assert summarize_campaign(str(tmp_path), out=io.StringIO()) == 2
+
+    def test_missing_directory_is_an_error(self):
+        with pytest.raises(CampaignError):
+            aggregate_dir("/definitely/not/here")

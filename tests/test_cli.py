@@ -15,6 +15,23 @@ class TestParser:
     def test_run_command(self):
         args = build_parser().parse_args(["run", "fig05", "table1"])
         assert args.experiments == ["fig05", "table1"]
+        assert args.jobs == 1
+        assert args.json_dir is None
+
+    def test_run_command_jobs_and_json(self):
+        args = build_parser().parse_args(
+            ["run", "fig02", "--jobs", "4", "--json", "out"]
+        )
+        assert args.jobs == 4
+        assert args.json_dir == "out"
+
+    def test_campaign_command(self):
+        args = build_parser().parse_args(
+            ["campaign", "artifacts", "--output", "summary.json"]
+        )
+        assert args.command == "campaign"
+        assert args.artifact_dir == "artifacts"
+        assert args.output == "summary.json"
 
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

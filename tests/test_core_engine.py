@@ -97,7 +97,39 @@ class TestAccounting:
 
         system = plain_system()
         engine = KyotoEngine(system, monitor=ConstantMonitor(system))
-        vm = make_vm(system, llc_cap=1_000.0)
+        vm = make_vm(system, app="lbm", llc_cap=1_000.0)
         engine.register_vm(vm)
+        system.run_ticks(1)  # the VM must have executed to be sampled
         engine.on_tick_end(0)
         assert engine.account_of(vm).total_debited == 42.0
+
+    def test_idle_periods_do_not_dilute_mean_measured(self):
+        """A VM that sat out a monitoring period must not be sampled: idle
+        periods used to contribute zero-rate samples that dragged
+        mean_measured toward zero and under-punished bursty polluters."""
+
+        from repro.telemetry import MetricsRecorder
+
+        class ConstantMonitor(DirectPmcMonitor):
+            def sample(self, vm):
+                return 100.0
+
+        recorder = MetricsRecorder()
+        system = plain_system()
+        engine = KyotoEngine(
+            system, monitor=ConstantMonitor(system), recorder=recorder
+        )
+        vm = make_vm(system, app="lbm", llc_cap=1_000_000.0)
+        engine.register_vm(vm)
+        for tick in range(5):  # active half
+            system.run_ticks(1)
+            engine.on_tick_end(tick)
+        for vcpu in vm.vcpus:  # idle half
+            vcpu.paused = True
+        for tick in range(5, 10):
+            system.run_ticks(1)
+            engine.on_tick_end(tick)
+        account = engine.account_of(vm)
+        assert account.samples == 5
+        assert account.mean_measured == pytest.approx(100.0)
+        assert recorder.counters["kyoto.idle_skips"] == 5.0

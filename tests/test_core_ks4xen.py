@@ -156,11 +156,17 @@ class TestEnforcement:
 
 class TestMonitorPeriod:
     def test_longer_period_fewer_samples(self):
-        system = ks4xen_system(monitor_period_ticks=3)
-        __, dis = gcc_lbm_pair(system)
-        system.run_ticks(90)
-        account = system.scheduler.kyoto.account_of(dis)
-        assert account.samples == 30
+        def samples(period):
+            system = ks4xen_system(monitor_period_ticks=period)
+            __, dis = gcc_lbm_pair(system)
+            system.run_ticks(90)
+            return system.scheduler.kyoto.account_of(dis).samples
+
+        # Only periods in which the VM actually executed are sampled
+        # (a parked VM earns no zero-rate entries), so the count is
+        # bounded by the period count and shrinks as the period grows.
+        assert samples(3) <= 90 // 3
+        assert samples(3) < samples(1)
 
     def test_invalid_period_rejected(self):
         with pytest.raises(ValueError):

@@ -132,6 +132,7 @@ def test_kyoto_engine_rejects_negative_sample():
     system, vm = _system_with_vm()
     engine = KyotoEngine(system, monitor=_NegativeMonitor(system))
     engine.register_vm(vm)
+    system.run_ticks(1)  # only VMs that executed in the period are sampled
     with pytest.raises(ContractViolation, match="non-negative-sample"):
         engine.on_tick_end(0)
 

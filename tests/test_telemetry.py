@@ -1,0 +1,197 @@
+"""Tests for repro.telemetry: recorder, bounded series, JSON schema."""
+
+import json
+
+import pytest
+
+from repro.core.ks4xen import KS4Xen
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.telemetry import (
+    COMPACTION_COUNTER,
+    NULL_RECORDER,
+    BoundedSeries,
+    MetricsRecorder,
+    NullRecorder,
+    TELEMETRY_SCHEMA,
+    TelemetrySchemaError,
+    current_recorder,
+    from_json_dict,
+    recording,
+    to_json_dict,
+)
+from repro.workloads.profiles import application_workload
+
+
+class TestRecorderBasics:
+    def test_counters_accumulate(self):
+        recorder = MetricsRecorder()
+        recorder.inc("a")
+        recorder.inc("a", 2.5)
+        assert recorder.counters["a"] == 3.5
+
+    def test_gauges_last_write_wins(self):
+        recorder = MetricsRecorder()
+        recorder.gauge("g", 1.0)
+        recorder.gauge("g", 7.0)
+        assert recorder.gauges["g"] == 7.0
+
+    def test_series_recorded_in_order(self):
+        recorder = MetricsRecorder()
+        for tick in range(5):
+            recorder.record("s", tick, float(tick) * 2)
+        series = recorder.series("s")
+        assert series.ticks == [0, 1, 2, 3, 4]
+        assert series.values == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert series.dropped == 0
+
+    def test_series_names_sorted(self):
+        recorder = MetricsRecorder()
+        recorder.record("zz", 0, 1.0)
+        recorder.record("aa", 0, 1.0)
+        assert recorder.series_names() == ["aa", "zz"]
+
+
+class TestNullRecorder:
+    def test_null_recorder_stores_nothing(self):
+        recorder = NullRecorder()
+        recorder.inc("a")
+        recorder.gauge("g", 1.0)
+        recorder.record("s", 0, 1.0)
+        assert recorder.counters == {}
+        assert recorder.gauges == {}
+        assert recorder.series("s") is None
+        assert recorder.enabled is False
+
+    def test_default_ambient_recorder_is_null(self):
+        assert current_recorder() is NULL_RECORDER
+
+    def test_recording_context_swaps_and_restores(self):
+        mine = MetricsRecorder()
+        with recording(mine) as active:
+            assert active is mine
+            assert current_recorder() is mine
+        assert current_recorder() is NULL_RECORDER
+
+    def test_recording_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with recording(MetricsRecorder()):
+                raise RuntimeError("boom")
+        assert current_recorder() is NULL_RECORDER
+
+
+class TestBoundedSeries:
+    def test_bounded_never_exceeds_max_points(self):
+        series = BoundedSeries("s", max_points=8)
+        for tick in range(1000):
+            series.append(tick, float(tick))
+        assert len(series) <= 8
+        assert series.offered == 1000
+
+    def test_truncation_is_counted_not_silent(self):
+        recorder = MetricsRecorder(max_series_points=4)
+        for tick in range(64):
+            recorder.record("s", tick, float(tick))
+        series = recorder.series("s")
+        assert series.dropped > 0
+        assert series.dropped == series.offered - len(series)
+        # ... and every compaction bumped the telemetry counter.
+        assert recorder.counters[COMPACTION_COUNTER] >= 1
+
+    def test_decimation_is_deterministic_and_spans_run(self):
+        def build():
+            series = BoundedSeries("s", max_points=16)
+            for tick in range(500):
+                series.append(tick, float(tick))
+            return series
+
+        first, second = build(), build()
+        assert first.ticks == second.ticks
+        assert first.values == second.values
+        # Stored points are a 1-in-stride decimation starting at tick 0.
+        assert first.ticks == [t for t in range(500) if t % first.stride == 0][: len(first)]
+
+    def test_tiny_max_points_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedSeries("s", max_points=1)
+
+
+class TestJsonSchema:
+    def make_recorder(self):
+        recorder = MetricsRecorder(max_series_points=8)
+        recorder.inc("kyoto.samples", 12)
+        recorder.gauge("sys.final_tick", 99.0)
+        for tick in range(20):
+            recorder.record("sys.llc_misses_per_tick", tick, tick * 1.5)
+        return recorder
+
+    def test_export_declares_schema_and_truncation(self):
+        data = to_json_dict(self.make_recorder())
+        assert data["schema"] == TELEMETRY_SCHEMA
+        series = data["series"]["sys.llc_misses_per_tick"]
+        assert series["offered"] == 20
+        assert series["dropped"] == series["offered"] - len(series["ticks"])
+        assert series["stride"] >= 1
+
+    def test_export_is_json_serializable(self):
+        text = json.dumps(to_json_dict(self.make_recorder()))
+        assert TELEMETRY_SCHEMA in text
+
+    def test_round_trip_is_lossless(self):
+        data = to_json_dict(self.make_recorder())
+        assert to_json_dict(from_json_dict(data)) == data
+
+    def test_import_rejects_wrong_schema(self):
+        with pytest.raises(TelemetrySchemaError):
+            from_json_dict({"schema": "something-else/9"})
+
+    def test_import_rejects_ragged_series(self):
+        data = to_json_dict(self.make_recorder())
+        data["series"]["sys.llc_misses_per_tick"]["values"].pop()
+        with pytest.raises(TelemetrySchemaError):
+            from_json_dict(data)
+
+
+class TestSimulationIntegration:
+    def run_system(self, recorder=None):
+        if recorder is None:
+            system = VirtualizedSystem(KS4Xen())
+        else:
+            system = VirtualizedSystem(KS4Xen(), recorder=recorder)
+        system.create_vm(
+            VmConfig(
+                name="vdis1",
+                workload=application_workload("lbm"),
+                llc_cap=50_000.0,
+                pinned_cores=[0],
+            )
+        )
+        system.run_ticks(30)
+        return system
+
+    def test_ambient_recorder_captures_stack_metrics(self):
+        recorder = MetricsRecorder()
+        with recording(recorder):
+            self.run_system()
+        assert recorder.counters["kyoto.samples"] > 0
+        assert recorder.counters["sys.context_switches"] >= 1
+        assert recorder.counters["credit.credits_burned"] > 0
+        misses = recorder.series("sys.llc_misses_per_tick")
+        assert misses is not None and len(misses) == 30
+
+    def test_injected_recorder_equivalent_to_ambient(self):
+        ambient = MetricsRecorder()
+        with recording(ambient):
+            self.run_system()
+        injected = MetricsRecorder()
+        self.run_system(recorder=injected)
+        assert to_json_dict(injected) == to_json_dict(ambient)
+
+    def test_recording_does_not_change_results(self):
+        """Telemetry is an observer: enabling it must not move results."""
+        plain = self.run_system()
+        recorder = MetricsRecorder()
+        with recording(recorder):
+            observed = self.run_system()
+        assert observed.vms[0].instructions_retired == plain.vms[0].instructions_retired
+        assert observed.vms[0].llc_misses == plain.vms[0].llc_misses

@@ -1,0 +1,69 @@
+"""Guard against implicit-Optional annotations under src/repro.
+
+PEP 484 dropped the implicit-Optional convention: ``def f(x: int = None)``
+is simply a wrong annotation, and a type checker (CI runs mypy with
+``no_implicit_optional``) rejects it.  This AST sweep enforces the same
+rule inside the container so the gate also runs where mypy is not
+installed.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _is_none_default(node):
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _annotation_allows_none(annotation) -> bool:
+    text = ast.unparse(annotation)
+    return "Optional" in text or "None" in text or "Any" in text
+
+
+def _implicit_optional_args(func):
+    """Yield arg names of ``func`` annotated without Optional but defaulting
+    to None."""
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults = list(args.defaults)
+    for arg, default in zip(positional[len(positional) - len(defaults):], defaults):
+        if (
+            _is_none_default(default)
+            and arg.annotation is not None
+            and not _annotation_allows_none(arg.annotation)
+        ):
+            yield arg.arg
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if (
+            default is not None
+            and _is_none_default(default)
+            and arg.annotation is not None
+            and not _annotation_allows_none(arg.annotation)
+        ):
+            yield arg.arg
+
+
+def test_no_implicit_optional_annotations():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg_name in _implicit_optional_args(node):
+                    offenders.append(
+                        f"{path.relative_to(SRC.parent.parent)}:{node.lineno} "
+                        f"{node.name}({arg_name}: ... = None)"
+                    )
+    assert not offenders, (
+        "implicit-Optional annotations (add Optional[...] to the type):\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_sweep_actually_detects_offenders():
+    """Self-check: the sweep flags the pattern it exists to catch."""
+    tree = ast.parse("def f(x: int = None, *, y: str = None, z=None): pass")
+    func = tree.body[0]
+    assert list(_implicit_optional_args(func)) == ["x", "y"]

@@ -15,6 +15,9 @@ simulation-backed Python library:
 * :mod:`repro.workloads` — calibrated SPEC CPU2006 / blockie profiles and
   the pointer-chase micro-benchmark;
 * :mod:`repro.mcsim` — the pin + McSimA+-style replay service;
+* :mod:`repro.faults` — deterministic fault injection for the
+  monitoring path, paired with :class:`repro.core.ResilientMonitor`
+  (docs/faults.md);
 * :mod:`repro.analysis`, :mod:`repro.experiments` — metrics, Kendall's
   tau, and one driver per paper figure/table.
 
@@ -45,10 +48,13 @@ from .core import (
     KS4Xen,
     KyotoEngine,
     McSimReplayMonitor,
+    MonitorError,
     PollutionAccount,
+    ResilientMonitor,
     SocketDedicationSampler,
     llc_cap_act,
 )
+from .faults import FaultPlan, FaultSpec
 from .hardware import MachineSpec, numa_machine, paper_machine
 from .hypervisor import VCpu, VirtualMachine, VirtualizedSystem, VmConfig
 from .pisces import KS4Pisces, PiscesCoKernel
@@ -61,14 +67,18 @@ __all__ = [
     "CfsScheduler",
     "CreditScheduler",
     "DirectPmcMonitor",
+    "FaultPlan",
+    "FaultSpec",
     "KS4Linux",
     "KS4Pisces",
     "KS4Xen",
     "KyotoEngine",
     "MachineSpec",
     "McSimReplayMonitor",
+    "MonitorError",
     "PiscesCoKernel",
     "PollutionAccount",
+    "ResilientMonitor",
     "SocketDedicationSampler",
     "VCpu",
     "VirtualMachine",

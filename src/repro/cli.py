@@ -66,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write one {name}.json artifact per experiment into DIR",
     )
+    run_parser.add_argument(
+        "--timeout-sec",
+        dest="timeout_sec",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help=(
+            "per-experiment watchdog: run each experiment in a supervised "
+            "subprocess killed after SEC seconds (a hang is reported like "
+            "a crash and the batch continues; implies serial execution)"
+        ),
+    )
     campaign_parser = subparsers.add_parser(
         "campaign",
         help="aggregate a --json artifact directory into one summary",
@@ -124,13 +136,15 @@ def run_experiments(
     out=sys.stdout,
     jobs: int = 1,
     json_dir: Optional[str] = None,
+    timeout_sec: Optional[float] = None,
 ) -> int:
     """Run experiments (the ``repro run`` subcommand).
 
     ``all`` expands deterministically to the registry order and repeated
     names run once; a crashing experiment is reported and the batch
     continues (nonzero exit code).  ``jobs > 1`` fans out over worker
-    processes without changing the report text.
+    processes without changing the report text; ``timeout_sec`` arms the
+    per-experiment watchdog.
     """
     known, unknown = expand_names(names)
     if unknown:
@@ -138,7 +152,9 @@ def run_experiments(
             f"unknown experiment(s): {', '.join(unknown)}\n{list_experiments()}\n"
         )
         return 2
-    return campaign_mod.run_campaign(known, jobs=jobs, json_dir=json_dir, out=out)
+    return campaign_mod.run_campaign(
+        known, jobs=jobs, json_dir=json_dir, out=out, timeout_sec=timeout_sec
+    )
 
 
 def run_lint(args, out=sys.stdout) -> int:
@@ -186,7 +202,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "campaign":
         return campaign_mod.summarize_campaign(args.artifact_dir, output=args.output)
     return run_experiments(
-        args.experiments, jobs=args.jobs, json_dir=args.json_dir
+        args.experiments,
+        jobs=args.jobs,
+        json_dir=args.json_dir,
+        timeout_sec=args.timeout_sec,
     )
 
 

@@ -20,17 +20,22 @@ from .monitor import (
     DirectPmcMonitor,
     IsolationPolicy,
     McSimReplayMonitor,
+    MonitorError,
     PollutionMonitor,
+    SocketDedicationMonitor,
     SocketDedicationSampler,
 )
 from .pollution import PollutionAccount
+from .resilient import CircuitBreaker, ResilientMonitor
 
 __all__ = [
     "BandwidthBudget",
     "CATALOG",
+    "CircuitBreaker",
     "DirectPmcMonitor",
     "Invoice",
     "MemGuardScheduler",
+    "MonitorError",
     "PollutionBiller",
     "PricingPlan",
     "InstanceType",
@@ -43,6 +48,8 @@ __all__ = [
     "McSimReplayMonitor",
     "PollutionAccount",
     "PollutionMonitor",
+    "ResilientMonitor",
+    "SocketDedicationMonitor",
     "SocketDedicationSampler",
     "catalog_by_family",
     "instance",

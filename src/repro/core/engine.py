@@ -13,12 +13,13 @@ the scheduler-specific ~100 LOC that calls into this engine.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.lint.contracts import InvariantChecker
 from repro.telemetry import MetricsRecorder, current_recorder
 
-from .monitor import DirectPmcMonitor, PollutionMonitor
+from .monitor import DirectPmcMonitor, MonitorError, PollutionMonitor
 from .pollution import PollutionAccount
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -36,15 +37,27 @@ class KyotoEngine:
         quota_max_factor: float = 3.0,
         monitor_period_ticks: int = 1,
         recorder: Optional[MetricsRecorder] = None,
+        quota_min_factor: Optional[float] = None,
+        estimate_alpha: float = 0.3,
     ) -> None:
         if monitor_period_ticks <= 0:
             raise ValueError(
                 f"monitor_period_ticks must be positive, got {monitor_period_ticks}"
             )
+        if not 0.0 < estimate_alpha <= 1.0:
+            raise ValueError(
+                f"estimate_alpha must be in (0, 1], got {estimate_alpha}"
+            )
         self.system = system
         self.monitor = monitor if monitor is not None else DirectPmcMonitor(system)
         self.quota_max_factor = quota_max_factor
         self.monitor_period_ticks = monitor_period_ticks
+        #: Optional quota floor factor (see PollutionAccount): bounds how
+        #: deep a VM's quota can sink, so no fault can park it forever.
+        self.quota_min_factor = quota_min_factor
+        #: Smoothing of the per-VM last-good estimate debited when the
+        #: monitor produces nothing trustworthy for a period.
+        self.estimate_alpha = estimate_alpha
         self.accounts: Dict[int, PollutionAccount] = {}
         #: Runtime contracts (docs/static_analysis.md): on under pytest,
         #: toggled by KYOTO_CONTRACTS, no-op otherwise.
@@ -61,6 +74,17 @@ class KyotoEngine:
         #: vm_id -> vm.cycles_run at its last monitoring sample; used to
         #: skip VMs that never executed during a period (see on_tick_end).
         self._cycles_at_last_sample: Dict[int, int] = {}
+        #: vm_id -> EWMA of trusted measurements: the fallback debit when
+        #: the monitor fails or lies (never a garbage reading).
+        self._estimates: Dict[int, float] = {}
+        #: Reentrancy guard: a monitor whose sampling window runs real
+        #: ticks (socket dedication) re-enters the tick loop; monitoring
+        #: must not recurse inside its own sampling window.
+        self._sampling = False
+        #: Plain-int mirrors of the failure-path telemetry counters.
+        self.monitor_failures = 0
+        self.implausible_samples = 0
+        self.estimated_debits = 0
 
     # -- registration -------------------------------------------------------------
 
@@ -72,6 +96,7 @@ class KyotoEngine:
             self.accounts[vm.vm_id] = PollutionAccount(
                 llc_cap=vm.llc_cap,
                 quota_max_factor=self.quota_max_factor,
+                quota_min_factor=self.quota_min_factor,
                 recorder=self.recorder,
             )
         return self.accounts[vm.vm_id]
@@ -96,7 +121,19 @@ class KyotoEngine:
         ``mean_measured`` with periods in which the VM could not pollute
         at all.  Execution is detected by the VM's cumulative
         ``cycles_run`` moving since the previous sample.
+
+        **Failure tolerance**: a monitor that raises
+        :class:`~repro.core.monitor.MonitorError`, or returns a
+        non-finite/negative value, never crashes the engine and never
+        reaches an account.  The VM is debited the EWMA of its previous
+        trusted measurements instead — billing degrades to the VM's own
+        recent history, not to a garbage reading and not to an unbounded
+        punishment (docs/faults.md).
         """
+        if self._sampling:
+            # A sampling window (socket dedication) is running real
+            # ticks inside this very method; don't recurse.
+            return
         if (tick_index + 1) % self.monitor_period_ticks != 0:
             return
         for vm in self.system.vms:
@@ -109,7 +146,7 @@ class KyotoEngine:
             if not ran:
                 self.recorder.inc("kyoto.idle_skips")
                 continue
-            measured = self.monitor.sample(vm)
+            measured = self._sample_or_estimate(vm)
             self.invariants.require(
                 measured >= 0.0,
                 "non-negative-sample",
@@ -128,6 +165,43 @@ class KyotoEngine:
                 self.recorder.record(
                     f"kyoto.quota.{vm.name}", tick_index, account.quota
                 )
+
+    def _sample_or_estimate(self, vm: "VirtualMachine") -> float:
+        """One monitored sample, degraded to the EWMA estimate on failure.
+
+        Successful, finite, non-negative samples update the per-VM EWMA;
+        anything else (a :class:`MonitorError`, NaN, a negative reading)
+        is replaced by the estimate — 0.0 for a VM that never produced a
+        trustworthy sample, so an untrusted VM is never punished on
+        garbage.
+        """
+        measured: Optional[float] = None
+        self._sampling = True
+        try:
+            measured = self.monitor.sample(vm)
+        except MonitorError:
+            self.monitor_failures += 1
+            self.recorder.inc("kyoto.monitor_failures")
+        finally:
+            self._sampling = False
+        if measured is not None and not (
+            math.isfinite(measured) and measured >= 0.0
+        ):
+            self.implausible_samples += 1
+            self.recorder.inc("kyoto.implausible_samples")
+            measured = None
+        if measured is None:
+            self.estimated_debits += 1
+            self.recorder.inc("kyoto.estimated_debits")
+            return self._estimates.get(vm.vm_id, 0.0)
+        previous = self._estimates.get(vm.vm_id)
+        self._estimates[vm.vm_id] = (
+            measured
+            if previous is None
+            else self.estimate_alpha * measured
+            + (1.0 - self.estimate_alpha) * previous
+        )
+        return measured
 
     def on_accounting(self, tick_index: int) -> None:
         """Time-slice boundary: every managed VM earns quota."""

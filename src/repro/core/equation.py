@@ -12,6 +12,9 @@ but a terrible IPC pollutes more slowly than its miss volume suggests.
 
 from __future__ import annotations
 
+import math
+from typing import Optional
+
 
 def llc_cap_act(
     llc_misses: float, unhalted_core_cycles: float, cpu_freq_khz: int
@@ -31,6 +34,48 @@ def llc_cap_act(
     if unhalted_core_cycles == 0:
         return 0.0
     return llc_misses * cpu_freq_khz / unhalted_core_cycles
+
+
+def max_plausible_rate(cpu_freq_khz: int, num_vcpus: int = 1) -> float:
+    """Physical ceiling on llc_cap_act for a VM.
+
+    A core cannot miss the LLC more than once per cycle, so misses/ms is
+    bounded by cycles/ms — i.e. ``freq_khz`` — per vCPU.  Measured rates
+    above this ceiling are counter-wrap or garbage artifacts, never real
+    pollution (a naive 48-bit wrap inflates a delta by ~2**48, orders of
+    magnitude past this bound).
+    """
+    if cpu_freq_khz <= 0:
+        raise ValueError(f"cpu_freq_khz must be positive, got {cpu_freq_khz}")
+    if num_vcpus <= 0:
+        raise ValueError(f"num_vcpus must be positive, got {num_vcpus}")
+    return float(cpu_freq_khz) * num_vcpus
+
+
+def is_plausible_rate(
+    value: float,
+    last_good: Optional[float] = None,
+    spike_factor: float = 50.0,
+    ceiling: Optional[float] = None,
+) -> bool:
+    """Sample plausibility guard for the monitoring path.
+
+    A measured llc_cap_act is implausible when it is non-finite,
+    negative, above the physical ``ceiling``
+    (:func:`max_plausible_rate`), or — once a trustworthy history
+    exists — more than ``spike_factor`` times the ``last_good`` EWMA
+    (pollution is a smooth per-period rate; a 50x jump between adjacent
+    monitoring periods is a measurement artifact, not a workload).
+    """
+    if spike_factor <= 1.0:
+        raise ValueError(f"spike_factor must be > 1, got {spike_factor}")
+    if not math.isfinite(value) or value < 0.0:
+        return False
+    if ceiling is not None and value > ceiling:
+        return False
+    if last_good is not None and last_good > 0.0 and value > spike_factor * last_good:
+        return False
+    return True
 
 
 def llcm_indicator(llc_misses: float, instructions: float) -> float:

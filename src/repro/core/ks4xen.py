@@ -32,11 +32,13 @@ class KS4Xen(CreditScheduler):
         monitor: Optional[PollutionMonitor] = None,
         quota_max_factor: float = 3.0,
         monitor_period_ticks: int = 1,
+        quota_min_factor: Optional[float] = None,
     ) -> None:
         super().__init__()
         self._monitor = monitor
         self._quota_max_factor = quota_max_factor
         self._monitor_period_ticks = monitor_period_ticks
+        self._quota_min_factor = quota_min_factor
         self.kyoto: Optional[KyotoEngine] = None
 
     def attach(self, system: "VirtualizedSystem") -> None:
@@ -46,6 +48,7 @@ class KS4Xen(CreditScheduler):
             monitor=self._monitor,
             quota_max_factor=self._quota_max_factor,
             monitor_period_ticks=self._monitor_period_ticks,
+            quota_min_factor=self._quota_min_factor,
         )
 
     def on_vcpu_registered(self, vcpu: "VCpu", core_id: int) -> None:

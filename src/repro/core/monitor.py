@@ -29,12 +29,25 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.pmc.counters import PmcEvent
+from repro.telemetry import current_recorder
 
 from .equation import llc_cap_act
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hypervisor.system import VirtualizedSystem
     from repro.hypervisor.vm import VirtualMachine
+
+
+class MonitorError(Exception):
+    """A monitor failed to produce a sample this period.
+
+    The contract of the monitoring path: monitors signal failure by
+    raising ``MonitorError`` (or a subclass), and the enforcement engine
+    treats any such failure as a *missing* sample — it never crashes and
+    never debits a garbage reading (see
+    :meth:`repro.core.engine.KyotoEngine.on_tick_end` and
+    :class:`repro.core.resilient.ResilientMonitor`).
+    """
 
 
 class PollutionMonitor(ABC):
@@ -184,11 +197,23 @@ class SocketDedicationSampler:
         self.spill_socket = spill_socket
         self.isolation_policy = isolation_policy
         self.migrations_performed = 0
+        #: vCPUs left stranded on the spill socket because the restore
+        #: migration itself failed (only possible under fault injection).
+        self.restore_failures = 0
 
     def sample(self, vm: "VirtualMachine", sample_ticks: int = 3) -> float:
-        """Run a dedicated-socket sampling window and return llc_cap_act."""
+        """Run a dedicated-socket sampling window and return llc_cap_act.
+
+        The world is restored even when the window fails part-way: any
+        vCPU migrated off the home socket is migrated back before the
+        failure propagates.  A migration failure (injected or real)
+        surfaces as :class:`MonitorError` so a failover chain can move
+        on to the next strategy.
+        """
         if sample_ticks <= 0:
             raise ValueError(f"sample_ticks must be positive, got {sample_ticks}")
+        from repro.hypervisor.system import HypervisorError
+
         lead = vm.vcpus[0]
         if self.isolation_policy is not None and not self.isolation_policy.should_isolate(vm):
             return self._contended_sample(vm, sample_ticks)
@@ -205,30 +230,47 @@ class SocketDedicationSampler:
         # Migrate every other vCPU of the home socket away.
         moved: List[tuple] = []
         spill_index = 0
-        for vcpu in self.system.vcpus:
-            if vcpu is lead:
-                continue
-            core_id = (
-                vcpu.current_core
-                if vcpu.current_core is not None
-                else vcpu.pinned_core
-            )
-            if core_id is None:
-                continue
-            if self.system.machine.core(core_id).socket_id != home_socket:
-                continue
-            target = spill_cores[spill_index % len(spill_cores)]
-            spill_index += 1
-            self.system.migrate_vcpu(vcpu, target)
-            self.migrations_performed += 1
-            moved.append((vcpu, core_id))
+        try:
+            for vcpu in self.system.vcpus:
+                if vcpu is lead:
+                    continue
+                core_id = (
+                    vcpu.current_core
+                    if vcpu.current_core is not None
+                    else vcpu.pinned_core
+                )
+                if core_id is None:
+                    continue
+                if self.system.machine.core(core_id).socket_id != home_socket:
+                    continue
+                target = spill_cores[spill_index % len(spill_cores)]
+                spill_index += 1
+                self.system.migrate_vcpu(vcpu, target)
+                self.migrations_performed += 1
+                moved.append((vcpu, core_id))
 
-        measured = self._contended_sample(vm, sample_ticks)
+            measured = self._contended_sample(vm, sample_ticks)
+        except HypervisorError as exc:
+            raise MonitorError(
+                f"socket dedication failed mid-window: {exc}"
+            ) from exc
+        finally:
+            self._restore(moved)
+        return measured
+
+    def _restore(self, moved: List[tuple]) -> None:
+        """Best-effort return of every migrated vCPU to its home core."""
+        from repro.hypervisor.system import HypervisorError
 
         for vcpu, original_core in moved:
-            self.system.migrate_vcpu(vcpu, original_core)
-            self.migrations_performed += 1
-        return measured
+            try:
+                self.system.migrate_vcpu(vcpu, original_core)
+                self.migrations_performed += 1
+            except HypervisorError:
+                # Leave the vCPU stranded on the spill socket rather than
+                # abandon the remaining restores; visible in telemetry.
+                self.restore_failures += 1
+                current_recorder().inc("monitor.restore_failures")
 
     def _contended_sample(self, vm: "VirtualMachine", sample_ticks: int) -> float:
         lead = vm.vcpus[0]
@@ -241,6 +283,43 @@ class SocketDedicationSampler:
             self.system.freq_khz,
         )
         return rate * len(vm.vcpus)
+
+
+class SocketDedicationMonitor(PollutionMonitor):
+    """Periodic-monitor adapter over :class:`SocketDedicationSampler`.
+
+    Lets socket dedication participate in a failover chain
+    (:class:`repro.core.resilient.ResilientMonitor`): each ``sample``
+    runs one dedicated-socket window of ``sample_ticks`` *real* ticks —
+    simulated time advances, exactly the Fig 9 perturbation — and any
+    hypervisor failure surfaces as :class:`MonitorError`.  The
+    enforcement engine's reentrancy guard keeps the nested ticks from
+    re-triggering monitoring inside the window.
+    """
+
+    name = "socket-dedication-window"
+
+    def __init__(
+        self,
+        system: "VirtualizedSystem",
+        sampler: Optional[SocketDedicationSampler] = None,
+        sample_ticks: int = 1,
+    ) -> None:
+        super().__init__(system)
+        if sample_ticks <= 0:
+            raise ValueError(f"sample_ticks must be positive, got {sample_ticks}")
+        self.sampler = (
+            sampler if sampler is not None else SocketDedicationSampler(system)
+        )
+        self.sample_ticks = sample_ticks
+
+    def sample(self, vm: "VirtualMachine") -> float:
+        from repro.hypervisor.system import HypervisorError
+
+        try:
+            return self.sampler.sample(vm, self.sample_ticks)
+        except HypervisorError as exc:
+            raise MonitorError(f"socket dedication window failed: {exc}") from exc
 
 
 class FaultInjectingMonitor(PollutionMonitor):
@@ -315,12 +394,15 @@ class McSimReplayMonitor(PollutionMonitor):
 
     def sample(self, vm: "VirtualMachine") -> float:
         lead = vm.vcpus[0]
+        # Ask the replay service *before* consuming the perfctr sampling
+        # window: a failing service then leaves the window intact for
+        # whatever monitor a failover chain tries next.
+        report = self.replay_service.replay_vm(vm)
         deltas = self.system.perfctr.sample(lead.gid)
         cycles = deltas[PmcEvent.UNHALTED_CORE_CYCLES]
         instructions = deltas[PmcEvent.INSTRUCTIONS_RETIRED]
         if cycles == 0:
             return 0.0
-        report = self.replay_service.replay_vm(vm)
         inst_per_ms = instructions / (cycles / self.system.freq_khz)
         misses_per_ms = inst_per_ms * report.misses_per_kinst / 1000.0
         return misses_per_ms * len(vm.vcpus)

@@ -33,6 +33,12 @@ class PollutionAccount:
 
     llc_cap: float
     quota_max_factor: float = 3.0
+    #: Optional quota floor: when set, quota never sinks below
+    #: ``-quota_min_factor * llc_cap``.  ``None`` (the default) keeps the
+    #: seed behaviour — an unbounded debt — so enabling the floor is an
+    #: explicit resilience choice (a lying monitor must not be able to
+    #: park a VM beyond its bank bound; see docs/faults.md).
+    quota_min_factor: Optional[float] = None
     #: Optional telemetry hook (docs/telemetry.md); no-op by default.
     recorder: Optional[MetricsRecorder] = field(
         default=None, repr=False, compare=False
@@ -50,6 +56,10 @@ class PollutionAccount:
             raise ValueError(
                 f"quota_max_factor must be positive, got {self.quota_max_factor}"
             )
+        if self.quota_min_factor is not None and self.quota_min_factor <= 0:
+            raise ValueError(
+                f"quota_min_factor must be positive, got {self.quota_min_factor}"
+            )
         if self.recorder is None:
             self.recorder = NULL_RECORDER
         self.quota = self.quota_max
@@ -58,6 +68,13 @@ class PollutionAccount:
     def quota_max(self) -> float:
         """Upper bound on banked quota."""
         return self.quota_max_factor * self.llc_cap
+
+    @property
+    def quota_min(self) -> Optional[float]:
+        """Lower bound on quota debt (None = unbounded, the seed default)."""
+        if self.quota_min_factor is None:
+            return None
+        return -self.quota_min_factor * self.llc_cap
 
     @property
     def parked(self) -> bool:
@@ -76,6 +93,10 @@ class PollutionAccount:
             )
         was_parked = self.parked
         self.quota -= measured_llc_cap_act
+        floor = self.quota_min
+        if floor is not None and self.quota < floor:
+            self.quota = floor
+            self.recorder.inc("pollution.floor_clamps")
         self.total_debited += measured_llc_cap_act
         self.samples += 1
         newly_punished = self.parked and not was_parked

@@ -82,13 +82,84 @@ def run_one(name: str) -> Dict[str, Any]:
     }
 
 
-def _artifact_stream(names: Sequence[str], jobs: int):
+def _run_one_into(name: str, conn: "multiprocessing.connection.Connection") -> None:
+    """Watchdog child entry point: run the experiment, ship the artifact.
+
+    Module-level so it stays picklable under every start method.
+    """
+    try:
+        conn.send(run_one(name))
+    finally:
+        conn.close()
+
+
+def run_one_with_timeout(name: str, timeout_sec: float) -> Dict[str, Any]:
+    """Run one experiment in a subprocess, killed after ``timeout_sec``.
+
+    A hung driver (infinite loop, deadlock) cannot be interrupted
+    in-process, so the watchdog runs it in a child and terminates the
+    child on timeout.  The timeout — and a child that dies without
+    reporting — is surfaced exactly like a crashing driver: an
+    ``ok: False`` artifact, and the batch continues.
+    """
+    if timeout_sec <= 0:
+        raise CampaignError(f"timeout_sec must be positive, got {timeout_sec}")
+    spec = REGISTRY[name]
+    start = wall_clock()
+    receiver, sender = multiprocessing.Pipe(duplex=False)
+    child = multiprocessing.Process(target=_run_one_into, args=(name, sender))
+    child.start()
+    sender.close()
+    error: Optional[str] = None
+    try:
+        if receiver.poll(timeout_sec):
+            try:
+                return receiver.recv()
+            except EOFError:
+                error = (
+                    f"ChildCrash: experiment '{name}' worker died without "
+                    "reporting (exit code "
+                    f"{child.exitcode if child.exitcode is not None else '?'})"
+                )
+        else:
+            error = (
+                f"TimeoutError: watchdog killed '{name}' after "
+                f"{timeout_sec:g}s"
+            )
+    finally:
+        receiver.close()
+        if child.is_alive():
+            child.terminate()
+        child.join()
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "name": name,
+        "description": spec.description,
+        "ok": False,
+        "report": "",
+        "error": error,
+        "traceback": None,
+        "wall_time_sec": elapsed_since(start),
+        "telemetry": to_json_dict(MetricsRecorder()),
+    }
+
+
+def _artifact_stream(
+    names: Sequence[str], jobs: int, timeout_sec: Optional[float] = None
+):
     """Yield artifacts for ``names`` in request order.
 
     Serial (``jobs <= 1`` or a single experiment) runs in-process;
     otherwise a worker pool computes out of order while ``imap``
-    delivers in order, so the observable output is identical.
+    delivers in order, so the observable output is identical.  With a
+    ``timeout_sec`` watchdog each experiment gets its own supervised
+    subprocess; the watchdog path runs the batch serially (one child at
+    a time) so every experiment owns its full time budget.
     """
+    if timeout_sec is not None:
+        for name in names:
+            yield run_one_with_timeout(name, timeout_sec)
+        return
     if jobs <= 1 or len(names) <= 1:
         for name in names:
             yield run_one(name)
@@ -113,21 +184,25 @@ def run_campaign(
     jobs: int = 1,
     json_dir: Optional[str] = None,
     out: IO[str] = sys.stdout,
+    timeout_sec: Optional[float] = None,
 ) -> int:
     """Run a campaign; returns the process exit code (0 ok, 1 failures).
 
     ``names`` must already be registry names (use
     :func:`repro.experiments.registry.expand_names` for user input).
     Reports stream to ``out`` in the legacy serial format; artifacts go
-    to ``json_dir`` when given.
+    to ``json_dir`` when given.  ``timeout_sec`` arms the per-experiment
+    watchdog (see :func:`run_one_with_timeout`).
     """
     if jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
+    if timeout_sec is not None and timeout_sec <= 0:
+        raise CampaignError(f"timeout_sec must be positive, got {timeout_sec}")
     unknown = [name for name in names if name not in REGISTRY]
     if unknown:
         raise CampaignError(f"unknown experiment(s): {', '.join(unknown)}")
     failed: List[str] = []
-    for artifact in _artifact_stream(names, jobs):
+    for artifact in _artifact_stream(names, jobs, timeout_sec):
         out.write(f"== {artifact['name']}: {artifact['description']} ==\n")
         if artifact["ok"]:
             out.write(artifact["report"])

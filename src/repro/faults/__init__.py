@@ -1,0 +1,65 @@
+"""Deterministic fault injection (docs/faults.md).
+
+Kyoto's enforcement is only as trustworthy as its measurement path, and
+the measurement path is fragile machinery: vCPU migration choreography
+for socket dedication (Fig 9) and an off-box replay service
+(Section 3.3).  This package makes those failure modes *first-class and
+reproducible*:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a declarative plan of fault
+  sites with per-site probability, burst length and scheduled windows,
+  driven entirely by an injected :mod:`repro.simulation.rng` stream, so
+  a chaos run replays bit-identically from its seed,
+* :mod:`repro.faults.injectors` — wrappers that install a plan at each
+  site: PMC reads returning stale/wrapped/garbage values, socket
+  dedication failing mid-window, the replay service being unavailable,
+  slow or stale, and transient monitor exceptions.
+
+The resilience layer that survives these faults lives in
+:mod:`repro.core.resilient`; the ``chaos`` experiment sweeps
+monitor-failure rates over the Fig 5 colocation.
+"""
+
+from .plan import (
+    KNOWN_SITES,
+    SITE_MIGRATION,
+    SITE_MONITOR_EXCEPTION,
+    SITE_PMC_READ,
+    SITE_REPLAY_SLOW,
+    SITE_REPLAY_STALE,
+    SITE_REPLAY_UNAVAILABLE,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    uniform_plan,
+)
+from .injectors import (
+    FaultyMonitor,
+    FaultyReplayService,
+    InjectedMigrationError,
+    MigrationFaultInjector,
+    MonitorFault,
+    ReplayTimeoutError,
+    ReplayUnavailableError,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "FaultyMonitor",
+    "FaultyReplayService",
+    "InjectedMigrationError",
+    "KNOWN_SITES",
+    "MigrationFaultInjector",
+    "MonitorFault",
+    "ReplayTimeoutError",
+    "ReplayUnavailableError",
+    "SITE_MIGRATION",
+    "SITE_MONITOR_EXCEPTION",
+    "SITE_PMC_READ",
+    "SITE_REPLAY_SLOW",
+    "SITE_REPLAY_STALE",
+    "SITE_REPLAY_UNAVAILABLE",
+    "uniform_plan",
+]

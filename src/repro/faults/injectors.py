@@ -1,0 +1,200 @@
+"""Fault injectors: install a :class:`~repro.faults.plan.FaultPlan`
+at each registered site of the monitoring path.
+
+Each injector wraps one real component and consults the plan once per
+fault opportunity, so the injected-fault ledger reconciles exactly with
+what the wrapped component experienced:
+
+* :class:`FaultyMonitor` — wraps any :class:`PollutionMonitor`;
+  ``monitor.exception`` raises a transient :class:`MonitorFault`,
+  ``pmc.read`` corrupts the returned llc_cap_act (cycling
+  stale → wrapped → garbage, deterministically),
+* :class:`FaultyReplayService` — wraps a
+  :class:`~repro.mcsim.service.ReplayService`; ``replay.unavailable``
+  refuses, ``replay.slow`` misses the monitoring deadline (simulated
+  latency > deadline), ``replay.stale`` serves the cached report no
+  matter how old,
+* :class:`MigrationFaultInjector` — installs itself as the system's
+  migration interceptor; ``hypervisor.migration`` makes
+  ``migrate_vcpu`` raise mid-choreography (the socket-dedication
+  failure mode of Fig 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING, Tuple
+
+from repro.core.monitor import MonitorError, PollutionMonitor
+from repro.hypervisor.system import HypervisorError, VirtualizedSystem
+from repro.pmc.counters import COUNTER_MASK
+
+from .plan import (
+    SITE_MIGRATION,
+    SITE_MONITOR_EXCEPTION,
+    SITE_PMC_READ,
+    SITE_REPLAY_SLOW,
+    SITE_REPLAY_STALE,
+    SITE_REPLAY_UNAVAILABLE,
+    FaultPlan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.vcpu import VCpu
+    from repro.hypervisor.vm import VirtualMachine
+    from repro.mcsim.replay import ReplayReport
+    from repro.mcsim.service import ReplayService, ServiceStats
+
+
+class MonitorFault(MonitorError):
+    """Injected transient monitor failure (site ``monitor.exception``)."""
+
+
+class ReplayUnavailableError(MonitorError):
+    """The replay service refused the request (site ``replay.unavailable``)."""
+
+
+class ReplayTimeoutError(MonitorError):
+    """The replay answer missed the monitoring deadline (site ``replay.slow``)."""
+
+
+class InjectedMigrationError(HypervisorError):
+    """Injected vCPU migration failure (site ``hypervisor.migration``)."""
+
+
+#: Corruption modes ``pmc.read`` cycles through, in order.
+CORRUPTION_MODES: Tuple[str, ...] = ("stale", "wrapped", "garbage")
+
+
+class FaultyMonitor(PollutionMonitor):
+    """Wrap a monitor with plan-driven read corruption and exceptions.
+
+    Corruption cycles deterministically through three flavours real
+    counter plumbing produces:
+
+    * ``stale`` — the previous period's value is served again (a missed
+      refresh; plausible, so guards cannot catch it — only bounded harm),
+    * ``wrapped`` — a counter-wrap artifact: a rate around 2**48,
+      astronomically past :func:`repro.core.equation.max_plausible_rate`,
+    * ``garbage`` — NaN (a torn read), which every arithmetic guard must
+      reject before it poisons quota accounting.
+    """
+
+    name = "faulty"
+
+    def __init__(self, inner: PollutionMonitor, plan: FaultPlan) -> None:
+        super().__init__(inner.system)
+        self.inner = inner
+        self.plan = plan
+        self._last_value: Dict[int, float] = {}
+        self._fires = 0
+
+    def sample(self, vm: "VirtualMachine") -> float:
+        tick = self.system.tick_index
+        if self.plan.should_fire(SITE_MONITOR_EXCEPTION, tick):
+            raise MonitorFault(
+                f"injected transient monitor failure at tick {tick}"
+            )
+        value = self.inner.sample(vm)
+        if self.plan.should_fire(SITE_PMC_READ, tick):
+            mode = CORRUPTION_MODES[self._fires % len(CORRUPTION_MODES)]
+            self._fires += 1
+            if mode == "stale":
+                return self._last_value.get(vm.vm_id, 0.0)
+            if mode == "wrapped":
+                return float(COUNTER_MASK)
+            return float("nan")
+        self._last_value[vm.vm_id] = value
+        return value
+
+
+class FaultyReplayService:
+    """Wrap a :class:`ReplayService` with availability/latency/staleness
+    faults.
+
+    ``latency_ticks`` is the simulated answer latency a ``replay.slow``
+    fault imposes; when it exceeds ``deadline_ticks`` (the monitoring
+    period budget), the request is reported as timed out — the caller
+    never blocks, matching how KS4Xen would drop a late answer.
+    """
+
+    def __init__(
+        self,
+        inner: "ReplayService",
+        plan: FaultPlan,
+        system: VirtualizedSystem,
+        latency_ticks: int = 3,
+        deadline_ticks: int = 1,
+    ) -> None:
+        if latency_ticks <= 0:
+            raise ValueError(f"latency_ticks must be positive, got {latency_ticks}")
+        if deadline_ticks <= 0:
+            raise ValueError(
+                f"deadline_ticks must be positive, got {deadline_ticks}"
+            )
+        self.inner = inner
+        self.plan = plan
+        self.system = system
+        self.latency_ticks = latency_ticks
+        self.deadline_ticks = deadline_ticks
+
+    @property
+    def stats(self) -> "ServiceStats":
+        return self.inner.stats
+
+    def replay_vm(self, vm: "VirtualMachine") -> "ReplayReport":
+        tick = self.system.tick_index
+        if self.plan.should_fire(SITE_REPLAY_UNAVAILABLE, tick):
+            raise ReplayUnavailableError(
+                f"replay service unavailable at tick {tick}"
+            )
+        if self.plan.should_fire(SITE_REPLAY_SLOW, tick):
+            if self.latency_ticks > self.deadline_ticks:
+                raise ReplayTimeoutError(
+                    f"replay answer took {self.latency_ticks} ticks, "
+                    f"deadline {self.deadline_ticks}"
+                )
+        if self.plan.should_fire(SITE_REPLAY_STALE, tick):
+            cached = self.inner.cached_report(vm)
+            if cached is not None:
+                report, __ = cached
+                self.inner.stats.stale_hits += 1
+                return report
+            # Nothing cached to be stale about: fall through to a real
+            # replay (the fault still counted in the plan's ledger).
+        return self.inner.replay_vm(vm)
+
+    def invalidate(self, vm: "VirtualMachine") -> None:
+        self.inner.invalidate(vm)
+
+
+class MigrationFaultInjector:
+    """Installs plan-driven migration failures on a system.
+
+    Replaces the system's ``migration_interceptor``; :meth:`uninstall`
+    restores whatever interceptor was there before.
+    """
+
+    def __init__(self, system: VirtualizedSystem, plan: FaultPlan) -> None:
+        self.system = system
+        self.plan = plan
+        self._previous = system.migration_interceptor
+        # Keep the one bound-method object we installed: attribute access
+        # creates a fresh bound method each time, so uninstall() must
+        # compare against this exact object.
+        self._installed = self._intercept
+        system.migration_interceptor = self._installed
+
+    def _intercept(self, vcpu: "VCpu", new_core_id: int) -> None:
+        if self._previous is not None:
+            self._previous(vcpu, new_core_id)
+        tick = self.system.tick_index
+        if self.plan.should_fire(SITE_MIGRATION, tick):
+            raise InjectedMigrationError(
+                f"injected migration failure: {vcpu.name} -> core "
+                f"{new_core_id} at tick {tick}"
+            )
+
+    def uninstall(self) -> None:
+        """Remove this injector, restoring the previous interceptor."""
+        if self.system.migration_interceptor is self._installed:
+            self.system.migration_interceptor = self._previous

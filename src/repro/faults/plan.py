@@ -1,0 +1,193 @@
+"""Fault plans: declarative, deterministic fault schedules.
+
+A :class:`FaultPlan` answers one question at every registered fault
+site: *does the fault fire for this decision?*  Three triggers compose,
+checked in this order:
+
+1. **burst** — once a probabilistic trigger fires, the next
+   ``burst - 1`` decisions at the same site fire too (correlated
+   failures: a flapping replay service, a migration storm),
+2. **scheduled windows** — ``(start_tick, end_tick)`` half-open tick
+   ranges in which the site always fires (reproducing one exact outage),
+3. **probability** — an independent draw per decision from the plan's
+   injected RNG stream.
+
+Every draw comes from the single injected ``random.Random`` stream
+(kyotolint D001/D002: no global RNG, no raw construction), so a plan
+replays bit-identically given the same seed and the same decision
+sequence.  Every fired fault is counted per site in :attr:`injected`
+and mirrored to the ambient telemetry recorder as
+``faults.injected.<site>`` — which is what lets tests reconcile the
+telemetry fault counters against the plan's own ledger.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.telemetry import MetricsRecorder, current_recorder
+
+#: Monitor read returns a stale / wrapped / garbage llc_cap_act value.
+SITE_PMC_READ = "pmc.read"
+#: A vCPU migration (socket dedication choreography) fails.
+SITE_MIGRATION = "hypervisor.migration"
+#: The replay service refuses the request outright.
+SITE_REPLAY_UNAVAILABLE = "replay.unavailable"
+#: The replay service answers after the monitoring deadline.
+SITE_REPLAY_SLOW = "replay.slow"
+#: The replay service serves a stale cached report.
+SITE_REPLAY_STALE = "replay.stale"
+#: The monitor raises a transient exception mid-sample.
+SITE_MONITOR_EXCEPTION = "monitor.exception"
+
+#: Every fault site the injectors know how to drive.
+KNOWN_SITES: Tuple[str, ...] = (
+    SITE_PMC_READ,
+    SITE_MIGRATION,
+    SITE_REPLAY_UNAVAILABLE,
+    SITE_REPLAY_SLOW,
+    SITE_REPLAY_STALE,
+    SITE_MONITOR_EXCEPTION,
+)
+
+
+class FaultPlanError(ValueError):
+    """Raised on invalid fault-plan configuration or unknown sites."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault behaviour of one site."""
+
+    site: str
+    #: Per-decision firing probability (independent draws).
+    probability: float = 0.0
+    #: Decisions that keep firing after a probabilistic trigger.
+    burst: int = 1
+    #: Half-open ``[start_tick, end_tick)`` windows that always fire.
+    windows: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.site not in KNOWN_SITES:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{', '.join(KNOWN_SITES)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.burst < 1:
+            raise FaultPlanError(f"burst must be >= 1, got {self.burst}")
+        for window in self.windows:
+            if len(window) != 2 or window[0] < 0 or window[1] <= window[0]:
+                raise FaultPlanError(
+                    f"window must be (start_tick, end_tick) with "
+                    f"0 <= start < end, got {window!r}"
+                )
+
+
+class FaultPlan:
+    """A deterministic schedule of faults across registered sites.
+
+    ``rng`` is the injected stream all probabilistic draws come from
+    (e.g. ``system.rng.stream("faults.plan")``); it may be omitted only
+    for plans with no probabilistic specs.  Decisions are made through
+    :meth:`should_fire`, which the injectors call once per fault
+    opportunity — the (seed, decision-sequence) pair fully determines
+    the run.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec] = (),
+        rng: Optional[random.Random] = None,
+        recorder: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self._specs: Dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.site in self._specs:
+                raise FaultPlanError(f"duplicate spec for site {spec.site!r}")
+            self._specs[spec.site] = spec
+        needs_rng = any(spec.probability > 0.0 for spec in self._specs.values())
+        if needs_rng and rng is None:
+            raise FaultPlanError(
+                "a plan with probabilistic specs needs an injected rng "
+                "stream (repro.simulation.rng)"
+            )
+        self._rng = rng
+        self.recorder = recorder if recorder is not None else current_recorder()
+        self._burst_left: Dict[str, int] = {}
+        #: site -> number of faults fired so far (the plan's own ledger).
+        self.injected: Dict[str, int] = {}
+        #: Total :meth:`should_fire` decisions taken (fired or not).
+        self.decisions = 0
+
+    @classmethod
+    def disabled(cls) -> "FaultPlan":
+        """A plan with no sites: every decision is a no-fault."""
+        return cls(())
+
+    @property
+    def enabled(self) -> bool:
+        """True when any site can ever fire."""
+        return any(
+            spec.probability > 0.0 or spec.windows
+            for spec in self._specs.values()
+        )
+
+    def spec_of(self, site: str) -> Optional[FaultSpec]:
+        """The spec registered for ``site`` (None when unregistered)."""
+        if site not in KNOWN_SITES:
+            raise FaultPlanError(f"unknown fault site {site!r}")
+        return self._specs.get(site)
+
+    def should_fire(self, site: str, tick: int) -> bool:
+        """One fault decision at ``site`` during simulated ``tick``."""
+        if site not in KNOWN_SITES:
+            raise FaultPlanError(f"unknown fault site {site!r}")
+        self.decisions += 1
+        spec = self._specs.get(site)
+        if spec is None:
+            return False
+        fired = False
+        if self._burst_left.get(site, 0) > 0:
+            self._burst_left[site] -= 1
+            fired = True
+        elif any(start <= tick < end for start, end in spec.windows):
+            fired = True
+        elif spec.probability > 0.0:
+            assert self._rng is not None  # enforced at construction
+            if self._rng.random() < spec.probability:
+                fired = True
+                if spec.burst > 1:
+                    self._burst_left[site] = spec.burst - 1
+        if fired:
+            self.injected[site] = self.injected.get(site, 0) + 1
+            self.recorder.inc(f"faults.injected.{site}")
+        return fired
+
+    def injected_total(self) -> int:
+        """Total faults fired across all sites."""
+        return sum(self.injected.values())
+
+
+def uniform_plan(
+    probability: float,
+    rng: Optional[random.Random],
+    sites: Sequence[str] = KNOWN_SITES,
+    burst: int = 1,
+    recorder: Optional[MetricsRecorder] = None,
+) -> FaultPlan:
+    """A plan firing every listed site at the same probability.
+
+    The chaos experiment's sweep primitive: one failure rate applied to
+    the whole monitoring path.
+    """
+    specs = [
+        FaultSpec(site=site, probability=probability, burst=burst)
+        for site in sites
+    ]
+    return FaultPlan(specs, rng=rng, recorder=recorder)

@@ -17,8 +17,9 @@ import random
 from typing import Optional
 
 from repro.simulation.rng import seeded_stream
+from repro.telemetry import current_recorder
 
-from .system import VirtualizedSystem
+from .system import HypervisorError, VirtualizedSystem
 from .vcpu import VCpu
 
 
@@ -62,19 +63,37 @@ class PeriodicMigrator:
         self._away = False
         self._return_at_tick: Optional[int] = None
         self.migrations = 0
+        #: Migrations refused by the hypervisor (fault injection or a
+        #: genuinely unavailable core).  A failed outbound leg skips the
+        #: period; a failed return leg retries every tick until it lands.
+        self.migration_failures = 0
         system.add_tick_observer(self._on_tick)
+
+    def _migrate(self, system: VirtualizedSystem, core_id: int) -> bool:
+        """One migration attempt; False when the hypervisor refused it."""
+        try:
+            system.migrate_vcpu(self.vcpu, core_id)
+        except HypervisorError:
+            self.migration_failures += 1
+            current_recorder().inc("migrator.failures")
+            return False
+        self.migrations += 1
+        return True
 
     def _on_tick(self, system: VirtualizedSystem, tick_index: int) -> None:
         if self._away:
             assert self._return_at_tick is not None
             if tick_index >= self._return_at_tick:
-                system.migrate_vcpu(self.vcpu, self.home_core)
-                self.migrations += 1
-                self._away = False
-                self._return_at_tick = None
+                # On failure stay away and retry next tick: the dwell is
+                # over either way, and home is where the memory node is.
+                if self._migrate(system, self.home_core):
+                    self._away = False
+                    self._return_at_tick = None
         elif (tick_index + 1) % self.period_ticks == 0:
-            system.migrate_vcpu(self.vcpu, self.remote_core)
-            self.migrations += 1
-            self._away = True
+            # Draw the dwell *before* the attempt so a refused migration
+            # consumes the same randomness as a successful one and the
+            # rng stream stays aligned across fault-injection runs.
             dwell = self._rng.randint(self.min_dwell_ticks, self.max_dwell_ticks)
-            self._return_at_tick = tick_index + dwell
+            if self._migrate(system, self.remote_core):
+                self._away = True
+                self._return_at_tick = tick_index + dwell

@@ -119,6 +119,11 @@ class VirtualizedSystem:
         self.vcpus: List[VCpu] = []
         self.tick_index = 0
         self._tick_observers: List[TickObserver] = []
+        #: Optional pre-migration hook (fault injection): called with
+        #: ``(vcpu, new_core_id)`` before every migration and may raise
+        #: :class:`HypervisorError` to make the migration fail.  ``None``
+        #: (the default) costs one attribute check per migration.
+        self.migration_interceptor: Optional[Callable[[VCpu, int], None]] = None
         self._pending_penalty_cycles: Dict[int, int] = {}
         #: Per-vCPU cycles actually executed during the last tick.
         self.last_tick_cycles: Dict[int, int] = {}
@@ -209,7 +214,12 @@ class VirtualizedSystem:
         Crossing a socket boundary flushes the vCPU's LLC occupancy on the
         old socket — its cached lines are useless there — so it restarts
         cold, and (if its memory stays home) it pays remote accesses.
+
+        A failed migration (interceptor veto) leaves the vCPU exactly
+        where it was: the failure is raised before any state changes.
         """
+        if self.migration_interceptor is not None:
+            self.migration_interceptor(vcpu, new_core_id)
         new_core = self.machine.core(new_core_id)
         old_socket = (
             self.machine.core(vcpu.current_core).socket_id

@@ -16,7 +16,7 @@ off the production machine — can be audited in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING, Tuple
 
 from .pin import CaptureConfig, PinTool
 from .replay import McSimReplayer, ReplayReport
@@ -32,31 +32,75 @@ class ServiceStats:
     requests: int = 0
     replays: int = 0
     cache_hits: int = 0
+    #: Requests whose cached report exceeded the staleness bound: forced
+    #: refreshes on the normal path, stale reports actually *served* when
+    #: fault injection bypasses the bound (repro.faults.injectors).
+    stale_hits: int = 0
 
 
 class ReplayService:
-    """McSimA+-style replay running off-host."""
+    """McSimA+-style replay running off-host.
+
+    Report freshness is bounded two ways: ``refresh_every`` re-replays
+    after that many served requests (the sampling cadence), and
+    ``max_report_age`` — when set — is a hard staleness bound: a cached
+    report older than that many requests is never served, no matter what
+    ``refresh_every`` would allow.  Every bound trigger counts a
+    ``stale_hits``.
+    """
 
     def __init__(
         self,
         replayer: Optional[McSimReplayer] = None,
         capture_config: Optional[CaptureConfig] = None,
         refresh_every: int = 50,
+        max_report_age: Optional[int] = None,
     ) -> None:
         if refresh_every <= 0:
             raise ValueError(f"refresh_every must be positive, got {refresh_every}")
+        if max_report_age is not None and max_report_age <= 0:
+            raise ValueError(
+                f"max_report_age must be positive, got {max_report_age}"
+            )
         self.pin = PinTool(capture_config)
         self.replayer = replayer if replayer is not None else McSimReplayer()
         self.refresh_every = refresh_every
+        self.max_report_age = max_report_age
         self.stats = ServiceStats()
         self._cache: Dict[int, ReplayReport] = {}
         self._age: Dict[int, int] = {}
+
+    def report_age(self, vm: "VirtualMachine") -> Optional[int]:
+        """Requests served since ``vm``'s report was produced (None if
+        uncached)."""
+        if vm.vm_id not in self._cache:
+            return None
+        return self._age.get(vm.vm_id, 0)
+
+    def cached_report(
+        self, vm: "VirtualMachine"
+    ) -> Optional[Tuple[ReplayReport, int]]:
+        """The cached ``(report, age)`` of ``vm``, bypassing all freshness
+        checks — inspection and fault injection only, no accounting."""
+        report = self._cache.get(vm.vm_id)
+        if report is None:
+            return None
+        return report, self._age.get(vm.vm_id, 0)
 
     def replay_vm(self, vm: "VirtualMachine") -> ReplayReport:
         """Return (possibly cached) replay PMCs for ``vm``."""
         self.stats.requests += 1
         age = self._age.get(vm.vm_id, self.refresh_every)
-        if vm.vm_id in self._cache and age + 1 < self.refresh_every:
+        fresh_enough = vm.vm_id in self._cache and age + 1 < self.refresh_every
+        if (
+            vm.vm_id in self._cache
+            and self.max_report_age is not None
+            and age + 1 > self.max_report_age
+        ):
+            # The staleness bound overrides the request-count cadence.
+            self.stats.stale_hits += 1
+            fresh_enough = False
+        if fresh_enough:
             self._age[vm.vm_id] = age + 1
             self.stats.cache_hits += 1
             return self._cache[vm.vm_id]

@@ -50,13 +50,16 @@ class HardwareCounter:
         self.raw = value & COUNTER_MASK
 
 
-def delta(later: int, earlier: int) -> int:
-    """Difference between two raw readings, wrap-aware.
+def delta(prev_raw: int, cur_raw: int) -> int:
+    """Events counted between two raw readings, wrap-aware.
 
-    A single wrap between two samples is handled correctly; more than one
-    wrap is indistinguishable from fewer events (as on real hardware).
+    ``prev_raw`` is the earlier reading, ``cur_raw`` the later one — the
+    order the sampling loop produces them.  A single wrap between the two
+    samples is handled correctly; more than one wrap is indistinguishable
+    from fewer events (as on real hardware).  Wrap handling lives here and
+    only here; callers must never subtract raw readings directly.
     """
-    return (later - earlier) & COUNTER_MASK
+    return (cur_raw - prev_raw) & COUNTER_MASK
 
 
 class CoreCounters:

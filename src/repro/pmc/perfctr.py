@@ -83,7 +83,7 @@ class PerfctrVirtualizer:
         account = self.account(vcpu_id)
         deltas: Dict[PmcEvent, int] = {}
         for event in PmcEvent:
-            d = delta(current[event], baselines[event])
+            d = delta(baselines[event], current[event])
             deltas[event] = d
             account.totals[event] += d
         return deltas

@@ -14,6 +14,7 @@ from repro.experiments.campaign import (
     load_artifacts,
     run_campaign,
     run_one,
+    run_one_with_timeout,
     summarize_campaign,
 )
 from repro.experiments.registry import (
@@ -32,6 +33,17 @@ def _crash():
     raise RuntimeError("stub experiment crash")
 
 
+def _hang():
+    import time
+
+    time.sleep(60)
+    return "never reached"
+
+
+def _die_hard():
+    os._exit(3)
+
+
 @pytest.fixture
 def crashy(monkeypatch):
     """Temporarily register a deterministic crashing experiment."""
@@ -39,6 +51,18 @@ def crashy(monkeypatch):
         REGISTRY, "crashy", ExperimentSpec("crashy", "always fails", _crash)
     )
     return "crashy"
+
+
+@pytest.fixture
+def hangy(monkeypatch):
+    """Temporarily register a hanging experiment (watchdog fodder).
+
+    The watchdog forks its child, which inherits the patched registry.
+    """
+    monkeypatch.setitem(
+        REGISTRY, "hangy", ExperimentSpec("hangy", "never returns", _hang)
+    )
+    return "hangy"
 
 
 class TestExpandNames:
@@ -108,6 +132,60 @@ class TestCrashResilience:
     def test_unexpanded_unknown_name_rejected(self):
         with pytest.raises(CampaignError):
             run_campaign(["not-an-experiment"])
+
+
+class TestWatchdog:
+    def test_hung_driver_killed_and_reported_like_a_crash(self, hangy):
+        artifact = run_one_with_timeout(hangy, timeout_sec=0.5)
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+        assert artifact["ok"] is False
+        assert "TimeoutError" in artifact["error"]
+        assert "watchdog killed 'hangy'" in artifact["error"]
+        assert artifact["wall_time_sec"] >= 0.5
+
+    def test_fast_experiment_unaffected_by_watchdog(self):
+        artifact = run_one_with_timeout("table1", timeout_sec=30.0)
+        assert artifact["ok"] is True
+        assert "8096 MB" in artifact["report"]
+
+    def test_worker_death_reported_not_raised(self, monkeypatch):
+        monkeypatch.setitem(
+            REGISTRY,
+            "diehard",
+            ExperimentSpec("diehard", "kills its worker", _die_hard),
+        )
+        artifact = run_one_with_timeout("diehard", timeout_sec=30.0)
+        assert artifact["ok"] is False
+        assert "ChildCrash" in artifact["error"]
+
+    def test_batch_continues_past_timeout_and_exits_nonzero(
+        self, hangy, tmp_path
+    ):
+        out = io.StringIO()
+        code = run_campaign(
+            [hangy, "table1"],
+            json_dir=str(tmp_path),
+            out=out,
+            timeout_sec=0.5,
+        )
+        text = out.getvalue()
+        assert code == 1
+        assert "!! hangy failed: TimeoutError" in text
+        assert "8096 MB" in text  # table1 still ran
+        artifact = json.loads((tmp_path / "hangy.json").read_text())
+        assert artifact["ok"] is False
+        assert "watchdog killed" in artifact["error"]
+
+    def test_cli_flag_threads_through(self, hangy):
+        out = io.StringIO()
+        assert run_experiments([hangy], out=out, timeout_sec=0.5) == 1
+        assert "watchdog killed" in out.getvalue()
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(CampaignError):
+            run_campaign(["table1"], timeout_sec=0.0)
+        with pytest.raises(CampaignError):
+            run_one_with_timeout("table1", timeout_sec=-1.0)
 
 
 class TestParallelDeterminism:

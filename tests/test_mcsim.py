@@ -130,3 +130,62 @@ class TestReplayService:
     def test_invalid_refresh(self):
         with pytest.raises(ValueError):
             ReplayService(refresh_every=0)
+
+
+class TestStalenessBound:
+    def _vm(self):
+        from repro.hypervisor.system import VirtualizedSystem
+        from repro.schedulers.credit import CreditScheduler
+        from conftest import make_vm
+
+        system = VirtualizedSystem(CreditScheduler())
+        return make_vm(system, app="gcc")
+
+    def test_report_age_tracks_requests(self):
+        service = ReplayService(refresh_every=10)
+        vm = self._vm()
+        assert service.report_age(vm) is None
+        service.replay_vm(vm)
+        assert service.report_age(vm) == 0
+        service.replay_vm(vm)
+        service.replay_vm(vm)
+        assert service.report_age(vm) == 2
+
+    def test_max_report_age_forces_refresh_before_cadence(self):
+        # refresh_every would keep serving the cache for 10 requests, but
+        # the staleness bound caps the report age at 2.
+        service = ReplayService(refresh_every=10, max_report_age=2)
+        vm = self._vm()
+        service.replay_vm(vm)
+        service.replay_vm(vm)  # age 1
+        service.replay_vm(vm)  # age 2
+        assert service.stats.replays == 1
+        assert service.stats.stale_hits == 0
+        service.replay_vm(vm)  # age would become 3 -> refresh
+        assert service.stats.replays == 2
+        assert service.stats.stale_hits == 1
+        assert service.report_age(vm) == 0
+
+    def test_no_bound_keeps_seed_behaviour(self):
+        bounded = ReplayService(refresh_every=3)
+        vm = self._vm()
+        for __ in range(6):
+            bounded.replay_vm(vm)
+        assert bounded.stats.stale_hits == 0
+        assert bounded.stats.replays == 2
+
+    def test_cached_report_bypasses_accounting(self):
+        service = ReplayService(refresh_every=10)
+        vm = self._vm()
+        assert service.cached_report(vm) is None
+        report = service.replay_vm(vm)
+        requests_before = service.stats.requests
+        cached = service.cached_report(vm)
+        assert cached is not None
+        assert cached[0] is report
+        assert cached[1] == 0
+        assert service.stats.requests == requests_before
+
+    def test_invalid_max_report_age(self):
+        with pytest.raises(ValueError):
+            ReplayService(max_report_age=0)

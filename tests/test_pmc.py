@@ -40,10 +40,10 @@ class TestHardwareCounter:
 
 class TestDelta:
     def test_simple(self):
-        assert delta(100, 40) == 60
+        assert delta(40, 100) == 60
 
     def test_wrap_aware(self):
-        assert delta(5, COUNTER_MASK - 4) == 10
+        assert delta(COUNTER_MASK - 4, 5) == 10
 
     def test_zero(self):
         assert delta(7, 7) == 0

@@ -194,7 +194,7 @@ class TestPmcProperties:
            st.integers(min_value=0, max_value=COUNTER_MASK))
     def test_delta_inverts_wrapping_addition(self, start, increment):
         later = (start + increment) & COUNTER_MASK
-        assert delta(later, start) == increment
+        assert delta(start, later) == increment
 
 
 class TestPlacementProperties:

@@ -12,56 +12,59 @@ platforms:
 * Pisces co-kernel                 — dedicated cores, but a shared LLC,
 * Pisces + Kyoto (KS4Pisces)       — co-kernel plus pollution permits.
 
-The output reproduces the paper's headline: only the Kyoto-enabled
+The fleet (VMs, permits, pinning) is not hard-coded here: it loads from
+``examples/scenarios/hpc_colocation.toml`` and this script only varies
+the *platform* — the scheduler kind, and whether permits apply.  The
+output reproduces the paper's headline: only the Kyoto-enabled
 platforms keep the HPC application's performance predictable.
 """
 
-from repro import (
-    CreditScheduler,
-    KS4Pisces,
-    KS4Xen,
-    PiscesCoKernel,
-    VirtualizedSystem,
-    VmConfig,
-    application_workload,
-)
+import pathlib
+from dataclasses import replace
+
 from repro.analysis.metrics import SeriesStats, normalized_performance
 from repro.analysis.reporting import format_table
+from repro.scenario import load_scenario, materialize, solo_baseline_ipc
 
-TENANTS = [("lbm", 1), ("blockie", 2), ("mcf", 3)]
-#: Solver books the paper's large permit; tenants book the small Fig 6 one.
-SOLVER_PERMIT = 250_000.0
-TENANT_PERMIT = 50_000.0
+FLEET_TOML = pathlib.Path(__file__).parent / "scenarios" / "hpc_colocation.toml"
+
+#: (label, scheduler kind, permits enforced) per platform.
+PLATFORMS = [
+    ("XCS (plain Xen)", "xcs", False),
+    ("KS4Xen", "ks4xen", True),
+    ("Pisces", "pisces", False),
+    ("KS4Pisces", "ks4pisces", True),
+]
 
 
-def run_platform(scheduler_factory, kyoto: bool):
+def platform_spec(fleet, scheduler_kind: str, kyoto: bool):
+    """The fleet spec re-targeted at one platform.
+
+    Non-Kyoto platforms drop the permits (``llc_cap = None``) — there is
+    no enforcement to book them with.
+    """
+    vms = fleet.vms if kyoto else tuple(
+        replace(vm, llc_cap=None) for vm in fleet.vms
+    )
+    return replace(
+        fleet,
+        name=f"{fleet.name}-{scheduler_kind}",
+        scheduler=replace(fleet.scheduler, kind=scheduler_kind),
+        vms=vms,
+    )
+
+
+def run_platform(fleet, scheduler_kind: str, kyoto: bool):
     """Sample the solver's per-100ms IPC while tenants come and go.
 
     Real clouds are unpredictable because the *neighbour set changes*:
     each 100 ms window a different subset of tenants is active, so a
     platform without cache isolation shows large window-to-window swings.
     """
-    scheduler = scheduler_factory()
-    system = VirtualizedSystem(scheduler)
-    solver = system.create_vm(
-        VmConfig(
-            name="hpc-solver",
-            workload=application_workload("soplex"),
-            llc_cap=SOLVER_PERMIT if kyoto else None,
-            pinned_cores=[0],
-        )
-    )
-    tenants = [
-        system.create_vm(
-            VmConfig(
-                name=f"tenant-{app}",
-                workload=application_workload(app),
-                llc_cap=TENANT_PERMIT if kyoto else None,
-                pinned_cores=[core],
-            )
-        )
-        for app, core in TENANTS
-    ]
+    built = materialize(platform_spec(fleet, scheduler_kind, kyoto))
+    system = built.system
+    solver = built.vm("hpc-solver")
+    tenants = [vm for name, vm in built.vms.items() if name != "hpc-solver"]
     # Tenant activity schedule: which tenants run in each 100ms window.
     activity = [
         (True, False, False),
@@ -87,26 +90,16 @@ def run_platform(scheduler_factory, kyoto: bool):
 
 
 def main() -> None:
-    # Solo baseline on an otherwise idle host.
-    solo_system = VirtualizedSystem(CreditScheduler())
-    solo = solo_system.create_vm(
-        VmConfig(name="solo", workload=application_workload("soplex"),
-                 pinned_cores=[0])
+    fleet = load_scenario(str(FLEET_TOML))
+    # Solo baseline on an otherwise idle host (300ms warmup, 500ms measure).
+    baseline = solo_baseline_ipc(
+        replace(fleet, protocol=replace(fleet.protocol, warmup_ticks=30,
+                                        measure_ticks=50))
     )
-    solo_system.run_msec(300)
-    solo.reset_metrics()
-    solo_system.run_msec(500)
-    baseline = solo.ipc
 
-    platforms = [
-        ("XCS (plain Xen)", CreditScheduler, False),
-        ("KS4Xen", KS4Xen, True),
-        ("Pisces", PiscesCoKernel, False),
-        ("KS4Pisces", KS4Pisces, True),
-    ]
     rows = []
-    for label, factory, kyoto in platforms:
-        samples = run_platform(factory, kyoto)
+    for label, scheduler_kind, kyoto in PLATFORMS:
+        samples = run_platform(fleet, scheduler_kind, kyoto)
         stats = SeriesStats.of(samples)
         rows.append(
             [

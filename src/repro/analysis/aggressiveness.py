@@ -18,11 +18,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.equation import llc_cap_act, llcm_indicator
-from repro.hardware.specs import MachineSpec, paper_machine
-from repro.hypervisor.system import VirtualizedSystem
-from repro.hypervisor.vm import VmConfig
-from repro.schedulers.credit import CreditScheduler
-from repro.workloads.profiles import application_workload
+# Submodule imports (not the repro.scenario package) to stay cycle-free:
+# repro.scenario.runner pulls in repro.analysis.reporting.
+from repro.scenario.materialize import materialize
+from repro.scenario.spec import (
+    MachineSpecChoice,
+    ScenarioSpec,
+    VmSpec,
+    WorkloadSpec,
+)
 
 from .kendall import kendall_tau, ranking_from_scores
 from .metrics import degradation_percent
@@ -61,20 +65,16 @@ class CampaignConfig:
 
     warmup_ticks: int = 20
     measure_ticks: int = 60
-    machine: Optional[MachineSpec] = None
-
-    def resolved_machine(self) -> MachineSpec:
-        return self.machine if self.machine is not None else paper_machine()
+    machine_preset: str = "paper"
 
 
 def run_solo(app: str, config: Optional[CampaignConfig] = None) -> SoloProfile:
     """Run ``app`` alone on core 0 and measure its indicators."""
     if config is None:
         config = CampaignConfig()
-    system = VirtualizedSystem(CreditScheduler(), config.resolved_machine())
-    vm = system.create_vm(
-        VmConfig(name=app, workload=application_workload(app), pinned_cores=[0])
-    )
+    built = materialize(_solo_spec(app, config))
+    system = built.system
+    vm = built.vm(app)
     system.run_ticks(config.warmup_ticks)
     vm.reset_metrics()
     system.run_ticks(config.measure_ticks)
@@ -84,6 +84,16 @@ def run_solo(app: str, config: Optional[CampaignConfig] = None) -> SoloProfile:
         ipc=vcpu.ipc,
         llcm=llcm_indicator(vcpu.llc_misses, vcpu.instructions_retired),
         equation1=llc_cap_act(vcpu.llc_misses, vcpu.cycles_run, system.freq_khz),
+    )
+
+
+def _solo_spec(app: str, config: CampaignConfig) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"aggressiveness-solo-{app}",
+        machine=MachineSpecChoice(preset=config.machine_preset),
+        vms=(
+            VmSpec(name=app, workload=WorkloadSpec(app=app), pinned_cores=(0,)),
+        ),
     )
 
 
@@ -100,17 +110,26 @@ def run_pair_degradation(
     """
     if config is None:
         config = CampaignConfig()
-    system = VirtualizedSystem(CreditScheduler(), config.resolved_machine())
-    victim_vm = system.create_vm(
-        VmConfig(name=victim, workload=application_workload(victim), pinned_cores=[0])
-    )
-    system.create_vm(
-        VmConfig(
-            name=aggressor,
-            workload=application_workload(aggressor),
-            pinned_cores=[1],
+    built = materialize(
+        ScenarioSpec(
+            name=f"aggressiveness-{aggressor}-vs-{victim}",
+            machine=MachineSpecChoice(preset=config.machine_preset),
+            vms=(
+                VmSpec(
+                    name=victim,
+                    workload=WorkloadSpec(app=victim),
+                    pinned_cores=(0,),
+                ),
+                VmSpec(
+                    name=aggressor,
+                    workload=WorkloadSpec(app=aggressor),
+                    pinned_cores=(1,),
+                ),
+            ),
         )
     )
+    system = built.system
+    victim_vm = built.vm(victim)
     system.run_ticks(config.warmup_ticks)
     victim_vm.reset_metrics()
     system.run_ticks(config.measure_ticks)

@@ -6,7 +6,9 @@ Run any of the paper's reproduced experiments from a shell::
     python -m repro run fig05
     python -m repro run table1 fig02
     python -m repro run all --jobs 4 --json out/
+    python -m repro run examples/scenarios/colocation.toml
     python -m repro campaign out/ --output BENCH.json
+    python -m repro scenario validate examples/scenarios/*.toml
 
 Each experiment prints the same rows/series the paper's figure or table
 reports (see EXPERIMENTS.md for the paper-vs-measured record).
@@ -14,6 +16,12 @@ reports (see EXPERIMENTS.md for the paper-vs-measured record).
 byte-identical to a serial run), ``--json DIR`` writes one JSON artifact
 per experiment, and ``campaign`` aggregates an artifact directory into a
 single summary (see docs/telemetry.md).
+
+``run`` accepts scenario files (docs/scenarios.md) alongside registry
+names; a file with a ``[sweep]`` table expands into one experiment per
+grid point.  The ``scenario`` subcommand works with the files
+themselves: ``list`` a directory, ``validate`` files, ``show`` the
+canonical form of one point, ``run`` files (same engine as ``run``).
 
 The repo's own static-analysis gate (docs/static_analysis.md) runs as::
 
@@ -28,7 +36,17 @@ import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import campaign as campaign_mod
-from repro.experiments.registry import REGISTRY, expand_names
+from repro.experiments.registry import (
+    REGISTRY,
+    SCENARIO_SUFFIXES,
+    expand_names,
+    scenario_points,
+    scenario_spec_of,
+)
+from repro.scenario import ScenarioError, dumps_json, dumps_toml
+
+#: Directory ``repro scenario list`` scans when none is given.
+DEFAULT_SCENARIO_DIR = "examples/scenarios"
 
 #: name -> (description, runner) — kept as the CLI's legacy public
 #: surface; the canonical table is repro.experiments.registry.REGISTRY.
@@ -90,6 +108,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         metavar="FILE",
         help="write the campaign summary JSON to FILE instead of stdout",
+    )
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="work with scenario files (docs/scenarios.md)"
+    )
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    sc_list = scenario_sub.add_parser(
+        "list", help="list scenario files in a directory"
+    )
+    sc_list.add_argument(
+        "directory",
+        nargs="?",
+        default=DEFAULT_SCENARIO_DIR,
+        help=f"directory to scan (default: {DEFAULT_SCENARIO_DIR})",
+    )
+    sc_validate = scenario_sub.add_parser(
+        "validate", help="parse + validate scenario files (exit 2 on errors)"
+    )
+    sc_validate.add_argument(
+        "files", nargs="+", help="scenario files (*.toml, *.json)"
+    )
+    sc_show = scenario_sub.add_parser(
+        "show", help="print the canonical form of one scenario (or sweep point)"
+    )
+    sc_show.add_argument(
+        "file", help="scenario file, optionally with a #index sweep point"
+    )
+    sc_show.add_argument(
+        "--format",
+        choices=("toml", "json"),
+        default="toml",
+        help="serialization to print (default: toml)",
+    )
+    sc_run = scenario_sub.add_parser(
+        "run", help="run scenario files (same engine as 'repro run')"
+    )
+    sc_run.add_argument(
+        "files", nargs="+", help="scenario files or file#index sweep points"
+    )
+    sc_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; output is identical)",
+    )
+    sc_run.add_argument(
+        "--json",
+        dest="json_dir",
+        metavar="DIR",
+        help="write one JSON artifact per scenario point into DIR",
+    )
+    sc_run.add_argument(
+        "--timeout-sec",
+        dest="timeout_sec",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-scenario watchdog (see 'repro run --timeout-sec')",
     )
     lint_parser = subparsers.add_parser(
         "lint", help="run kyotolint over the source tree"
@@ -157,6 +235,86 @@ def run_experiments(
     )
 
 
+def _scenario_files_in(directory: str) -> List[str]:
+    root = pathlib.Path(directory)
+    return sorted(
+        str(path)
+        for path in root.iterdir()
+        if path.is_file() and path.suffix in SCENARIO_SUFFIXES
+    )
+
+
+def list_scenarios(directory: str, out=sys.stdout) -> int:
+    """The ``repro scenario list`` subcommand."""
+    if not pathlib.Path(directory).is_dir():
+        sys.stderr.write(f"repro scenario: error: no such directory: {directory}\n")
+        return 2
+    files = _scenario_files_in(directory)
+    if not files:
+        out.write(f"no scenario files in {directory}\n")
+        return 0
+    for path in files:
+        try:
+            points = scenario_points(path)
+        except ScenarioError as exc:
+            first = str(exc).splitlines()[0]
+            out.write(f"{path}: INVALID ({first})\n")
+            continue
+        spec = points[0][1]
+        label = spec.description or spec.name
+        suffix = f" [{len(points)} sweep points]" if len(points) > 1 else ""
+        out.write(f"{path}: {label}{suffix}\n")
+    return 0
+
+
+def validate_scenarios(files: List[str], out=sys.stdout) -> int:
+    """The ``repro scenario validate`` subcommand (exit 2 on any error)."""
+    failed = False
+    for path in files:
+        try:
+            points = scenario_points(path)
+        except ScenarioError as exc:
+            failed = True
+            out.write(f"{path}: INVALID\n")
+            for line in str(exc).splitlines():
+                out.write(f"  {line}\n")
+            continue
+        names = ", ".join(spec.name for _, spec in points[:3])
+        if len(points) > 3:
+            names += ", ..."
+        plural = "s" if len(points) != 1 else ""
+        out.write(f"{path}: OK — {len(points)} point{plural} ({names})\n")
+    return 2 if failed else 0
+
+
+def show_scenario(token: str, fmt: str, out=sys.stdout) -> int:
+    """The ``repro scenario show`` subcommand: canonical serialization."""
+    try:
+        spec = scenario_spec_of(token)
+    except ScenarioError as exc:
+        sys.stderr.write(f"repro scenario: error:\n{exc}\n")
+        return 2
+    out.write(dumps_json(spec) if fmt == "json" else dumps_toml(spec))
+    return 0
+
+
+def run_scenario_command(args, out=sys.stdout) -> int:
+    """Dispatch ``repro scenario list | validate | show | run``."""
+    if args.scenario_command == "list":
+        return list_scenarios(args.directory, out=out)
+    if args.scenario_command == "validate":
+        return validate_scenarios(args.files, out=out)
+    if args.scenario_command == "show":
+        return show_scenario(args.file, args.format, out=out)
+    return run_experiments(
+        args.files,
+        out=out,
+        jobs=args.jobs,
+        json_dir=args.json_dir,
+        timeout_sec=args.timeout_sec,
+    )
+
+
 def run_lint(args, out=sys.stdout) -> int:
     """The ``repro lint`` subcommand (see repro.lint)."""
     from repro import lint as kyotolint
@@ -199,6 +357,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "lint":
         return run_lint(args)
+    if args.command == "scenario":
+        return run_scenario_command(args)
     if args.command == "campaign":
         return campaign_mod.summarize_campaign(args.artifact_dir, output=args.output)
     return run_experiments(

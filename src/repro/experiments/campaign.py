@@ -32,10 +32,11 @@ import sys
 import traceback
 from typing import Any, Dict, IO, List, Optional, Sequence
 
+from repro.scenario import ScenarioError
 from repro.telemetry import MetricsRecorder, recording, to_json_dict
 from repro.util import elapsed_since, wall_clock
 
-from .registry import REGISTRY, expand_names
+from .registry import REGISTRY, expand_names, is_scenario_token, resolve
 
 #: Schema identifier of one per-experiment artifact file.
 ARTIFACT_SCHEMA = "repro.artifact/1"
@@ -48,16 +49,31 @@ class CampaignError(ValueError):
 
 
 def run_one(name: str) -> Dict[str, Any]:
-    """Run one registered experiment and return its artifact dict.
+    """Run one experiment (registry name or scenario token); return its artifact.
 
     Never raises for a failing experiment: the exception is captured in
-    the artifact so the rest of the batch keeps running.  This function
-    is the unit of work shipped to ``multiprocessing`` workers, so it
-    must stay picklable (module-level, name argument only).
+    the artifact so the rest of the batch keeps running.  An unloadable
+    or invalid scenario file is surfaced the same way — as an
+    ``ok: False`` artifact named after the token.  This function is the
+    unit of work shipped to ``multiprocessing`` workers, so it must stay
+    picklable (module-level, name argument only).
     """
-    spec = REGISTRY[name]
-    recorder = MetricsRecorder()
     start = wall_clock()
+    recorder = MetricsRecorder()
+    try:
+        spec = resolve(name)
+    except (KeyError, ScenarioError) as exc:
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "name": name,
+            "description": f"unresolvable experiment {name!r}",
+            "ok": False,
+            "report": "",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "wall_time_sec": elapsed_since(start),
+            "telemetry": to_json_dict(recorder),
+        }
     ok = True
     report = ""
     error: Optional[str] = None
@@ -71,7 +87,7 @@ def run_one(name: str) -> Dict[str, Any]:
         failure_traceback = traceback.format_exc()
     return {
         "schema": ARTIFACT_SCHEMA,
-        "name": name,
+        "name": spec.name,
         "description": spec.description,
         "ok": ok,
         "report": report,
@@ -104,7 +120,11 @@ def run_one_with_timeout(name: str, timeout_sec: float) -> Dict[str, Any]:
     """
     if timeout_sec <= 0:
         raise CampaignError(f"timeout_sec must be positive, got {timeout_sec}")
-    spec = REGISTRY[name]
+    try:
+        spec = resolve(name)
+    except (KeyError, ScenarioError):
+        # Resolution failures need no watchdog; reuse run_one's artifact.
+        return run_one(name)
     start = wall_clock()
     receiver, sender = multiprocessing.Pipe(duplex=False)
     child = multiprocessing.Process(target=_run_one_into, args=(name, sender))
@@ -133,7 +153,7 @@ def run_one_with_timeout(name: str, timeout_sec: float) -> Dict[str, Any]:
         child.join()
     return {
         "schema": ARTIFACT_SCHEMA,
-        "name": name,
+        "name": spec.name,
         "description": spec.description,
         "ok": False,
         "report": "",
@@ -169,10 +189,24 @@ def _artifact_stream(
             yield artifact
 
 
+def artifact_filename(name: str) -> str:
+    """Filesystem-safe artifact filename for an experiment name.
+
+    Scenario names may carry sweep labels (``chaos@faults.uniform_rate=0.5``)
+    or, for unresolvable tokens, whole paths; everything outside a
+    conservative safe set maps to ``_`` so the file lands inside
+    ``json_dir`` on every platform.
+    """
+    safe = "".join(
+        ch if ch.isalnum() or ch in "._@=,+-" else "_" for ch in name
+    )
+    return f"{safe or 'experiment'}.json"
+
+
 def write_artifact(json_dir: str, artifact: Dict[str, Any]) -> str:
-    """Write one ``{name}.json`` artifact; returns the path written."""
+    """Write one per-experiment artifact; returns the path written."""
     os.makedirs(json_dir, exist_ok=True)
-    path = os.path.join(json_dir, f"{artifact['name']}.json")
+    path = os.path.join(json_dir, artifact_filename(artifact["name"]))
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -188,8 +222,9 @@ def run_campaign(
 ) -> int:
     """Run a campaign; returns the process exit code (0 ok, 1 failures).
 
-    ``names`` must already be registry names (use
-    :func:`repro.experiments.registry.expand_names` for user input).
+    ``names`` must already be registry names or scenario-file tokens
+    (use :func:`repro.experiments.registry.expand_names` for user
+    input — it also expands sweep files into point tokens).
     Reports stream to ``out`` in the legacy serial format; artifacts go
     to ``json_dir`` when given.  ``timeout_sec`` arms the per-experiment
     watchdog (see :func:`run_one_with_timeout`).
@@ -198,7 +233,11 @@ def run_campaign(
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
     if timeout_sec is not None and timeout_sec <= 0:
         raise CampaignError(f"timeout_sec must be positive, got {timeout_sec}")
-    unknown = [name for name in names if name not in REGISTRY]
+    unknown = [
+        name
+        for name in names
+        if name not in REGISTRY and not is_scenario_token(name)
+    ]
     if unknown:
         raise CampaignError(f"unknown experiment(s): {', '.join(unknown)}")
     failed: List[str] = []

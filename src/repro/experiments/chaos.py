@@ -33,25 +33,20 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import normalized_performance
 from repro.analysis.reporting import format_table
-from repro.core.ks4xen import KS4Xen
-from repro.core.monitor import (
-    DirectPmcMonitor,
-    McSimReplayMonitor,
-    SocketDedicationMonitor,
-)
-from repro.core.resilient import ResilientMonitor
-from repro.faults import (
-    FaultyMonitor,
-    FaultyReplayService,
-    MigrationFaultInjector,
-    uniform_plan,
-)
 from repro.hardware.specs import numa_machine
-from repro.hypervisor.vm import VmConfig
-from repro.mcsim.service import ReplayService
+from repro.scenario import (
+    FaultsSpec,
+    MachineSpecChoice,
+    MonitorSpec,
+    ScenarioSpec,
+    SchedulerChoice,
+    VmSpec,
+    WorkloadSpec,
+    materialize,
+)
 from repro.workloads.profiles import application_workload
 
-from .common import PAPER_LLC_CAP, build_system, measured_ipc, solo_ipc_of
+from .common import PAPER_LLC_CAP, measured_ipc, solo_ipc_of
 
 #: Monitor failure rates swept by the experiment.
 FAILURE_RATES = (0.0, 0.05, 0.1, 0.2, 0.5, 1.0)
@@ -109,42 +104,40 @@ def _run_point(
     measure: int,
 ) -> ChaosPoint:
     point = ChaosPoint(rate=rate)
-    scheduler = KS4Xen(quota_min_factor=CHAOS_QUOTA_MIN_FACTOR)
-    system = build_system(scheduler, machine=numa_machine())
-    plan = uniform_plan(rate, system.rng.stream("faults.plan"))
-    injector = MigrationFaultInjector(system, plan)
-    replay = FaultyReplayService(ReplayService(), plan, system)
-    monitor = ResilientMonitor(
-        system,
-        chain=[
-            McSimReplayMonitor(system, replay),
-            SocketDedicationMonitor(system, sample_ticks=1),
-            FaultyMonitor(DirectPmcMonitor(system), plan),
-        ],
-        # Two retries before failing over: transient replay faults are
-        # far cheaper to retry than a socket-dedication window, whose
-        # migrations perturb the co-located VMs (Fig 9).
-        retries=2,
-    )
-    assert scheduler.kyoto is not None
-    scheduler.kyoto.monitor = monitor
-    engine = scheduler.kyoto
-    sen = system.create_vm(
-        VmConfig(
-            name="vsen1",
-            workload=application_workload("gcc"),
-            llc_cap=llc_cap,
-            pinned_cores=[0],
+    built = materialize(
+        ScenarioSpec(
+            name=f"chaos-{rate:g}",
+            machine=MachineSpecChoice(preset="numa"),
+            scheduler=SchedulerChoice(
+                kind="ks4xen", quota_min_factor=CHAOS_QUOTA_MIN_FACTOR
+            ),
+            # Two retries before failing over: transient replay faults
+            # are far cheaper to retry than a socket-dedication window,
+            # whose migrations perturb the co-located VMs (Fig 9).
+            monitor=MonitorSpec(strategy="resilient", retries=2),
+            faults=FaultsSpec(uniform_rate=rate),
+            vms=(
+                VmSpec(
+                    name="vsen1",
+                    workload=WorkloadSpec(app="gcc"),
+                    llc_cap=llc_cap,
+                    pinned_cores=(0,),
+                ),
+                VmSpec(
+                    name="vdis",
+                    workload=WorkloadSpec(app="lbm"),
+                    llc_cap=llc_cap,
+                    pinned_cores=(1,),
+                ),
+            ),
         )
     )
-    dis = system.create_vm(
-        VmConfig(
-            name="vdis",
-            workload=application_workload("lbm"),
-            llc_cap=llc_cap,
-            pinned_cores=[1],
-        )
-    )
+    system = built.system
+    plan = built.fault_plan
+    monitor = built.monitor
+    engine = built.kyoto
+    assert plan is not None and monitor is not None and engine is not None
+    sen, dis = built.vm("vsen1"), built.vm("vdis")
     min_quota = 0.0
 
     def observer(sys_, tick_index) -> None:
@@ -161,7 +154,7 @@ def _run_point(
         point.error = f"{type(exc).__name__}: {exc}"
         return point
     finally:
-        injector.uninstall()
+        built.uninstall_faults()
     point.completed = True
     point.normalized_perf = normalized_performance(solo, ipc)
     point.punishments_sen = engine.punishments(sen)

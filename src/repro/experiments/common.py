@@ -1,33 +1,47 @@
 """Shared helpers for the per-figure experiment drivers.
 
-Every experiment driver follows the same pattern: build a
-:class:`~repro.hypervisor.system.VirtualizedSystem` with the right
-scheduler and VMs, warm it up, measure over a window, and return a small
-result dataclass that the benchmark harness formats with
+Every experiment driver follows the same pattern: describe its setup as
+a :class:`~repro.scenario.spec.ScenarioSpec` (or build a
+:class:`~repro.hypervisor.system.VirtualizedSystem` directly for the
+few bespoke cases), warm it up, measure over a window, and return a
+small result dataclass that the benchmark harness formats with
 :mod:`repro.analysis.reporting`.
+
+The measurement protocols and the paper constants live in
+:mod:`repro.scenario` — this module re-exports them so drivers (and
+downstream users) keep one import point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
 from repro.hardware.specs import MachineSpec, paper_machine
 from repro.hypervisor.system import VirtualizedSystem
-from repro.hypervisor.vm import VirtualMachine, VmConfig
+from repro.hypervisor.vm import VmConfig
 from repro.schedulers.base import Scheduler
 from repro.schedulers.credit import CreditScheduler
+from repro.scenario.defaults import (
+    DEFAULT_MEASURE_TICKS,
+    DEFAULT_WARMUP_TICKS,
+    PAPER_LLC_CAP,
+    PAPER_SMALL_LLC_CAP,
+)
+from repro.scenario.protocol import execution_time_sec, measured_ipc
 from repro.workloads.base import Workload
 
-#: Default warm-up before any measurement window (ticks).
-DEFAULT_WARMUP_TICKS = 30
-#: Default measurement window (ticks).
-DEFAULT_MEASURE_TICKS = 120
-
-#: The booked pollution permit used throughout Section 4.3 (Fig 5).
-PAPER_LLC_CAP = 250_000.0
-#: The small permit of the scalability experiment (Fig 6).
-PAPER_SMALL_LLC_CAP = 50_000.0
+__all__ = [
+    "DEFAULT_MEASURE_TICKS",
+    "DEFAULT_WARMUP_TICKS",
+    "PAPER_LLC_CAP",
+    "PAPER_SMALL_LLC_CAP",
+    "ExecTimeResult",
+    "build_system",
+    "execution_time_sec",
+    "measured_ipc",
+    "solo_ipc_of",
+]
 
 
 def build_system(
@@ -42,19 +56,6 @@ def build_system(
         machine if machine is not None else paper_machine(),
         **kwargs,
     )
-
-
-def measured_ipc(
-    system: VirtualizedSystem,
-    vm: VirtualMachine,
-    warmup_ticks: int = DEFAULT_WARMUP_TICKS,
-    measure_ticks: int = DEFAULT_MEASURE_TICKS,
-) -> float:
-    """Warm up, reset, measure: the VM's IPC over the window."""
-    system.run_ticks(warmup_ticks)
-    vm.reset_metrics()
-    system.run_ticks(measure_ticks)
-    return vm.vcpus[0].ipc
 
 
 def solo_ipc_of(
@@ -75,40 +76,3 @@ class ExecTimeResult:
 
     label: str
     seconds: float
-
-
-def execution_time_sec(
-    system: VirtualizedSystem,
-    vm: VirtualMachine,
-    max_ticks: int = 200_000,
-) -> float:
-    """Run until ``vm`` finishes and return its completion time (seconds)."""
-    while not vm.finished:
-        if system.tick_index >= max_ticks:
-            raise RuntimeError(_budget_exhausted_message(system, vm, max_ticks))
-        system.run_ticks(1)
-    finish_usec = vm.finish_time_usec
-    assert finish_usec is not None
-    return finish_usec / 1e6
-
-
-def _budget_exhausted_message(
-    system: VirtualizedSystem, vm: VirtualMachine, max_ticks: int
-) -> str:
-    """Diagnosable tick-budget failure: simulated time + VM progress.
-
-    Campaign artifacts capture this text verbatim, so it must say *how
-    far* the VM got, not just that the budget ran out.
-    """
-    elapsed_sim_sec = system.engine.clock.now_usec / 1e6
-    done = sum(vcpu.progress.instructions_done for vcpu in vm.vcpus)
-    total = sum(
-        vcpu.progress.workload.total_instructions or 0.0 for vcpu in vm.vcpus
-    )
-    progress = f"{done:.4g}/{total:.4g} instructions"
-    if total > 0:
-        progress += f" ({100.0 * done / total:.1f}%)"
-    return (
-        f"{vm.name} did not finish within {max_ticks} ticks "
-        f"({elapsed_sim_sec:.3f} simulated seconds); progress: {progress}"
-    )

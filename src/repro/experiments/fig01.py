@@ -20,10 +20,10 @@ from typing import Dict, List, Tuple
 
 from repro.analysis.metrics import degradation_percent
 from repro.analysis.reporting import format_table
-from repro.hypervisor.vm import VmConfig
-from repro.workloads.micro import CacheFitCategory, category_pairs, micro_workload
+from repro.scenario import ScenarioSpec, VmSpec, WorkloadSpec, materialize
+from repro.workloads.micro import CacheFitCategory, category_pairs
 
-from .common import build_system, measured_ipc
+from .common import measured_ipc
 
 #: The three execution situations of Section 2.2.4.
 MODES = ("alternative", "parallel", "combined")
@@ -40,29 +40,26 @@ class Fig01Result:
         return self.degradation[(rep, dis, mode)]
 
 
+def _situation_spec(rep_bytes: int, dis_bytes: int, mode: str) -> ScenarioSpec:
+    vms = [
+        VmSpec(
+            name="rep",
+            workload=WorkloadSpec(kind="micro", wss_bytes=rep_bytes),
+            pinned_cores=(0,),
+        )
+    ]
+    disruptor = WorkloadSpec(kind="micro", wss_bytes=dis_bytes, disruptive=True)
+    if mode in ("alternative", "combined"):
+        vms.append(VmSpec(name="dis-alt", workload=disruptor, pinned_cores=(0,)))
+    if mode in ("parallel", "combined"):
+        vms.append(VmSpec(name="dis-par", workload=disruptor, pinned_cores=(1,)))
+    return ScenarioSpec(name=f"fig01-{mode}", vms=tuple(vms))
+
+
 def _run_situation(rep_bytes: int, dis_bytes: int, mode: str,
                    warmup: int, measure: int) -> float:
-    system = build_system()
-    rep = system.create_vm(
-        VmConfig(name="rep", workload=micro_workload(rep_bytes), pinned_cores=[0])
-    )
-    if mode in ("alternative", "combined"):
-        system.create_vm(
-            VmConfig(
-                name="dis-alt",
-                workload=micro_workload(dis_bytes, disruptive=True),
-                pinned_cores=[0],
-            )
-        )
-    if mode in ("parallel", "combined"):
-        system.create_vm(
-            VmConfig(
-                name="dis-par",
-                workload=micro_workload(dis_bytes, disruptive=True),
-                pinned_cores=[1],
-            )
-        )
-    return measured_ipc(system, rep, warmup, measure)
+    built = materialize(_situation_spec(rep_bytes, dis_bytes, mode))
+    return measured_ipc(built.system, built.vm("rep"), warmup, measure)
 
 
 def run(warmup_ticks: int = 30, measure_ticks: int = 120) -> Fig01Result:
@@ -71,15 +68,24 @@ def run(warmup_ticks: int = 30, measure_ticks: int = 120) -> Fig01Result:
     result = Fig01Result()
     solo = {}
     for rep_cat, rep_pair in pairs.items():
-        system = build_system()
-        vm = system.create_vm(
-            VmConfig(
-                name="rep",
-                workload=micro_workload(rep_pair.representative_bytes),
-                pinned_cores=[0],
+        built = materialize(
+            ScenarioSpec(
+                name="fig01-solo",
+                vms=(
+                    VmSpec(
+                        name="rep",
+                        workload=WorkloadSpec(
+                            kind="micro",
+                            wss_bytes=rep_pair.representative_bytes,
+                        ),
+                        pinned_cores=(0,),
+                    ),
+                ),
             )
         )
-        solo[rep_cat] = measured_ipc(system, vm, warmup_ticks, measure_ticks)
+        solo[rep_cat] = measured_ipc(
+            built.system, built.vm("rep"), warmup_ticks, measure_ticks
+        )
     for rep_cat, rep_pair in pairs.items():
         for dis_cat, dis_pair in pairs.items():
             for mode in MODES:

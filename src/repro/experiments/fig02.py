@@ -17,10 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.analysis.reporting import format_table
-from repro.hypervisor.vm import VmConfig
-from repro.workloads.micro import CacheFitCategory, category_pairs, micro_workload
-
-from .common import build_system
+from repro.scenario import ScenarioSpec, VmSpec, WorkloadSpec, materialize
+from repro.workloads.micro import CacheFitCategory, category_pairs
 
 SITUATIONS = ("alone", "alternative", "parallel", "alter+para")
 
@@ -33,30 +31,29 @@ class Fig02Result:
     misses: Dict[str, List[float]] = field(default_factory=dict)
 
 
-def _run_situation(situation: str, num_ticks: int) -> List[float]:
+def _situation_spec(situation: str) -> ScenarioSpec:
     pairs = category_pairs()
     rep_bytes = pairs[CacheFitCategory.C2_FITS_LLC].representative_bytes
     dis_bytes = pairs[CacheFitCategory.C2_FITS_LLC].disruptive_bytes
-    system = build_system()
-    rep = system.create_vm(
-        VmConfig(name="v2rep", workload=micro_workload(rep_bytes), pinned_cores=[0])
-    )
+    vms = [
+        VmSpec(
+            name="v2rep",
+            workload=WorkloadSpec(kind="micro", wss_bytes=rep_bytes),
+            pinned_cores=(0,),
+        )
+    ]
+    disruptor = WorkloadSpec(kind="micro", wss_bytes=dis_bytes, disruptive=True)
     if situation in ("alternative", "alter+para"):
-        system.create_vm(
-            VmConfig(
-                name="dis-alt",
-                workload=micro_workload(dis_bytes, disruptive=True),
-                pinned_cores=[0],
-            )
-        )
+        vms.append(VmSpec(name="dis-alt", workload=disruptor, pinned_cores=(0,)))
     if situation in ("parallel", "alter+para"):
-        system.create_vm(
-            VmConfig(
-                name="dis-par",
-                workload=micro_workload(dis_bytes, disruptive=True),
-                pinned_cores=[1],
-            )
-        )
+        vms.append(VmSpec(name="dis-par", workload=disruptor, pinned_cores=(1,)))
+    return ScenarioSpec(name=f"fig02-{situation}", vms=tuple(vms))
+
+
+def _run_situation(situation: str, num_ticks: int) -> List[float]:
+    built = materialize(_situation_spec(situation))
+    system = built.system
+    rep = built.vm("v2rep")
     per_tick: List[float] = []
 
     def observer(sys_, tick_index) -> None:

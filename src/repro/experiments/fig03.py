@@ -17,10 +17,10 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.metrics import degradation_percent
 from repro.analysis.reporting import format_table
-from repro.hypervisor.vm import VmConfig
+from repro.scenario import ScenarioSpec, VmSpec, WorkloadSpec, materialize
 from repro.workloads.profiles import SENSITIVE_APPS, application_workload
 
-from .common import build_system, measured_ipc, solo_ipc_of
+from .common import measured_ipc, solo_ipc_of
 
 DEFAULT_CAPS = (0, 20, 40, 60, 80, 100)
 
@@ -48,21 +48,24 @@ def run(
         )
         series: List[float] = []
         for cap in caps:
-            system = build_system()
-            sen = system.create_vm(
-                VmConfig(name=vsen, workload=application_workload(app),
-                         pinned_cores=[0])
-            )
+            vms = [
+                VmSpec(name=vsen, workload=WorkloadSpec(app=app), pinned_cores=(0,))
+            ]
             if cap > 0:
-                system.create_vm(
-                    VmConfig(
+                vms.append(
+                    VmSpec(
                         name="vdis1",
-                        workload=application_workload(disruptor_app),
+                        workload=WorkloadSpec(app=disruptor_app),
                         cap_percent=float(cap),
-                        pinned_cores=[1],
+                        pinned_cores=(1,),
                     )
                 )
-            ipc = measured_ipc(system, sen, warmup_ticks, measure_ticks)
+            built = materialize(
+                ScenarioSpec(name=f"fig03-{vsen}-cap{cap}", vms=tuple(vms))
+            )
+            ipc = measured_ipc(
+                built.system, built.vm(vsen), warmup_ticks, measure_ticks
+            )
             series.append(degradation_percent(solo, ipc))
         result.degradation[vsen] = series
     return result

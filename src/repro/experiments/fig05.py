@@ -21,12 +21,16 @@ from typing import Dict, List, Optional
 
 from repro.analysis.metrics import normalized_performance
 from repro.analysis.reporting import format_table
-from repro.core.ks4xen import KS4Xen
-from repro.hypervisor.vm import VmConfig
-from repro.schedulers.credit import CreditScheduler
+from repro.scenario import (
+    ScenarioSpec,
+    SchedulerChoice,
+    VmSpec,
+    WorkloadSpec,
+    materialize,
+)
 from repro.workloads.profiles import DISRUPTIVE_APPS, application_workload
 
-from .common import PAPER_LLC_CAP, build_system, measured_ipc, solo_ipc_of
+from .common import PAPER_LLC_CAP, measured_ipc, solo_ipc_of
 
 
 @dataclass
@@ -49,33 +53,42 @@ class Fig05Result:
     timeline: Fig05Timeline = field(default_factory=Fig05Timeline)
 
 
+def _pair_spec(
+    disruptor_app: str, scheduler_kind: str, llc_cap: float
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"fig05-{scheduler_kind}-{disruptor_app}",
+        scheduler=SchedulerChoice(kind=scheduler_kind),
+        vms=(
+            VmSpec(
+                name="vsen1",
+                workload=WorkloadSpec(app="gcc"),
+                llc_cap=llc_cap,
+                pinned_cores=(0,),
+            ),
+            VmSpec(
+                name="vdis",
+                workload=WorkloadSpec(app=disruptor_app),
+                llc_cap=llc_cap,
+                pinned_cores=(1,),
+            ),
+        ),
+    )
+
+
 def _run_pair(
     disruptor_app: str,
-    scheduler_factory,
+    scheduler_kind: str,
     llc_cap: float,
     warmup: int,
     measure: int,
     record_timeline: Optional[Fig05Timeline] = None,
     timeline_field: str = "",
 ):
-    scheduler = scheduler_factory()
-    system = build_system(scheduler)
-    sen = system.create_vm(
-        VmConfig(
-            name="vsen1",
-            workload=application_workload("gcc"),
-            llc_cap=llc_cap,
-            pinned_cores=[0],
-        )
-    )
-    dis = system.create_vm(
-        VmConfig(
-            name="vdis",
-            workload=application_workload(disruptor_app),
-            llc_cap=llc_cap,
-            pinned_cores=[1],
-        )
-    )
+    built = materialize(_pair_spec(disruptor_app, scheduler_kind, llc_cap))
+    system = built.system
+    sen, dis = built.vm("vsen1"), built.vm("vdis")
+    kyoto = built.kyoto
     if record_timeline is not None:
         dis_vcpu = dis.vcpus[0]
 
@@ -84,13 +97,13 @@ def _run_pair(
                 dis_vcpu.gid in sys_.last_tick_cycles
             )
             if timeline_field == "running_ks4xen":
-                quota = scheduler.kyoto.quota(dis)
+                quota = kyoto.quota(dis)
                 record_timeline.quota.append(quota if quota is not None else 0.0)
 
         system.add_tick_observer(observer)
     ipc = measured_ipc(system, sen, warmup, measure)
-    if isinstance(scheduler, KS4Xen):
-        return ipc, scheduler.kyoto.punishments(sen), scheduler.kyoto.punishments(dis)
+    if kyoto is not None:
+        return ipc, kyoto.punishments(sen), kyoto.punishments(dis)
     return ipc, 0, 0
 
 
@@ -108,11 +121,11 @@ def run(
     for vdis_name, app in DISRUPTIVE_APPS.items():
         timeline = result.timeline if vdis_name == "vdis1" else None
         ipc_k, pun_sen, pun_dis = _run_pair(
-            app, KS4Xen, llc_cap, warmup_ticks, measure_ticks,
+            app, "ks4xen", llc_cap, warmup_ticks, measure_ticks,
             record_timeline=timeline, timeline_field="running_ks4xen",
         )
         ipc_x, __, __ = _run_pair(
-            app, CreditScheduler, llc_cap, warmup_ticks, measure_ticks,
+            app, "xcs", llc_cap, warmup_ticks, measure_ticks,
             record_timeline=timeline, timeline_field="running_xcs",
         )
         result.normalized_perf[vdis_name] = normalized_performance(solo, ipc_k)

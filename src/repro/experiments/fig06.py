@@ -16,14 +16,18 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.metrics import normalized_performance
 from repro.analysis.reporting import format_table
-from repro.core.ks4xen import KS4Xen
-from repro.hypervisor.vm import VmConfig
+from repro.scenario import (
+    ScenarioSpec,
+    SchedulerChoice,
+    VmSpec,
+    WorkloadSpec,
+    materialize,
+)
 from repro.workloads.profiles import application_workload
 
 from .common import (
     PAPER_LLC_CAP,
     PAPER_SMALL_LLC_CAP,
-    build_system,
     measured_ipc,
     solo_ipc_of,
 )
@@ -50,31 +54,33 @@ def run(
     )
     result = Fig06Result(counts=list(counts))
     for count in counts:
-        scheduler = KS4Xen()
-        system = build_system(scheduler)
-        sen = system.create_vm(
-            VmConfig(
-                name="vsen1",
-                workload=application_workload("gcc"),
-                llc_cap=PAPER_LLC_CAP,
-                pinned_cores=[0],
-            )
-        )
-        num_cores = system.machine.total_cores
-        for i in range(count):
-            # Disturbers fill cores round-robin (vsen1 keeps core 0 but
-            # shares it once more than three disturbers are colocated, as
-            # on the real 4-core socket).
-            core = (1 + i) % num_cores
-            system.create_vm(
-                VmConfig(
-                    name=f"vdis1-{i}",
-                    workload=application_workload(disruptor_app),
+        # Disturbers fill cores round-robin from core 1 (vsen1 keeps
+        # core 0 but shares it once more than three disturbers are
+        # colocated, as on the real 4-core socket) — exactly the
+        # count-expansion rule of VmSpec.
+        spec = ScenarioSpec(
+            name=f"fig06-x{count}",
+            scheduler=SchedulerChoice(kind="ks4xen"),
+            vms=(
+                VmSpec(
+                    name="vsen1",
+                    workload=WorkloadSpec(app="gcc"),
+                    llc_cap=PAPER_LLC_CAP,
+                    pinned_cores=(0,),
+                ),
+                VmSpec(
+                    name="vdis1" if count > 1 else "vdis1-0",
+                    workload=WorkloadSpec(app=disruptor_app),
+                    count=count,
                     llc_cap=PAPER_SMALL_LLC_CAP,
-                    pinned_cores=[core],
-                )
-            )
-        ipc = measured_ipc(system, sen, warmup_ticks, measure_ticks)
+                    pinned_cores=(1,),
+                ),
+            ),
+        )
+        built = materialize(spec)
+        ipc = measured_ipc(
+            built.system, built.vm("vsen1"), warmup_ticks, measure_ticks
+        )
         result.normalized_perf.append(normalized_performance(solo, ipc))
     return result
 

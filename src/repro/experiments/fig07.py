@@ -17,11 +17,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.analysis.reporting import format_table
-from repro.hypervisor.vm import VmConfig
-from repro.pisces.cokernel import PiscesCoKernel
-from repro.workloads.profiles import application_workload
-
-from .common import build_system
+from repro.scenario import (
+    ScenarioSpec,
+    SchedulerChoice,
+    VmSpec,
+    WorkloadSpec,
+    materialize,
+)
 
 
 @dataclass
@@ -38,16 +40,26 @@ class Fig07Result:
 
 
 def run(num_ticks: int = 60) -> Fig07Result:
-    scheduler = PiscesCoKernel()
-    system = build_system(scheduler)
-    vm_a = system.create_vm(
-        VmConfig(name="enclave-gcc", workload=application_workload("gcc"),
-                 pinned_cores=[0])
+    built = materialize(
+        ScenarioSpec(
+            name="fig07",
+            scheduler=SchedulerChoice(kind="pisces"),
+            vms=(
+                VmSpec(
+                    name="enclave-gcc",
+                    workload=WorkloadSpec(app="gcc"),
+                    pinned_cores=(0,),
+                ),
+                VmSpec(
+                    name="enclave-lbm",
+                    workload=WorkloadSpec(app="lbm"),
+                    pinned_cores=(1,),
+                ),
+            ),
+        )
     )
-    vm_b = system.create_vm(
-        VmConfig(name="enclave-lbm", workload=application_workload("lbm"),
-                 pinned_cores=[1])
-    )
+    system, scheduler = built.system, built.scheduler
+    vm_a, vm_b = built.vm("enclave-gcc"), built.vm("enclave-lbm")
     ran: Dict[int, int] = {vm_a.vcpus[0].gid: 0, vm_b.vcpus[0].gid: 0}
 
     def observer(sys_, tick_index) -> None:

@@ -21,12 +21,15 @@ from typing import Dict
 
 from repro.analysis.metrics import slowdown_percent
 from repro.analysis.reporting import format_table
-from repro.hypervisor.vm import VmConfig
-from repro.pisces.cokernel import PiscesCoKernel
-from repro.pisces.ks4pisces import KS4Pisces
-from repro.workloads.profiles import application_workload
+from repro.scenario import (
+    ScenarioSpec,
+    SchedulerChoice,
+    VmSpec,
+    WorkloadSpec,
+    materialize,
+)
 
-from .common import PAPER_LLC_CAP, build_system, execution_time_sec
+from .common import PAPER_LLC_CAP, execution_time_sec
 
 #: Work per run; sized so solo execution takes a few simulated seconds.
 DEFAULT_WORK_INSTRUCTIONS = 2.0e9
@@ -51,37 +54,43 @@ class Fig08Result:
         )
 
 
-def _run(scheduler_factory, colocated: bool, llc_cap, work: float) -> float:
-    system = build_system(scheduler_factory())
-    sen = system.create_vm(
-        VmConfig(
+def _run(scheduler_kind: str, colocated: bool, llc_cap, work: float) -> float:
+    vms = [
+        VmSpec(
             name="vsen1",
-            workload=application_workload("gcc", total_instructions=work),
+            workload=WorkloadSpec(app="gcc", total_instructions=work),
             llc_cap=llc_cap,
-            pinned_cores=[0],
+            pinned_cores=(0,),
         )
-    )
+    ]
     if colocated:
-        system.create_vm(
-            VmConfig(
+        vms.append(
+            VmSpec(
                 name="vdis1",
-                workload=application_workload("lbm"),
+                workload=WorkloadSpec(app="lbm"),
                 llc_cap=llc_cap,
-                pinned_cores=[1],
+                pinned_cores=(1,),
             )
         )
-    return execution_time_sec(system, sen)
+    built = materialize(
+        ScenarioSpec(
+            name=f"fig08-{scheduler_kind}{'-colocated' if colocated else ''}",
+            scheduler=SchedulerChoice(kind=scheduler_kind),
+            vms=tuple(vms),
+        )
+    )
+    return execution_time_sec(built.system, built.vm("vsen1"))
 
 
 def run(work_instructions: float = DEFAULT_WORK_INSTRUCTIONS) -> Fig08Result:
     times = {
-        "pisces-alone": _run(PiscesCoKernel, False, None, work_instructions),
-        "pisces-colocated": _run(PiscesCoKernel, True, None, work_instructions),
+        "pisces-alone": _run("pisces", False, None, work_instructions),
+        "pisces-colocated": _run("pisces", True, None, work_instructions),
         "ks4pisces-alone": _run(
-            KS4Pisces, False, PAPER_LLC_CAP, work_instructions
+            "ks4pisces", False, PAPER_LLC_CAP, work_instructions
         ),
         "ks4pisces-colocated": _run(
-            KS4Pisces, True, PAPER_LLC_CAP, work_instructions
+            "ks4pisces", True, PAPER_LLC_CAP, work_instructions
         ),
     }
     return Fig08Result(exec_time=times)

@@ -19,11 +19,16 @@ from typing import Dict, List, Sequence
 from repro.analysis.metrics import slowdown_percent
 from repro.analysis.reporting import format_table
 from repro.hardware.specs import numa_machine
-from repro.hypervisor.migration import PeriodicMigrator
-from repro.hypervisor.vm import VmConfig
-from repro.workloads.profiles import application_workload
+from repro.scenario import (
+    MachineSpecChoice,
+    MigrationSpec,
+    ScenarioSpec,
+    VmSpec,
+    WorkloadSpec,
+    materialize,
+)
 
-from .common import build_system, execution_time_sec
+from .common import execution_time_sec
 
 #: The eight applications of the paper's Fig 9.
 FIG9_APPS = ("mcf", "soplex", "milc", "omnetpp", "xalan", "astar", "bzip", "lbm")
@@ -38,28 +43,31 @@ class Fig09Result:
 
 
 def _run(app: str, migrate: bool, work: float, period_ticks: int, seed: int) -> tuple:
-    system = build_system(machine=numa_machine())
-    vm = system.create_vm(
-        VmConfig(
-            name=app,
-            workload=application_workload(app, total_instructions=work),
-            memory_node=0,
-            pinned_cores=[0],
-        )
-    )
-    migrator = None
+    migration = None
     if migrate:
-        remote_core = system.machine.spec.cores_of_socket(1)[0]
-        migrator = PeriodicMigrator(
-            system,
-            vm.vcpus[0],
+        migration = MigrationSpec(
             home_core=0,
-            remote_core=remote_core,
+            remote_core=numa_machine().cores_of_socket(1)[0],
             period_ticks=period_ticks,
             seed=seed,
         )
-    seconds = execution_time_sec(system, vm)
-    return seconds, (migrator.migrations if migrator else 0)
+    built = materialize(
+        ScenarioSpec(
+            name=f"fig09-{app}{'-migrated' if migrate else ''}",
+            machine=MachineSpecChoice(preset="numa"),
+            vms=(
+                VmSpec(
+                    name=app,
+                    workload=WorkloadSpec(app=app, total_instructions=work),
+                    memory_node=0,
+                    pinned_cores=(0,),
+                ),
+            ),
+            migration=migration,
+        )
+    )
+    seconds = execution_time_sec(built.system, built.vm(app))
+    return seconds, (built.migrator.migrations if built.migrator else 0)
 
 
 def run(

@@ -22,11 +22,13 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.reporting import format_table
 from repro.core.monitor import IsolationPolicy, SocketDedicationSampler
-from repro.hardware.specs import numa_machine
-from repro.hypervisor.vm import VmConfig
-from repro.workloads.profiles import application_workload
-
-from .common import build_system
+from repro.scenario import (
+    MachineSpecChoice,
+    ScenarioSpec,
+    VmSpec,
+    WorkloadSpec,
+    materialize,
+)
 
 
 @dataclass
@@ -63,18 +65,26 @@ class Fig10Result:
 def _measure(app: str, corunners: Sequence[str], warmup: int,
              sample_ticks: int) -> Fig10Case:
     """Measure ``app``'s llc_cap_act isolated vs not, among corunners."""
-    system = build_system(machine=numa_machine())
-    target = system.create_vm(
-        VmConfig(name=app, workload=application_workload(app), pinned_cores=[0])
-    )
+    vms = [
+        VmSpec(name=app, workload=WorkloadSpec(app=app), pinned_cores=(0,))
+    ]
     for i, co in enumerate(corunners):
-        system.create_vm(
-            VmConfig(
+        vms.append(
+            VmSpec(
                 name=f"{co}-{i}",
-                workload=application_workload(co),
-                pinned_cores=[1 + (i % 3)],
+                workload=WorkloadSpec(app=co),
+                pinned_cores=(1 + (i % 3),),
             )
         )
+    built = materialize(
+        ScenarioSpec(
+            name=f"fig10-{app}",
+            machine=MachineSpecChoice(preset="numa"),
+            vms=tuple(vms),
+        )
+    )
+    system = built.system
+    target = built.vm(app)
     system.run_ticks(warmup)
     sampler = SocketDedicationSampler(system)
     not_isolated = sampler._contended_sample(target, sample_ticks)

@@ -18,10 +18,8 @@ from typing import Dict, List, Sequence
 from repro.analysis.kendall import kendall_tau, ranking_from_scores
 from repro.analysis.reporting import format_table
 from repro.core.equation import llc_cap_act
-from repro.hypervisor.vm import VmConfig
-from repro.workloads.profiles import FIG4_APPLICATIONS, application_workload
-
-from .common import build_system, measured_ipc
+from repro.scenario import ScenarioSpec, VmSpec, WorkloadSpec, materialize
+from repro.workloads.profiles import FIG4_APPLICATIONS
 
 
 @dataclass
@@ -60,25 +58,33 @@ def run(
 ) -> Fig11Result:
     result = Fig11Result()
     for app in apps:
+        target = VmSpec(
+            name=app, workload=WorkloadSpec(app=app), pinned_cores=(0,)
+        )
         # With dedication: the app is alone on the socket.
-        system = build_system()
-        vm = system.create_vm(
-            VmConfig(name=app, workload=application_workload(app), pinned_cores=[0])
+        built = materialize(
+            ScenarioSpec(name=f"fig11-{app}-dedicated", vms=(target,))
         )
-        result.dedicated[app] = _equation1_of(system, vm, warmup_ticks, measure_ticks)
+        result.dedicated[app] = _equation1_of(
+            built.system, built.vm(app), warmup_ticks, measure_ticks
+        )
         # Without dedication: measured while a co-runner shares the LLC.
-        system = build_system()
-        vm = system.create_vm(
-            VmConfig(name=app, workload=application_workload(app), pinned_cores=[0])
-        )
-        system.create_vm(
-            VmConfig(
-                name="corunner",
-                workload=application_workload(corunner),
-                pinned_cores=[1],
+        built = materialize(
+            ScenarioSpec(
+                name=f"fig11-{app}-shared",
+                vms=(
+                    target,
+                    VmSpec(
+                        name="corunner",
+                        workload=WorkloadSpec(app=corunner),
+                        pinned_cores=(1,),
+                    ),
+                ),
             )
         )
-        result.shared[app] = _equation1_of(system, vm, warmup_ticks, measure_ticks)
+        result.shared[app] = _equation1_of(
+            built.system, built.vm(app), warmup_ticks, measure_ticks
+        )
     return result
 
 

@@ -16,13 +16,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.analysis.reporting import format_table
-from repro.core.ks4xen import KS4Xen
-from repro.hypervisor.vm import VmConfig
-from repro.schedulers.credit import CreditScheduler
+from repro.scenario import (
+    ScenarioSpec,
+    SchedulerChoice,
+    SystemSpec,
+    VmSpec,
+    WorkloadSpec,
+    materialize,
+)
 from repro.simulation.clock import msec_to_usec
-from repro.workloads.profiles import application_workload
 
-from .common import PAPER_LLC_CAP, build_system, execution_time_sec
+from .common import PAPER_LLC_CAP, execution_time_sec
 
 DEFAULT_SLICES_MS = (1, 3, 5, 10, 15, 20, 30)
 DEFAULT_WORK_INSTRUCTIONS = 2.0e9
@@ -44,29 +48,32 @@ class Fig12Result:
         return worst
 
 
-def _run(scheduler_factory, slice_ms: int, llc_cap, work: float) -> float:
-    system = build_system(
-        scheduler_factory(),
-        tick_usec=msec_to_usec(slice_ms),
-        substeps_per_tick=4,
-    )
-    vm_a = system.create_vm(
-        VmConfig(
-            name="povray-a",
-            workload=application_workload("povray", total_instructions=work),
-            llc_cap=llc_cap,
-            pinned_cores=[0],
+def _run(scheduler_kind: str, slice_ms: int, llc_cap, work: float) -> float:
+    workload = WorkloadSpec(app="povray", total_instructions=work)
+    built = materialize(
+        ScenarioSpec(
+            name=f"fig12-{scheduler_kind}-{slice_ms}ms",
+            scheduler=SchedulerChoice(kind=scheduler_kind),
+            system=SystemSpec(
+                tick_usec=msec_to_usec(slice_ms), substeps_per_tick=4
+            ),
+            vms=(
+                VmSpec(
+                    name="povray-a",
+                    workload=workload,
+                    llc_cap=llc_cap,
+                    pinned_cores=(0,),
+                ),
+                VmSpec(
+                    name="povray-b",
+                    workload=workload,
+                    llc_cap=llc_cap,
+                    pinned_cores=(0,),
+                ),
+            ),
         )
     )
-    system.create_vm(
-        VmConfig(
-            name="povray-b",
-            workload=application_workload("povray", total_instructions=work),
-            llc_cap=llc_cap,
-            pinned_cores=[0],
-        )
-    )
-    return execution_time_sec(system, vm_a)
+    return execution_time_sec(built.system, built.vm("povray-a"))
 
 
 def run(
@@ -76,10 +83,10 @@ def run(
     result = Fig12Result(slices_ms=list(slices_ms))
     for slice_ms in slices_ms:
         result.exec_time_xcs.append(
-            _run(CreditScheduler, slice_ms, None, work_instructions)
+            _run("xcs", slice_ms, None, work_instructions)
         )
         result.exec_time_ks4xen.append(
-            _run(KS4Xen, slice_ms, PAPER_LLC_CAP, work_instructions)
+            _run("ks4xen", slice_ms, PAPER_LLC_CAP, work_instructions)
         )
     return result
 

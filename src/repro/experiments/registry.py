@@ -1,4 +1,4 @@
-"""Registry of runnable experiments.
+"""Registry of runnable experiments (built-in and file-backed).
 
 ``repro.cli`` used to hold a private table of lambdas; the campaign
 runner needs *picklable* runner functions (``multiprocessing`` ships the
@@ -8,17 +8,38 @@ zero-argument function returning the experiment's printable report; all
 stochastic inputs derive from fixed seeds through
 :mod:`repro.simulation.rng`, so a runner's report is byte-identical no
 matter which process (or how many processes) executes it.
+
+Beyond the built-in names, any ``*.toml`` / ``*.json`` scenario file
+(:mod:`repro.scenario`) is a runnable experiment: ``repro run
+path/to/scenario.toml`` behaves exactly like a registered name.  A file
+with a ``[sweep]`` table expands (via :func:`expand_names`) into one
+*point token* per grid point — ``path.toml#3`` is the fourth point —
+and each point runs as its own experiment with its own artifact.
+Tokens stay plain strings precisely so the multiprocessing fan-out can
+pickle them.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.scenario import (
+    ScenarioError,
+    ScenarioSpec,
+    expand_document,
+    parse_scenario_file,
+    run_spec,
+)
 
 from . import (
     chaos, fig01, fig02, fig03, fig04, fig05, fig06,
     fig07, fig08, fig09, fig10, fig11, fig12, tables,
 )
+
+#: File suffixes that mark a name as a scenario-file token.
+SCENARIO_SUFFIXES = (".toml", ".json")
 
 
 @dataclass(frozen=True)
@@ -128,19 +149,104 @@ def experiment_names() -> List[str]:
     return [spec.name for spec in _SPECS]
 
 
+def is_scenario_token(name: str) -> bool:
+    """True when ``name`` names a scenario file or one of its points."""
+    path, _, _index = name.partition("#")
+    return path.endswith(SCENARIO_SUFFIXES) and name.count("#") <= 1
+
+
+def scenario_points(path: str) -> List[Tuple[str, ScenarioSpec]]:
+    """Parse + expand a scenario file into ``(token, spec)`` pairs.
+
+    A sweep-free file yields a single pair whose token is ``path``
+    itself; a ``[sweep]`` file yields ``path#0 .. path#N-1`` in grid
+    order.  Raises :class:`ScenarioError` on unreadable, malformed or
+    invalid files — every point of a sweep is validated up front, so a
+    campaign never discovers a bad grid point halfway through.
+    """
+    points = expand_document(parse_scenario_file(path))
+    if len(points) == 1 and points[0][0] is None:
+        return [(path, points[0][1])]
+    return [(f"{path}#{i}", spec) for i, (_, spec) in enumerate(points)]
+
+
+def scenario_spec_of(token: str) -> ScenarioSpec:
+    """The single :class:`ScenarioSpec` a point token denotes."""
+    path, sep, index = token.partition("#")
+    points = scenario_points(path)
+    if not sep:
+        if len(points) > 1:
+            raise ScenarioError(
+                [
+                    f"{path}: sweep file with {len(points)} points; run "
+                    f"the file itself (it expands) or pick one with "
+                    f"{path}#<index>"
+                ]
+            )
+        return points[0][1]
+    try:
+        chosen = int(index)
+    except ValueError:
+        raise ScenarioError([f"{token}: sweep index {index!r} is not an integer"])
+    if not 0 <= chosen < len(points):
+        raise ScenarioError(
+            [
+                f"{token}: sweep index {chosen} out of range "
+                f"(file has {len(points)} points)"
+            ]
+        )
+    return points[chosen][1]
+
+
+def _run_scenario_token(token: str) -> str:
+    """Module-level (hence picklable) runner for one scenario token."""
+    return run_spec(scenario_spec_of(token))
+
+
+def resolve(name: str) -> ExperimentSpec:
+    """Look up a registry name or build a spec for a scenario token.
+
+    For tokens, the returned :class:`ExperimentSpec` carries the
+    *scenario's* name (sweep points already embed their ``@axis=value``
+    label), so campaign artifacts are named after the scenario, not the
+    file path.  Raises ``KeyError`` for unrecognised names and
+    :class:`ScenarioError` for unloadable/invalid scenario files.
+    """
+    if name in REGISTRY:
+        return REGISTRY[name]
+    if is_scenario_token(name):
+        spec = scenario_spec_of(name)
+        description = spec.description or f"scenario {name.partition('#')[0]}"
+        return ExperimentSpec(
+            name=spec.name,
+            description=description,
+            runner=functools.partial(_run_scenario_token, name),
+        )
+    raise KeyError(name)
+
+
 def expand_names(names: Sequence[str]) -> Tuple[List[str], List[str]]:
     """Resolve a user-supplied experiment list.
 
-    ``"all"`` expands to the canonical registry order; duplicates are
-    dropped keeping the first occurrence, so the result is deterministic
-    for any input.  Returns ``(known, unknown)`` — ``known`` preserves
-    request order and is ready to run, ``unknown`` preserves the order
-    the unrecognised names first appeared.
+    ``"all"`` expands to the canonical registry order and a scenario
+    *sweep* file expands to its point tokens (``path#0``, ``path#1``,
+    ...); duplicates are dropped keeping the first occurrence, so the
+    result is deterministic for any input.  Returns ``(known,
+    unknown)`` — ``known`` preserves request order and is ready to run,
+    ``unknown`` preserves the order the unrecognised names first
+    appeared.  A scenario file that fails to load stays in ``known``:
+    the error belongs to the run (or ``repro scenario validate``), not
+    to name resolution.
     """
     requested: List[str] = []
     for name in names:
         if name == "all":
             requested.extend(experiment_names())
+        elif is_scenario_token(name) and "#" not in name:
+            try:
+                requested.extend(token for token, _ in scenario_points(name))
+            except ScenarioError:
+                requested.append(name)
         else:
             requested.append(name)
     seen = set()
@@ -150,7 +256,7 @@ def expand_names(names: Sequence[str]) -> Tuple[List[str], List[str]]:
         if name in seen:
             continue
         seen.add(name)
-        if name in REGISTRY:
+        if name in REGISTRY or is_scenario_token(name):
             known.append(name)
         else:
             unknown.append(name)

@@ -274,6 +274,25 @@ class VirtualizedSystem:
         for _ in range(num_ticks):
             self._do_tick()
 
+    def run_ticks_until(
+        self, num_ticks: int, stop: Callable[[], bool]
+    ) -> int:
+        """Advance up to ``num_ticks`` ticks, stopping early once
+        ``stop()`` is true after a completed tick; returns ticks run.
+
+        This is the chunked inner loop of the execution-time protocol:
+        one call runs a whole chunk without re-entering Python call
+        setup per tick, while the per-tick finish check keeps the stop
+        point exactly where a tick-by-tick loop would stop.
+        """
+        if num_ticks < 0:
+            raise ValueError(f"num_ticks must be >= 0, got {num_ticks}")
+        for ran in range(num_ticks):
+            self._do_tick()
+            if stop():
+                return ran + 1
+        return num_ticks
+
     def run_msec(self, msec: float) -> None:
         """Advance by (at least) ``msec`` milliseconds of machine time."""
         ticks = max(1, int(round(msec * 1000 / self.tick_usec)))

@@ -1,0 +1,94 @@
+"""Declarative scenarios: versioned, validated, serializable experiments.
+
+One :class:`ScenarioSpec` describes everything a run needs — machine,
+scheduler, VM fleet, monitoring strategy, fault plan, measurement
+protocol — as inert data with a lossless TOML/JSON round-trip (schema
+``repro.scenario/1``).  The package splits along that data/behaviour
+line:
+
+* :mod:`repro.scenario.defaults` — the paper's shared constants
+* :mod:`repro.scenario.spec` — the dataclasses and their validation
+* :mod:`repro.scenario.serialize` — dict/TOML/JSON round-trip
+* :mod:`repro.scenario.sweep` — ``[sweep]`` grids over dotted paths
+* :mod:`repro.scenario.materialize` — spec -> runnable system
+* :mod:`repro.scenario.protocol` — shared measurement procedures
+* :mod:`repro.scenario.runner` — run a spec, format its report
+"""
+
+from .defaults import (
+    DEFAULT_EXEC_MAX_TICKS,
+    DEFAULT_MEASURE_TICKS,
+    DEFAULT_WARMUP_TICKS,
+    EXEC_TIME_CHUNK_TICKS,
+    PAPER_LLC_CAP,
+    PAPER_SMALL_LLC_CAP,
+)
+from .materialize import Materialized, materialize
+from .protocol import budget_exhausted_message, execution_time_sec, measured_ipc
+from .runner import run_spec, solo_baseline_ipc
+from .serialize import (
+    dumps_json,
+    dumps_toml,
+    from_dict,
+    load_scenario,
+    loads_json,
+    loads_toml,
+    parse_scenario_file,
+    to_dict,
+)
+from .spec import (
+    SCENARIO_SCHEMA,
+    FaultSiteSpec,
+    FaultsSpec,
+    MachineSpecChoice,
+    MigrationSpec,
+    MonitorSpec,
+    ProtocolSpec,
+    ScenarioError,
+    ScenarioSpec,
+    SchedulerChoice,
+    SystemSpec,
+    TelemetrySpec,
+    VmSpec,
+    WorkloadSpec,
+)
+from .sweep import expand_document
+
+__all__ = [
+    "DEFAULT_EXEC_MAX_TICKS",
+    "DEFAULT_MEASURE_TICKS",
+    "DEFAULT_WARMUP_TICKS",
+    "EXEC_TIME_CHUNK_TICKS",
+    "PAPER_LLC_CAP",
+    "PAPER_SMALL_LLC_CAP",
+    "SCENARIO_SCHEMA",
+    "FaultSiteSpec",
+    "FaultsSpec",
+    "MachineSpecChoice",
+    "Materialized",
+    "MigrationSpec",
+    "MonitorSpec",
+    "ProtocolSpec",
+    "ScenarioError",
+    "ScenarioSpec",
+    "SchedulerChoice",
+    "SystemSpec",
+    "TelemetrySpec",
+    "VmSpec",
+    "WorkloadSpec",
+    "budget_exhausted_message",
+    "dumps_json",
+    "dumps_toml",
+    "execution_time_sec",
+    "expand_document",
+    "from_dict",
+    "load_scenario",
+    "loads_json",
+    "loads_toml",
+    "materialize",
+    "measured_ipc",
+    "parse_scenario_file",
+    "run_spec",
+    "solo_baseline_ipc",
+    "to_dict",
+]

@@ -1,0 +1,30 @@
+"""Shared scenario defaults — the single source of truth for the
+paper's experiment constants.
+
+Both the imperative figure drivers (:mod:`repro.experiments`) and
+declarative TOML/JSON scenarios (:mod:`repro.scenario`) read these, so
+a figure spec and a hand-written scenario can never drift apart on the
+booked permits or the measurement windows.
+"""
+
+from __future__ import annotations
+
+#: The booked pollution permit used throughout Section 4.3 (Fig 5),
+#: in misses per millisecond.
+PAPER_LLC_CAP = 250_000.0
+
+#: The small permit of the scalability experiment (Fig 6), misses/ms.
+PAPER_SMALL_LLC_CAP = 50_000.0
+
+#: Default warm-up before any measurement window (ticks).
+DEFAULT_WARMUP_TICKS = 30
+
+#: Default measurement window (ticks).
+DEFAULT_MEASURE_TICKS = 120
+
+#: Default tick budget of the execution-time protocol.
+DEFAULT_EXEC_MAX_TICKS = 200_000
+
+#: Ticks the execution-time protocol advances between finish checks of
+#: co-runner bookkeeping (see repro.scenario.protocol).
+EXEC_TIME_CHUNK_TICKS = 64

@@ -1,0 +1,318 @@
+"""Materialize a :class:`ScenarioSpec` into a runnable system.
+
+This is the single place that knows how to turn declarative scenario
+data into live objects: the machine preset, the scheduler (with its
+Kyoto engine), the VM fleet, the monitoring strategy, the fault-plan
+injectors and the optional periodic migrator.  Every figure driver and
+every TOML scenario funnels through here, so the construction order —
+scheduler, system, fault plan, injectors, monitor, VMs — is identical
+no matter where the spec came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.ks4linux import KS4Linux
+from repro.core.ks4rtds import KS4RTDS
+from repro.core.ks4xen import KS4Xen
+from repro.core.monitor import (
+    DirectPmcMonitor,
+    McSimReplayMonitor,
+    PollutionMonitor,
+    SocketDedicationMonitor,
+)
+from repro.core.resilient import ResilientMonitor
+from repro.faults.injectors import (
+    FaultyMonitor,
+    FaultyReplayService,
+    MigrationFaultInjector,
+)
+from repro.faults.plan import FaultPlan, FaultSpec, uniform_plan
+from repro.hardware.specs import MachineSpec, numa_machine, paper_machine
+from repro.hypervisor.migration import PeriodicMigrator
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VirtualMachine, VmConfig
+from repro.mcsim.service import ReplayService
+from repro.schedulers.cfs import CfsScheduler
+from repro.schedulers.credit import CreditScheduler
+from repro.schedulers.rtds import RtdsScheduler
+from repro.pisces.cokernel import PiscesCoKernel
+from repro.pisces.ks4pisces import KS4Pisces
+from repro.workloads.base import Workload
+from repro.workloads.micro import micro_workload
+from repro.workloads.profiles import application_workload
+
+from .spec import (
+    MonitorSpec,
+    ScenarioError,
+    ScenarioSpec,
+    VmSpec,
+    WorkloadSpec,
+)
+
+
+@dataclass
+class Materialized:
+    """A scenario brought to life: the system plus every attached part."""
+
+    spec: ScenarioSpec
+    system: VirtualizedSystem
+    scheduler: object
+    #: name -> VM, in creation order (count-expanded names included).
+    vms: Dict[str, VirtualMachine] = field(default_factory=dict)
+    fault_plan: Optional[FaultPlan] = None
+    monitor: Optional[PollutionMonitor] = None
+    migrator: Optional[PeriodicMigrator] = None
+    #: Uninstall hooks for the fault injectors, in install order.
+    _uninstallers: List[Callable[[], None]] = field(default_factory=list)
+
+    @property
+    def kyoto(self):
+        """The scheduler's Kyoto engine (None for non-ks4* kinds)."""
+        return getattr(self.scheduler, "kyoto", None)
+
+    def vm(self, name: str) -> VirtualMachine:
+        return self.vms[name]
+
+    @property
+    def target(self) -> VirtualMachine:
+        """The VM the scenario's protocol measures."""
+        return self.vms[self.spec.target_vm_name()]
+
+    def uninstall_faults(self) -> None:
+        """Remove every installed fault injector (reverse order)."""
+        while self._uninstallers:
+            self._uninstallers.pop()()
+
+
+def machine_for(preset: str) -> MachineSpec:
+    """Resolve a machine preset name to its :class:`MachineSpec`."""
+    if preset == "paper":
+        return paper_machine()
+    if preset == "numa":
+        return numa_machine()
+    raise ScenarioError([f"machine.preset: unknown preset {preset!r}"])
+
+
+def scheduler_for(spec: ScenarioSpec):
+    """Construct the scheduler the spec asks for (monitor attached later)."""
+    kind = spec.scheduler.kind
+    if kind == "xcs":
+        return CreditScheduler()
+    if kind == "cfs":
+        return CfsScheduler()
+    if kind == "rtds":
+        return RtdsScheduler()
+    if kind == "pisces":
+        return PiscesCoKernel()
+    kwargs = dict(
+        quota_max_factor=spec.scheduler.quota_max_factor,
+        monitor_period_ticks=spec.scheduler.monitor_period_ticks,
+    )
+    if kind == "ks4xen":
+        return KS4Xen(quota_min_factor=spec.scheduler.quota_min_factor, **kwargs)
+    if kind == "ks4linux":
+        return KS4Linux(**kwargs)
+    if kind == "ks4rtds":
+        return KS4RTDS(**kwargs)
+    if kind == "ks4pisces":
+        return KS4Pisces(**kwargs)
+    raise ScenarioError([f"scheduler.kind: unknown kind {kind!r}"])
+
+
+def workload_for(spec: WorkloadSpec) -> Workload:
+    """Instantiate the workload a :class:`WorkloadSpec` describes."""
+    if spec.kind == "application":
+        assert spec.app is not None  # enforced by validate()
+        return application_workload(
+            spec.app, total_instructions=spec.total_instructions
+        )
+    assert spec.wss_bytes is not None
+    return micro_workload(
+        spec.wss_bytes,
+        total_instructions=spec.total_instructions,
+        disruptive=spec.disruptive,
+    )
+
+
+def vm_configs_for(spec: VmSpec, total_cores: int) -> List[VmConfig]:
+    """Expand one :class:`VmSpec` into its (possibly counted) configs."""
+    if spec.count == 1:
+        return [
+            VmConfig(
+                name=spec.name,
+                workload=workload_for(spec.workload),
+                num_vcpus=spec.num_vcpus,
+                weight=spec.weight,
+                cap_percent=spec.cap_percent,
+                llc_cap=spec.llc_cap,
+                memory_node=spec.memory_node,
+                pinned_cores=(
+                    list(spec.pinned_cores) if spec.pinned_cores is not None else None
+                ),
+            )
+        ]
+    configs = []
+    for i in range(spec.count):
+        pinned = None
+        if spec.pinned_cores is not None:
+            pinned = [(spec.pinned_cores[0] + i) % total_cores]
+        configs.append(
+            VmConfig(
+                name=f"{spec.name}-{i}",
+                workload=workload_for(spec.workload),
+                num_vcpus=spec.num_vcpus,
+                weight=spec.weight,
+                cap_percent=spec.cap_percent,
+                llc_cap=spec.llc_cap,
+                memory_node=spec.memory_node,
+                pinned_cores=pinned,
+            )
+        )
+    return configs
+
+
+def _fault_plan_for(spec: ScenarioSpec, system: VirtualizedSystem) -> FaultPlan:
+    assert spec.faults is not None
+    faults = spec.faults
+    rng = system.rng.stream(faults.stream)
+    if faults.uniform_rate is not None:
+        return uniform_plan(faults.uniform_rate, rng, burst=faults.burst)
+    specs = [
+        FaultSpec(
+            site=site.site,
+            probability=site.probability,
+            burst=site.burst,
+            windows=site.windows,
+        )
+        for site in faults.sites
+    ]
+    return FaultPlan(specs, rng=rng)
+
+
+def _chain_member(
+    member: str,
+    monitor_spec: MonitorSpec,
+    system: VirtualizedSystem,
+    plan: Optional[FaultPlan],
+) -> PollutionMonitor:
+    """One monitor of a chain, fault-wrapped when a plan is installed."""
+    if member == "direct":
+        direct = DirectPmcMonitor(system)
+        if plan is not None:
+            return FaultyMonitor(direct, plan)
+        return direct
+    if member == "dedication":
+        # Migration faults reach dedication windows through the
+        # hypervisor-level MigrationFaultInjector, not a wrapper.
+        return SocketDedicationMonitor(
+            system, sample_ticks=monitor_spec.sample_ticks
+        )
+    if member == "replay":
+        service: object = ReplayService(
+            refresh_every=monitor_spec.replay_refresh_every,
+            max_report_age=monitor_spec.replay_max_report_age,
+        )
+        if plan is not None:
+            service = FaultyReplayService(service, plan, system)
+        return McSimReplayMonitor(system, service)
+    raise ScenarioError([f"monitor.chain: unknown member {member!r}"])
+
+
+def monitor_for(
+    spec: ScenarioSpec,
+    system: VirtualizedSystem,
+    plan: Optional[FaultPlan] = None,
+) -> Optional[PollutionMonitor]:
+    """Build the monitoring strategy (None keeps the engine default)."""
+    monitor_spec = spec.monitor
+    if monitor_spec.strategy == "default":
+        return None
+    if monitor_spec.strategy == "resilient":
+        chain = [
+            _chain_member(member, monitor_spec, system, plan)
+            for member in monitor_spec.chain
+        ]
+        return ResilientMonitor(
+            system, chain=chain, retries=monitor_spec.retries
+        )
+    return _chain_member(monitor_spec.strategy, monitor_spec, system, plan)
+
+
+def materialize(spec: ScenarioSpec) -> Materialized:
+    """Turn a validated spec into a runnable :class:`Materialized`.
+
+    Raises :class:`ScenarioError` for problems only visible against the
+    concrete machine (e.g. a pinned core that does not exist on the
+    chosen preset).
+    """
+    spec.validate()
+    scheduler = scheduler_for(spec)
+    machine = machine_for(spec.machine.preset)
+    system = VirtualizedSystem(
+        scheduler,
+        machine,
+        tick_usec=spec.system.tick_usec,
+        ticks_per_slice=spec.system.ticks_per_slice,
+        substeps_per_tick=spec.system.substeps_per_tick,
+        context_switch_cost_cycles=spec.system.context_switch_cost_cycles,
+        perf_jitter_fraction=spec.system.perf_jitter_fraction,
+        seed=spec.system.seed,
+    )
+    built = Materialized(spec=spec, system=system, scheduler=scheduler)
+
+    if spec.faults is not None:
+        built.fault_plan = _fault_plan_for(spec, system)
+        injector = MigrationFaultInjector(system, built.fault_plan)
+        built._uninstallers.append(injector.uninstall)
+
+    built.monitor = monitor_for(spec, system, built.fault_plan)
+    if built.monitor is not None:
+        kyoto = getattr(scheduler, "kyoto", None)
+        if kyoto is None:
+            raise ScenarioError(
+                [
+                    f"monitor.strategy: {spec.monitor.strategy!r} needs a "
+                    f"Kyoto scheduler (ks4*), not {spec.scheduler.kind!r}"
+                ]
+            )
+        kyoto.monitor = built.monitor
+
+    total_cores = machine.total_cores
+    for vm_spec in spec.vms:
+        for config in vm_configs_for(vm_spec, total_cores):
+            if config.pinned_cores is not None:
+                for core in config.pinned_cores:
+                    if core >= total_cores:
+                        raise ScenarioError(
+                            [
+                                f"vms: {config.name!r} pins core {core} but "
+                                f"machine preset {spec.machine.preset!r} has "
+                                f"only {total_cores} cores"
+                            ]
+                        )
+            built.vms[config.name] = system.create_vm(config)
+
+    if spec.migration is not None:
+        migration = spec.migration
+        target_name = (
+            migration.vm if migration.vm is not None else spec.target_vm_name()
+        )
+        vm = built.vms[target_name]
+        try:
+            built.migrator = PeriodicMigrator(
+                system,
+                vm.vcpus[0],
+                home_core=migration.home_core,
+                remote_core=migration.remote_core,
+                period_ticks=migration.period_ticks,
+                min_dwell_ticks=migration.min_dwell_ticks,
+                max_dwell_ticks=migration.max_dwell_ticks,
+                seed=migration.seed,
+            )
+        except ValueError as exc:
+            raise ScenarioError([f"migration: {exc}"]) from exc
+
+    return built

@@ -1,0 +1,155 @@
+"""Run a :class:`ScenarioSpec` end to end and format its report.
+
+The runner is the generic counterpart of the hand-written figure
+drivers: materialize the spec, apply its measurement protocol, and
+render an aligned ASCII table — so a TOML file on disk is a complete,
+runnable experiment with no new Python.  Reports are plain strings, the
+same artifact payload the registry drivers produce, so scenario runs
+flow through the campaign writer/aggregator unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.telemetry import NULL_RECORDER, MetricsRecorder, current_recorder
+
+from .materialize import Materialized, materialize
+from .protocol import execution_time_sec, measured_ipc
+from .spec import ProtocolSpec, ScenarioError, ScenarioSpec, VmSpec
+
+
+def solo_baseline_ipc(spec: ScenarioSpec) -> float:
+    """Solo IPC of the target workload on an otherwise idle clone.
+
+    The baseline machine keeps the scenario's preset and system knobs
+    but swaps in the plain credit scheduler and a fleet of exactly one
+    VM — the target's workload pinned to core 0 — mirroring
+    ``solo_ipc_of`` from the imperative drivers.
+    """
+    target_name = spec.target_vm_name()
+    target_spec: Optional[VmSpec] = None
+    for vm in spec.vms:
+        if vm.name == target_name or (
+            vm.count > 1 and target_name.startswith(f"{vm.name}-")
+        ):
+            target_spec = vm
+            break
+    assert target_spec is not None  # validate() guarantees the target exists
+    solo = replace(
+        spec,
+        name=f"{spec.name}.solo",
+        scheduler=replace(spec.scheduler, kind="xcs", quota_min_factor=None),
+        monitor=replace(spec.monitor, strategy="default"),
+        vms=(
+            replace(
+                target_spec,
+                name="solo",
+                count=1,
+                pinned_cores=(0,) * target_spec.num_vcpus,
+            ),
+        ),
+        faults=None,
+        migration=None,
+        protocol=replace(spec.protocol, target_vm=None, solo_baseline=False),
+    )
+    built = materialize(solo)
+    return measured_ipc(
+        built.system,
+        built.target,
+        warmup_ticks=spec.protocol.warmup_ticks,
+        measure_ticks=spec.protocol.measure_ticks,
+    )
+
+
+def _measure_report(spec: ScenarioSpec, built: Materialized) -> str:
+    protocol = spec.protocol
+    solo_ipc = solo_baseline_ipc(spec) if protocol.solo_baseline else None
+    target = built.target
+    measured_ipc(
+        built.system,
+        target,
+        warmup_ticks=protocol.warmup_ticks,
+        measure_ticks=protocol.measure_ticks,
+    )
+    recorder = _recorder_for(spec)
+    kyoto = built.kyoto
+    headers = ["vm", "ipc"]
+    if kyoto is not None:
+        headers += ["quota", "punishments"]
+    rows: List[List[object]] = []
+    for name, vm in built.vms.items():
+        row: List[object] = [name, vm.vcpus[0].ipc]
+        if kyoto is not None:
+            quota = kyoto.quota(vm)
+            row += [
+                "-" if quota is None else quota,
+                kyoto.punishments(vm),
+            ]
+        rows.append(row)
+        recorder.gauge(f"scenario.ipc.{name}", vm.vcpus[0].ipc)
+    lines = [format_table(headers, rows, title=_title(spec))]
+    if solo_ipc is not None:
+        normalized = target.vcpus[0].ipc / solo_ipc if solo_ipc > 0 else 0.0
+        recorder.gauge("scenario.solo_ipc", solo_ipc)
+        recorder.gauge("scenario.normalized_perf", normalized)
+        recorder.inc("scenario.solo_baselines")
+        lines.append(
+            f"target {target.name}: solo ipc {solo_ipc:.3f}, "
+            f"normalized perf {normalized:.3f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _exec_time_report(spec: ScenarioSpec, built: Materialized) -> str:
+    target = built.target
+    seconds = execution_time_sec(
+        built.system, target, max_ticks=spec.protocol.max_ticks
+    )
+    _recorder_for(spec).gauge("scenario.execution_time_sec", seconds)
+    rows: List[Tuple[object, ...]] = [(target.name, seconds)]
+    lines = [
+        format_table(
+            ["vm", "execution_time_sec"], rows, title=_title(spec)
+        )
+    ]
+    if built.migrator is not None:
+        lines.append(f"migrations: {built.migrator.migrations}")
+    return "\n".join(lines) + "\n"
+
+
+def _title(spec: ScenarioSpec) -> str:
+    return spec.description or spec.name
+
+
+def _recorder_for(spec: ScenarioSpec) -> MetricsRecorder:
+    """The ambient recorder, or the no-op one when telemetry is off."""
+    return current_recorder() if spec.telemetry.enabled else NULL_RECORDER
+
+
+def run_spec(spec: ScenarioSpec) -> str:
+    """Materialize and run one scenario; returns its formatted report."""
+    if spec.protocol.mode == "execution_time":
+        target_name = spec.target_vm_name()
+        finite = any(
+            vm.workload.total_instructions is not None
+            for vm in spec.vms
+            if vm.name == target_name
+            or (vm.count > 1 and target_name.startswith(f"{vm.name}-"))
+        )
+        if not finite:
+            raise ScenarioError(
+                [
+                    "protocol.mode: execution_time needs the target VM's "
+                    "workload to set total_instructions (a finite workload)"
+                ]
+            )
+    built = materialize(spec)
+    try:
+        if spec.protocol.mode == "execution_time":
+            return _exec_time_report(spec, built)
+        return _measure_report(spec, built)
+    finally:
+        built.uninstall_faults()

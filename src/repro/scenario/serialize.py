@@ -1,0 +1,560 @@
+"""Lossless scenario serialization: dict <-> dataclasses <-> TOML/JSON.
+
+The on-disk document is a plain nested mapping carrying
+``schema = "repro.scenario/1"``.  :func:`to_dict` emits the *minimal*
+document — fields equal to their schema default are omitted — and
+:func:`from_dict` restores the exact same :class:`ScenarioSpec`, so
+``from_dict(to_dict(spec)) == spec`` for every valid spec (the
+round-trip property test pins this for TOML and JSON).
+
+TOML reading uses :mod:`tomllib` (Python 3.11+); on older interpreters
+TOML entry points raise a clear :class:`ScenarioError` while the JSON
+path keeps working.  TOML *writing* needs no third-party package — the
+document shape is restricted enough (tables, arrays of tables, scalar
+arrays) that a small emitter below covers it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import MISSING, fields, is_dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on Python < 3.11
+    tomllib = None  # type: ignore[assignment]
+
+from .spec import (
+    SCENARIO_SCHEMA,
+    FaultSiteSpec,
+    FaultsSpec,
+    MachineSpecChoice,
+    MigrationSpec,
+    MonitorSpec,
+    ProtocolSpec,
+    ScenarioError,
+    ScenarioSpec,
+    SchedulerChoice,
+    SystemSpec,
+    TelemetrySpec,
+    VmSpec,
+    WorkloadSpec,
+)
+
+
+# -- dict -> spec -------------------------------------------------------------
+
+
+class _Reader:
+    """Strict, path-annotated reader over one mapping."""
+
+    def __init__(self, data: Mapping[str, Any], path: str, errors: List[str]) -> None:
+        if not isinstance(data, Mapping):
+            raise ScenarioError([f"{path}: expected a table, got {type(data).__name__}"])
+        self.data = data
+        self.path = path
+        self.errors = errors
+        self.seen: set = set()
+
+    def _get(self, key: str, default: Any) -> Any:
+        self.seen.add(key)
+        return self.data.get(key, default)
+
+    def _fail(self, key: str, message: str) -> None:
+        self.errors.append(f"{self._at(key)}: {message}")
+
+    def _at(self, key: str) -> str:
+        return f"{self.path}.{key}" if self.path else key
+
+    def str_(self, key: str, default: str = "") -> str:
+        value = self._get(key, default)
+        if not isinstance(value, str):
+            self._fail(key, f"expected a string, got {value!r}")
+            return default
+        return value
+
+    def opt_str(self, key: str) -> Optional[str]:
+        value = self._get(key, None)
+        if value is not None and not isinstance(value, str):
+            self._fail(key, f"expected a string, got {value!r}")
+            return None
+        return value
+
+    def bool_(self, key: str, default: bool) -> bool:
+        value = self._get(key, default)
+        if not isinstance(value, bool):
+            self._fail(key, f"expected a boolean, got {value!r}")
+            return default
+        return value
+
+    def int_(self, key: str, default: int) -> int:
+        value = self._get(key, default)
+        if isinstance(value, bool) or not isinstance(value, int):
+            self._fail(key, f"expected an integer, got {value!r}")
+            return default
+        return value
+
+    def opt_int(self, key: str) -> Optional[int]:
+        value = self._get(key, None)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            self._fail(key, f"expected an integer, got {value!r}")
+            return None
+        return value
+
+    def float_(self, key: str, default: float) -> float:
+        value = self._get(key, default)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            self._fail(key, f"expected a number, got {value!r}")
+            return default
+        return float(value)
+
+    def opt_float(self, key: str) -> Optional[float]:
+        value = self._get(key, None)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            self._fail(key, f"expected a number, got {value!r}")
+            return None
+        return float(value)
+
+    def opt_int_list(self, key: str) -> Optional[Tuple[int, ...]]:
+        value = self._get(key, None)
+        if value is None:
+            return None
+        if not isinstance(value, Sequence) or isinstance(value, str) or any(
+            isinstance(v, bool) or not isinstance(v, int) for v in value
+        ):
+            self._fail(key, f"expected a list of integers, got {value!r}")
+            return None
+        return tuple(value)
+
+    def str_list(self, key: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
+        value = self._get(key, default)
+        if not isinstance(value, Sequence) or isinstance(value, str) or any(
+            not isinstance(v, str) for v in value
+        ):
+            self._fail(key, f"expected a list of strings, got {value!r}")
+            return default
+        return tuple(value)
+
+    def windows(self, key: str) -> Tuple[Tuple[int, int], ...]:
+        value = self._get(key, ())
+        ok = isinstance(value, Sequence) and not isinstance(value, str) and all(
+            isinstance(w, Sequence)
+            and not isinstance(w, str)
+            and len(w) == 2
+            and all(isinstance(x, int) and not isinstance(x, bool) for x in w)
+            for w in value
+        )
+        if not ok:
+            self._fail(
+                key, f"expected a list of [start_tick, end_tick] pairs, got {value!r}"
+            )
+            return ()
+        return tuple((w[0], w[1]) for w in value)
+
+    def table(self, key: str) -> Optional["_Reader"]:
+        value = self._get(key, None)
+        if value is None:
+            return None
+        if not isinstance(value, Mapping):
+            self._fail(key, f"expected a table, got {value!r}")
+            return None
+        return _Reader(value, self._at(key), self.errors)
+
+    def tables(self, key: str) -> List["_Reader"]:
+        value = self._get(key, ())
+        if not isinstance(value, Sequence) or isinstance(value, str) or any(
+            not isinstance(v, Mapping) for v in value
+        ):
+            self._fail(key, f"expected an array of tables, got {value!r}")
+            return []
+        return [
+            _Reader(v, f"{self._at(key)}[{i}]", self.errors)
+            for i, v in enumerate(value)
+        ]
+
+    def check_unknown(self) -> None:
+        unknown = sorted(set(self.data) - self.seen)
+        for key in unknown:
+            self._fail(key, "unknown key")
+
+
+def _read_workload(reader: _Reader) -> WorkloadSpec:
+    spec = WorkloadSpec(
+        kind=reader.str_("kind", "application"),
+        app=reader.opt_str("app"),
+        wss_bytes=reader.opt_int("wss_bytes"),
+        disruptive=reader.bool_("disruptive", False),
+        total_instructions=reader.opt_float("total_instructions"),
+    )
+    reader.check_unknown()
+    return spec
+
+
+def _read_vm(reader: _Reader) -> VmSpec:
+    workload_reader = reader.table("workload")
+    if workload_reader is None:
+        reader.errors.append(f"{reader.path}.workload: missing required table")
+        workload = WorkloadSpec()
+    else:
+        workload = _read_workload(workload_reader)
+    spec = VmSpec(
+        name=reader.str_("name"),
+        workload=workload,
+        count=reader.int_("count", 1),
+        num_vcpus=reader.int_("num_vcpus", 1),
+        weight=reader.int_("weight", 256),
+        cap_percent=reader.opt_float("cap_percent"),
+        llc_cap=reader.opt_float("llc_cap"),
+        memory_node=reader.int_("memory_node", 0),
+        pinned_cores=reader.opt_int_list("pinned_cores"),
+    )
+    reader.check_unknown()
+    return spec
+
+
+def _read_faults(reader: _Reader) -> FaultsSpec:
+    sites = []
+    for site_reader in reader.tables("sites"):
+        sites.append(
+            FaultSiteSpec(
+                site=site_reader.str_("site"),
+                probability=site_reader.float_("probability", 0.0),
+                burst=site_reader.int_("burst", 1),
+                windows=site_reader.windows("windows"),
+            )
+        )
+        site_reader.check_unknown()
+    spec = FaultsSpec(
+        uniform_rate=reader.opt_float("uniform_rate"),
+        burst=reader.int_("burst", 1),
+        sites=tuple(sites),
+        stream=reader.str_("stream", "faults.plan"),
+    )
+    reader.check_unknown()
+    return spec
+
+
+def from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
+    """Build a validated :class:`ScenarioSpec` from a plain document.
+
+    Unknown keys, wrong types and semantic violations are all collected
+    and raised together as one :class:`ScenarioError` so a bad file
+    reports every problem in a single pass.
+    """
+    errors: List[str] = []
+    root = _Reader(data, "", errors)
+
+    machine = MachineSpecChoice()
+    machine_reader = root.table("machine")
+    if machine_reader is not None:
+        machine = MachineSpecChoice(preset=machine_reader.str_("preset", "paper"))
+        machine_reader.check_unknown()
+
+    scheduler = SchedulerChoice()
+    scheduler_reader = root.table("scheduler")
+    if scheduler_reader is not None:
+        scheduler = SchedulerChoice(
+            kind=scheduler_reader.str_("kind", "xcs"),
+            quota_max_factor=scheduler_reader.float_("quota_max_factor", 3.0),
+            monitor_period_ticks=scheduler_reader.int_("monitor_period_ticks", 1),
+            quota_min_factor=scheduler_reader.opt_float("quota_min_factor"),
+        )
+        scheduler_reader.check_unknown()
+
+    system = SystemSpec()
+    system_reader = root.table("system")
+    if system_reader is not None:
+        system = SystemSpec(
+            tick_usec=system_reader.int_("tick_usec", 10_000),
+            ticks_per_slice=system_reader.int_("ticks_per_slice", 3),
+            substeps_per_tick=system_reader.int_("substeps_per_tick", 10),
+            context_switch_cost_cycles=system_reader.int_(
+                "context_switch_cost_cycles", 20_000
+            ),
+            perf_jitter_fraction=system_reader.float_("perf_jitter_fraction", 0.0),
+            seed=system_reader.int_("seed", 0),
+        )
+        system_reader.check_unknown()
+
+    monitor = MonitorSpec()
+    monitor_reader = root.table("monitor")
+    if monitor_reader is not None:
+        monitor = MonitorSpec(
+            strategy=monitor_reader.str_("strategy", "default"),
+            sample_ticks=monitor_reader.int_("sample_ticks", 1),
+            chain=monitor_reader.str_list("chain", ("replay", "dedication", "direct")),
+            retries=monitor_reader.int_("retries", 1),
+            replay_refresh_every=monitor_reader.int_("replay_refresh_every", 50),
+            replay_max_report_age=monitor_reader.opt_int("replay_max_report_age"),
+        )
+        monitor_reader.check_unknown()
+
+    vms = tuple(_read_vm(vm_reader) for vm_reader in root.tables("vms"))
+
+    faults = None
+    faults_reader = root.table("faults")
+    if faults_reader is not None:
+        faults = _read_faults(faults_reader)
+
+    migration = None
+    migration_reader = root.table("migration")
+    if migration_reader is not None:
+        migration = MigrationSpec(
+            home_core=migration_reader.int_("home_core", 0),
+            remote_core=migration_reader.int_("remote_core", 4),
+            period_ticks=migration_reader.int_("period_ticks", 10),
+            min_dwell_ticks=migration_reader.int_("min_dwell_ticks", 1),
+            max_dwell_ticks=migration_reader.int_("max_dwell_ticks", 3),
+            seed=migration_reader.int_("seed", 0),
+            vm=migration_reader.opt_str("vm"),
+        )
+        migration_reader.check_unknown()
+
+    protocol = ProtocolSpec()
+    protocol_reader = root.table("protocol")
+    if protocol_reader is not None:
+        protocol = ProtocolSpec(
+            mode=protocol_reader.str_("mode", "measure"),
+            warmup_ticks=protocol_reader.int_("warmup_ticks", ProtocolSpec.warmup_ticks),
+            measure_ticks=protocol_reader.int_(
+                "measure_ticks", ProtocolSpec.measure_ticks
+            ),
+            max_ticks=protocol_reader.int_("max_ticks", ProtocolSpec.max_ticks),
+            target_vm=protocol_reader.opt_str("target_vm"),
+            solo_baseline=protocol_reader.bool_("solo_baseline", False),
+        )
+        protocol_reader.check_unknown()
+
+    telemetry = TelemetrySpec()
+    telemetry_reader = root.table("telemetry")
+    if telemetry_reader is not None:
+        telemetry = TelemetrySpec(
+            enabled=telemetry_reader.bool_("enabled", True),
+            series_capacity=telemetry_reader.int_("series_capacity", 512),
+        )
+        telemetry_reader.check_unknown()
+
+    spec = ScenarioSpec(
+        name=root.str_("name"),
+        description=root.str_("description", ""),
+        schema=root.str_("schema", SCENARIO_SCHEMA),
+        machine=machine,
+        scheduler=scheduler,
+        system=system,
+        monitor=monitor,
+        vms=vms,
+        faults=faults,
+        migration=migration,
+        protocol=protocol,
+        telemetry=telemetry,
+    )
+    root.check_unknown()
+    if errors:
+        raise ScenarioError(errors)
+    return spec.validate()
+
+
+# -- spec -> dict -------------------------------------------------------------
+
+
+def _value_to_plain(value: Any) -> Any:
+    if is_dataclass(value) and not isinstance(value, type):
+        return _dataclass_to_plain(value)
+    if isinstance(value, tuple):
+        return [_value_to_plain(v) for v in value]
+    return value
+
+
+def _dataclass_to_plain(obj: Any) -> Dict[str, Any]:
+    """Minimal dict: fields equal to their schema default are omitted."""
+    result: Dict[str, Any] = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        if f.default is not MISSING and value == f.default:
+            continue
+        if (
+            f.default_factory is not MISSING  # type: ignore[misc]
+            and value == f.default_factory()  # type: ignore[misc]
+        ):
+            continue
+        if value is None:
+            continue
+        result[f.name] = _value_to_plain(value)
+    return result
+
+
+def to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Serialize a spec to its minimal plain document.
+
+    ``schema`` and ``name`` are always present (they identify the
+    document); everything else is omitted when it equals the default.
+    """
+    body = _dataclass_to_plain(spec)
+    body.pop("schema", None)
+    body.pop("name", None)
+    doc: Dict[str, Any] = {"schema": spec.schema, "name": spec.name}
+    doc.update(body)
+    return doc
+
+
+# -- JSON ---------------------------------------------------------------------
+
+
+def dumps_json(spec: ScenarioSpec) -> str:
+    return json.dumps(to_dict(spec), indent=2) + "\n"
+
+
+def loads_json(text: str) -> ScenarioSpec:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScenarioError([f"invalid JSON: {exc}"]) from exc
+    if not isinstance(data, dict):
+        raise ScenarioError(["top-level JSON value must be an object"])
+    return from_dict(data)
+
+
+# -- TOML ---------------------------------------------------------------------
+
+
+def _toml_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        # repr() is the shortest exact round-trip form and is valid TOML
+        # for every finite float (validation forbids inf/nan).
+        text = repr(value)
+        return text
+    if isinstance(value, str):
+        return _toml_string(value)
+    if isinstance(value, list):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    raise TypeError(f"cannot serialize {value!r} to TOML")
+
+
+_TOML_ESCAPES = {
+    '"': '\\"',
+    "\\": "\\\\",
+    "\b": "\\b",
+    "\t": "\\t",
+    "\n": "\\n",
+    "\f": "\\f",
+    "\r": "\\r",
+}
+
+
+def _toml_string(value: str) -> str:
+    """A TOML basic string for ``value``.
+
+    Not ``json.dumps``: JSON escapes astral-plane characters as UTF-16
+    surrogate pairs, which TOML forbids.  TOML basic strings take any
+    character verbatim except the quote, the backslash and control
+    characters (U+0000–U+001F, U+007F), which use the shared escapes.
+    """
+    parts = ['"']
+    for char in value:
+        escape = _TOML_ESCAPES.get(char)
+        if escape is not None:
+            parts.append(escape)
+        elif ord(char) < 0x20 or ord(char) == 0x7F:
+            parts.append(f"\\u{ord(char):04X}")
+        else:
+            parts.append(char)
+    parts.append('"')
+    return "".join(parts)
+
+
+def _is_table_array(value: Any) -> bool:
+    return (
+        isinstance(value, list)
+        and bool(value)
+        and all(isinstance(v, dict) for v in value)
+    )
+
+
+def _emit_table(prefix: str, table: Mapping[str, Any], lines: List[str]) -> None:
+    for key, value in table.items():
+        if isinstance(value, dict) or _is_table_array(value):
+            continue
+        lines.append(f"{key} = {_toml_scalar(value)}")
+    for key, value in table.items():
+        full = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            lines.append("")
+            lines.append(f"[{full}]")
+            _emit_table(full, value, lines)
+        elif _is_table_array(value):
+            for element in value:
+                lines.append("")
+                lines.append(f"[[{full}]]")
+                _emit_table(full, element, lines)
+
+
+def dumps_toml(spec: ScenarioSpec) -> str:
+    """Emit the spec as TOML (parseable back by :func:`loads_toml`)."""
+    lines: List[str] = []
+    _emit_table("", to_dict(spec), lines)
+    return "\n".join(lines) + "\n"
+
+
+def parse_toml(text: str) -> Dict[str, Any]:
+    """Parse TOML text into a plain document (sweep table included)."""
+    if tomllib is None:
+        raise ScenarioError(
+            ["TOML scenarios need Python 3.11+ (tomllib); use JSON instead"]
+        )
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ScenarioError([f"invalid TOML: {exc}"]) from exc
+
+
+def loads_toml(text: str) -> ScenarioSpec:
+    return from_dict(parse_toml(text))
+
+
+# -- files --------------------------------------------------------------------
+
+
+def parse_scenario_file(path: str) -> Dict[str, Any]:
+    """Read one scenario document (TOML or JSON by extension).
+
+    The returned document may still carry a ``[sweep]`` table — use
+    :func:`repro.scenario.sweep.expand_document` to resolve it, or
+    :func:`load_scenario` when a single spec is expected.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ScenarioError([f"cannot read scenario file {path}: {exc}"]) from exc
+    if path.endswith(".json"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError([f"{path}: invalid JSON: {exc}"]) from exc
+        if not isinstance(data, dict):
+            raise ScenarioError([f"{path}: top-level JSON value must be an object"])
+        return data
+    return parse_toml(text)
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Load and validate a single (sweep-free) scenario file."""
+    data = dict(parse_scenario_file(path))
+    if "sweep" in data:
+        raise ScenarioError(
+            [
+                f"{path} defines a [sweep]; expand it with "
+                "repro.scenario.sweep.expand_document (or run it through "
+                "'repro scenario run' / 'repro run')"
+            ]
+        )
+    return from_dict(data)

@@ -1,0 +1,132 @@
+"""Parameter sweeps: one document, a grid of scenario specs.
+
+A scenario file may carry a ``[sweep]`` table mapping dotted spec paths
+to lists of values::
+
+    [sweep]
+    "faults.uniform_rate" = [0.0, 0.1, 0.5]
+    "system.seed" = [0, 1]
+
+The grid is the cartesian product, expanded deterministically: axes in
+document order, values in listed order, the *last* axis varying
+fastest (:func:`itertools.product` order).  Each point applies its
+overrides to the base document and validates into a full
+:class:`ScenarioSpec` whose name gains an ``@axis=value,...`` suffix,
+so a swept campaign's artifacts stay distinguishable and aggregatable.
+
+List elements are addressed numerically (``"vms.1.llc_cap"``); missing
+intermediate tables are created, so a sweep can add a section (e.g.
+``faults``) the base document omits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .serialize import from_dict
+from .spec import ScenarioError, ScenarioSpec
+
+
+def apply_override(doc: Dict[str, Any], dotted: str, value: Any) -> None:
+    """Set ``dotted`` path in ``doc`` (in place), creating tables as needed."""
+    parts = dotted.split(".")
+    if not all(parts):
+        raise ScenarioError([f"sweep: invalid key {dotted!r}"])
+    node: Any = doc
+    for i, part in enumerate(parts[:-1]):
+        key_path = ".".join(parts[: i + 1])
+        if isinstance(node, list):
+            index = _list_index(part, node, key_path)
+            node = node[index]
+        elif isinstance(node, dict):
+            if part not in node:
+                node[part] = {}
+            node = node[part]
+        else:
+            raise ScenarioError(
+                [f"sweep: {key_path!r} traverses a scalar, cannot descend"]
+            )
+        if not isinstance(node, (dict, list)):
+            raise ScenarioError(
+                [f"sweep: {'.'.join(parts[:i + 2])!r} traverses a scalar"]
+            )
+    last = parts[-1]
+    if isinstance(node, list):
+        index = _list_index(last, node, dotted)
+        node[index] = value
+    elif isinstance(node, dict):
+        node[last] = value
+    else:  # pragma: no cover - guarded above
+        raise ScenarioError([f"sweep: cannot set {dotted!r}"])
+
+
+def _list_index(part: str, node: list, key_path: str) -> int:
+    try:
+        index = int(part)
+    except ValueError:
+        raise ScenarioError(
+            [f"sweep: {key_path!r} indexes a list; expected an integer segment"]
+        ) from None
+    if not 0 <= index < len(node):
+        raise ScenarioError(
+            [f"sweep: {key_path!r} out of range (list has {len(node)} items)"]
+        )
+    return index
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _deep_copy_doc(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """Copy nested dicts/lists (scenario documents hold only plain data)."""
+    def copy_value(value: Any) -> Any:
+        if isinstance(value, Mapping):
+            return {k: copy_value(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [copy_value(v) for v in value]
+        return value
+
+    return {k: copy_value(v) for k, v in doc.items()}
+
+
+def expand_document(
+    doc: Mapping[str, Any],
+) -> List[Tuple[Optional[str], ScenarioSpec]]:
+    """Expand a (possibly swept) document into ``(label, spec)`` points.
+
+    A sweep-free document yields one ``(None, spec)`` entry.  Labels
+    name only the swept axes (``"system.seed=1"``), joined by commas in
+    axis order; each point's spec name carries the ``@label`` suffix.
+    """
+    base = _deep_copy_doc(doc)
+    sweep = base.pop("sweep", None)
+    if sweep is None:
+        return [(None, from_dict(base))]
+    if not isinstance(sweep, Mapping) or not sweep:
+        raise ScenarioError(
+            ["sweep: expected a non-empty table of dotted-path -> value list"]
+        )
+    axes: List[Tuple[str, List[Any]]] = []
+    for key, values in sweep.items():
+        if not isinstance(values, list) or not values:
+            raise ScenarioError(
+                [f"sweep.{key}: expected a non-empty list of values"]
+            )
+        axes.append((key, values))
+    points: List[Tuple[Optional[str], ScenarioSpec]] = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        point = _deep_copy_doc(base)
+        labels = []
+        for (key, _), value in zip(axes, combo):
+            apply_override(point, key, value)
+            labels.append(f"{key}={_format_value(value)}")
+        label = ",".join(labels)
+        point["name"] = f"{point.get('name', 'scenario')}@{label}"
+        points.append((label, from_dict(point)))
+    return points

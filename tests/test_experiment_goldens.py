@@ -1,0 +1,41 @@
+"""Per-figure equivalence: scenario-backed drivers == pre-refactor output.
+
+``tests/goldens/experiment_goldens.json`` pins the sha256 of every
+experiment's report text as produced by the drivers *before* they were
+refactored onto ``repro.scenario``.  Each test here runs the refactored
+driver at its default parameters and asserts the report hashes to the
+same value — i.e. the refactor is byte-for-byte invisible in the
+artifacts.
+
+If a later PR *intentionally* changes an experiment's output, rerun it
+and update the pinned hash in the goldens file (the new value is in the
+assertion message).
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import REGISTRY
+
+GOLDENS_PATH = pathlib.Path(__file__).parent / "goldens" / "experiment_goldens.json"
+
+with GOLDENS_PATH.open() as _fh:
+    GOLDENS = json.load(_fh)
+
+
+def test_goldens_file_shape():
+    assert GOLDENS["schema"] == "repro.goldens/1"
+    assert set(GOLDENS["reports"]) == set(REGISTRY)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS["reports"]))
+def test_report_matches_golden(name):
+    report = REGISTRY[name].runner()
+    digest = hashlib.sha256(report.encode("utf-8")).hexdigest()
+    assert digest == GOLDENS["reports"][name], (
+        f"{name} report drifted from the pre-refactor golden; "
+        f"new sha256 is {digest}"
+    )

@@ -1,0 +1,101 @@
+"""Chunked execution-time protocol: same results, fewer Python calls."""
+
+import pytest
+
+from repro.scenario import (
+    ProtocolSpec,
+    ScenarioSpec,
+    VmSpec,
+    WorkloadSpec,
+    budget_exhausted_message,
+    execution_time_sec,
+    materialize,
+)
+
+
+def _spec(work=2e8, name="exec"):
+    return ScenarioSpec(
+        name=name,
+        vms=(
+            VmSpec(
+                name="worker",
+                workload=WorkloadSpec(app="povray", total_instructions=work),
+                pinned_cores=(0,),
+            ),
+            VmSpec(
+                name="noise",
+                workload=WorkloadSpec(app="lbm"),
+                pinned_cores=(0,),
+            ),
+        ),
+        protocol=ProtocolSpec(mode="execution_time", target_vm="worker"),
+    )
+
+
+def _reference_execution_time(system, vm, max_ticks):
+    """The pre-chunking protocol: one run_ticks(1) call per tick."""
+    while not vm.finished:
+        if system.tick_index >= max_ticks:
+            raise RuntimeError(budget_exhausted_message(system, vm, max_ticks))
+        system.run_ticks(1)
+    return vm.finish_time_usec / 1e6
+
+
+class TestChunkedEquivalence:
+    def test_identical_finish_time_and_tick(self):
+        ref = materialize(_spec())
+        ref_time = _reference_execution_time(
+            ref.system, ref.vm("worker"), max_ticks=200_000
+        )
+        chunked = materialize(_spec())
+        chunked_time = execution_time_sec(chunked.system, chunked.vm("worker"))
+        assert chunked_time == ref_time
+        # The chunked loop must stop on exactly the finish tick — an
+        # overshoot would skew anything counted per tick (Fig 9's
+        # migration counts ride on this).
+        assert chunked.system.tick_index == ref.system.tick_index
+
+    @pytest.mark.parametrize("chunk_ticks", [1, 7, 64, 10_000])
+    def test_any_chunk_size_is_equivalent(self, chunk_ticks):
+        ref = materialize(_spec())
+        ref_time = _reference_execution_time(
+            ref.system, ref.vm("worker"), max_ticks=200_000
+        )
+        built = materialize(_spec())
+        assert (
+            execution_time_sec(
+                built.system, built.vm("worker"), chunk_ticks=chunk_ticks
+            )
+            == ref_time
+        )
+
+    def test_budget_exhausted_message_identical(self):
+        ref = materialize(_spec(work=1e12))
+        with pytest.raises(RuntimeError) as ref_err:
+            _reference_execution_time(ref.system, ref.vm("worker"), max_ticks=40)
+        built = materialize(_spec(work=1e12))
+        with pytest.raises(RuntimeError) as chunked_err:
+            execution_time_sec(built.system, built.vm("worker"), max_ticks=40)
+        assert str(chunked_err.value) == str(ref_err.value)
+        assert "worker did not finish within 40 ticks" in str(chunked_err.value)
+
+    def test_chunk_ticks_must_be_positive(self):
+        built = materialize(_spec())
+        with pytest.raises(ValueError, match="chunk_ticks"):
+            execution_time_sec(built.system, built.vm("worker"), chunk_ticks=0)
+
+
+class TestRunTicksUntil:
+    def test_stops_on_predicate_mid_chunk(self):
+        built = materialize(_spec())
+        system = built.system
+        ran = system.run_ticks_until(100, lambda: system.tick_index >= 5)
+        assert ran == 5
+        assert system.tick_index == 5
+
+    def test_runs_full_chunk_when_predicate_never_fires(self):
+        built = materialize(_spec())
+        system = built.system
+        ran = system.run_ticks_until(10, lambda: False)
+        assert ran == 10
+        assert system.tick_index == 10

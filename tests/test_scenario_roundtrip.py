@@ -1,0 +1,282 @@
+"""Lossless serialization of scenario specs (property-based).
+
+The scenario layer's core contract: any valid :class:`ScenarioSpec`
+survives ``to_dict`` → ``from_dict`` and both on-disk encodings (JSON
+always; TOML where ``tomllib`` exists, Python 3.11+) *losslessly* —
+``==`` on the frozen dataclasses, which compares every field of every
+nested spec.
+"""
+
+import dataclasses
+import string
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.scenario import (  # noqa: E402
+    FaultSiteSpec,
+    FaultsSpec,
+    MachineSpecChoice,
+    MigrationSpec,
+    MonitorSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+    SchedulerChoice,
+    SystemSpec,
+    TelemetrySpec,
+    VmSpec,
+    WorkloadSpec,
+    dumps_json,
+    dumps_toml,
+    from_dict,
+    loads_json,
+    to_dict,
+)
+from repro.scenario.spec import (  # noqa: E402
+    CHAIN_MEMBERS,
+    KNOWN_SITES,
+    MACHINE_PRESETS,
+    MONITOR_STRATEGIES,
+    SCHEDULER_KINDS,
+)
+
+try:
+    import tomllib  # noqa: F401
+
+    HAVE_TOMLLIB = True
+except ImportError:
+    HAVE_TOMLLIB = False
+
+
+_NAME_ALPHABET = string.ascii_lowercase + string.digits + "-_."
+names = st.text(alphabet=_NAME_ALPHABET, min_size=1, max_size=12)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+positive_floats = st.floats(
+    min_value=1e-3, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+workloads = st.one_of(
+    st.builds(
+        WorkloadSpec,
+        kind=st.just("application"),
+        app=names,
+        disruptive=st.booleans(),
+        total_instructions=st.none() | positive_floats,
+    ),
+    st.builds(
+        WorkloadSpec,
+        kind=st.just("micro"),
+        wss_bytes=st.integers(min_value=1, max_value=1 << 30),
+        disruptive=st.booleans(),
+        total_instructions=st.none() | positive_floats,
+    ),
+)
+
+
+@st.composite
+def vm_specs(draw, name):
+    count = draw(st.integers(min_value=1, max_value=4))
+    num_vcpus = draw(st.integers(min_value=1, max_value=3))
+    if count > 1:
+        pinned = draw(
+            st.none() | st.tuples(st.integers(min_value=0, max_value=7))
+        )
+    else:
+        pinned = draw(
+            st.none()
+            | st.lists(
+                st.integers(min_value=0, max_value=7),
+                min_size=num_vcpus,
+                max_size=num_vcpus,
+            ).map(tuple)
+        )
+    return VmSpec(
+        name=name,
+        workload=draw(workloads),
+        count=count,
+        num_vcpus=num_vcpus,
+        weight=draw(st.integers(min_value=1, max_value=1024)),
+        cap_percent=draw(
+            st.none()
+            | st.floats(
+                min_value=0,
+                max_value=100 * num_vcpus,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        ),
+        llc_cap=draw(
+            st.none()
+            | st.floats(
+                min_value=0, max_value=1e7, allow_nan=False, allow_infinity=False
+            )
+        ),
+        memory_node=draw(st.integers(min_value=0, max_value=1)),
+        pinned_cores=pinned,
+    )
+
+
+@st.composite
+def scheduler_choices(draw):
+    kind = draw(st.sampled_from(SCHEDULER_KINDS))
+    return SchedulerChoice(
+        kind=kind,
+        quota_max_factor=draw(positive_floats),
+        monitor_period_ticks=draw(st.integers(min_value=1, max_value=10)),
+        quota_min_factor=(
+            draw(st.none() | positive_floats) if kind == "ks4xen" else None
+        ),
+    )
+
+
+monitors = st.builds(
+    MonitorSpec,
+    strategy=st.sampled_from(MONITOR_STRATEGIES),
+    sample_ticks=st.integers(min_value=1, max_value=10),
+    chain=st.lists(
+        st.sampled_from(CHAIN_MEMBERS), min_size=1, max_size=4
+    ).map(tuple),
+    retries=st.integers(min_value=0, max_value=5),
+    replay_refresh_every=st.integers(min_value=1, max_value=100),
+    replay_max_report_age=st.none() | st.integers(min_value=1, max_value=100),
+)
+
+fault_sites = st.builds(
+    FaultSiteSpec,
+    site=st.sampled_from(sorted(KNOWN_SITES)),
+    probability=st.floats(
+        min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+    ),
+    burst=st.integers(min_value=1, max_value=5),
+    windows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=51, max_value=100),
+        ),
+        max_size=2,
+    ).map(tuple),
+)
+
+faults = st.one_of(
+    st.builds(
+        FaultsSpec,
+        uniform_rate=st.floats(
+            min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+        ),
+        burst=st.integers(min_value=1, max_value=5),
+        stream=names,
+    ),
+    st.builds(
+        FaultsSpec,
+        burst=st.integers(min_value=1, max_value=5),
+        sites=st.lists(
+            fault_sites, min_size=1, max_size=3, unique_by=lambda s: s.site
+        ).map(tuple),
+        stream=names,
+    ),
+)
+
+
+@st.composite
+def migrations(draw, vm_names):
+    min_dwell = draw(st.integers(min_value=1, max_value=5))
+    return MigrationSpec(
+        home_core=draw(st.integers(min_value=0, max_value=7)),
+        remote_core=draw(st.integers(min_value=0, max_value=7)),
+        period_ticks=draw(st.integers(min_value=1, max_value=50)),
+        min_dwell_ticks=min_dwell,
+        max_dwell_ticks=draw(st.integers(min_value=min_dwell, max_value=10)),
+        seed=draw(st.integers(min_value=0, max_value=100)),
+        vm=draw(st.none() | st.sampled_from(vm_names)),
+    )
+
+
+systems = st.builds(
+    SystemSpec,
+    tick_usec=st.integers(min_value=1, max_value=100_000),
+    ticks_per_slice=st.integers(min_value=1, max_value=10),
+    substeps_per_tick=st.integers(min_value=1, max_value=20),
+    context_switch_cost_cycles=st.integers(min_value=0, max_value=100_000),
+    perf_jitter_fraction=st.floats(
+        min_value=0.0,
+        max_value=0.99,
+        exclude_max=False,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+protocols = st.builds(
+    ProtocolSpec,
+    mode=st.just("measure"),
+    warmup_ticks=st.integers(min_value=0, max_value=100),
+    measure_ticks=st.integers(min_value=1, max_value=500),
+    max_ticks=st.integers(min_value=1, max_value=10**6),
+    solo_baseline=st.booleans(),
+)
+
+
+@st.composite
+def scenario_specs(draw):
+    vm_names = draw(
+        st.lists(names, min_size=1, max_size=4, unique=True)
+    )
+    vms = tuple(draw(vm_specs(name)) for name in vm_names)
+    first = vms[0]
+    target = first.name if first.count == 1 else f"{first.name}-0"
+    protocol = dataclasses.replace(
+        draw(protocols), target_vm=draw(st.sampled_from([None, target]))
+    )
+    return ScenarioSpec(
+        name=draw(names),
+        description=draw(st.text(max_size=40)),
+        machine=MachineSpecChoice(preset=draw(st.sampled_from(MACHINE_PRESETS))),
+        scheduler=draw(scheduler_choices()),
+        system=draw(systems),
+        monitor=draw(monitors),
+        vms=vms,
+        faults=draw(st.none() | faults),
+        migration=draw(st.none() | migrations(vm_names)),
+        protocol=protocol,
+        telemetry=draw(
+            st.builds(
+                TelemetrySpec,
+                enabled=st.booleans(),
+                series_capacity=st.integers(min_value=1, max_value=4096),
+            )
+        ),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_dict_roundtrip_lossless(spec):
+    assert from_dict(to_dict(spec)) == spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_json_roundtrip_lossless(spec):
+    assert loads_json(dumps_json(spec)) == spec
+
+
+@pytest.mark.skipif(not HAVE_TOMLLIB, reason="tomllib needs Python 3.11+")
+@settings(max_examples=60, deadline=None)
+@given(scenario_specs())
+def test_toml_roundtrip_lossless(spec):
+    from repro.scenario import loads_toml
+
+    assert loads_toml(dumps_toml(spec)) == spec
+
+
+def test_minimal_document_omits_defaults():
+    spec = ScenarioSpec(
+        name="tiny",
+        vms=(VmSpec(name="v", workload=WorkloadSpec(app="gcc")),),
+    )
+    doc = to_dict(spec)
+    assert set(doc) == {"schema", "name", "vms"}
+    assert doc["vms"] == [{"name": "v", "workload": {"app": "gcc"}}]

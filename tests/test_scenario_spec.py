@@ -1,0 +1,194 @@
+"""Scenario validation: collect-all errors with dotted paths."""
+
+import pytest
+
+from repro.scenario import (
+    FaultSiteSpec,
+    FaultsSpec,
+    MachineSpecChoice,
+    MigrationSpec,
+    MonitorSpec,
+    ProtocolSpec,
+    ScenarioError,
+    ScenarioSpec,
+    SchedulerChoice,
+    VmSpec,
+    WorkloadSpec,
+    from_dict,
+)
+
+
+def _vm(name="v", app="gcc", **kwargs):
+    return VmSpec(name=name, workload=WorkloadSpec(app=app), **kwargs)
+
+
+def _errors_of(spec):
+    with pytest.raises(ScenarioError) as excinfo:
+        spec.validate()
+    return excinfo.value.errors
+
+
+class TestCollectAll:
+    def test_multiple_errors_reported_together(self):
+        spec = ScenarioSpec(
+            name="",
+            machine=MachineSpecChoice(preset="laptop"),
+            scheduler=SchedulerChoice(kind="fifo"),
+            vms=(),
+        )
+        errors = _errors_of(spec)
+        paths = [error.split(":")[0] for error in errors]
+        assert "name" in paths
+        assert "machine.preset" in paths
+        assert "scheduler.kind" in paths
+        assert "vms" in paths
+
+    def test_error_lists_alternatives(self):
+        (error,) = _errors_of(
+            ScenarioSpec(name="x", vms=(_vm(),),
+                         monitor=MonitorSpec(strategy="psychic"))
+        )
+        assert error.startswith("monitor.strategy:")
+        assert "resilient" in error  # suggests the valid strategies
+
+
+class TestVmValidation:
+    def test_duplicate_names(self):
+        errors = _errors_of(
+            ScenarioSpec(name="x", vms=(_vm("a"), _vm("a")))
+        )
+        assert any("duplicate VM name 'a'" in error for error in errors)
+
+    def test_counted_vm_needs_single_pinned_core(self):
+        errors = _errors_of(
+            ScenarioSpec(
+                name="x", vms=(_vm(count=3, pinned_cores=(0, 1)),)
+            )
+        )
+        assert any("vms[0].pinned_cores" in error for error in errors)
+
+    def test_pinning_must_cover_every_vcpu(self):
+        errors = _errors_of(
+            ScenarioSpec(
+                name="x", vms=(_vm(num_vcpus=2, pinned_cores=(0,)),)
+            )
+        )
+        assert any("one core per vCPU" in error for error in errors)
+
+    def test_micro_workload_needs_wss(self):
+        errors = _errors_of(
+            ScenarioSpec(
+                name="x",
+                vms=(VmSpec(name="m", workload=WorkloadSpec(kind="micro")),),
+            )
+        )
+        assert any("vms[0].workload.wss_bytes" in error for error in errors)
+
+    def test_application_workload_needs_app(self):
+        errors = _errors_of(
+            ScenarioSpec(name="x", vms=(VmSpec(name="m", workload=WorkloadSpec()),))
+        )
+        assert any("vms[0].workload.app" in error for error in errors)
+
+
+class TestCrossFieldValidation:
+    def test_quota_min_factor_is_ks4xen_only(self):
+        errors = _errors_of(
+            ScenarioSpec(
+                name="x",
+                scheduler=SchedulerChoice(kind="cfs", quota_min_factor=2.0),
+                vms=(_vm(),),
+            )
+        )
+        assert any("scheduler.quota_min_factor" in error for error in errors)
+
+    def test_faults_uniform_rate_xor_sites(self):
+        errors = _errors_of(
+            ScenarioSpec(
+                name="x",
+                vms=(_vm(),),
+                faults=FaultsSpec(
+                    uniform_rate=0.5,
+                    sites=(FaultSiteSpec(site="replay.unavailable"),),
+                ),
+            )
+        )
+        assert any("mutually exclusive" in error for error in errors)
+
+    def test_migration_vm_must_exist(self):
+        errors = _errors_of(
+            ScenarioSpec(
+                name="x",
+                vms=(_vm(),),
+                migration=MigrationSpec(vm="ghost"),
+            )
+        )
+        assert any("migration.vm" in error for error in errors)
+
+    def test_target_vm_must_be_an_expanded_name(self):
+        errors = _errors_of(
+            ScenarioSpec(
+                name="x",
+                vms=(_vm("a", count=2, pinned_cores=(0,)),),
+                protocol=ProtocolSpec(target_vm="a"),
+            )
+        )
+        # count=2 expands to a-0 / a-1; the bare name no longer exists.
+        assert any("protocol.target_vm" in error for error in errors)
+
+
+class TestTargetVmName:
+    def test_defaults_to_first_vm(self):
+        spec = ScenarioSpec(name="x", vms=(_vm("first"), _vm("second")))
+        assert spec.target_vm_name() == "first"
+
+    def test_counted_first_vm_targets_clone_zero(self):
+        spec = ScenarioSpec(
+            name="x", vms=(_vm("a", count=2, pinned_cores=(0,)),)
+        )
+        assert spec.target_vm_name() == "a-0"
+
+    def test_explicit_target_wins(self):
+        spec = ScenarioSpec(
+            name="x",
+            vms=(_vm("a"), _vm("b")),
+            protocol=ProtocolSpec(target_vm="b"),
+        )
+        assert spec.target_vm_name() == "b"
+
+
+class TestFromDictErrors:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            from_dict(
+                {
+                    "schema": "repro.scenario/1",
+                    "name": "x",
+                    "vms": [{"name": "v", "workload": {"app": "gcc"}}],
+                    "turbo": True,
+                }
+            )
+        assert "turbo" in str(excinfo.value)
+
+    def test_type_errors_carry_dotted_paths(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            from_dict(
+                {
+                    "schema": "repro.scenario/1",
+                    "name": "x",
+                    "system": {"tick_usec": "fast"},
+                    "vms": [{"name": "v", "workload": {"app": "gcc"}}],
+                }
+            )
+        assert "system.tick_usec" in str(excinfo.value)
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ScenarioError) as excinfo:
+            from_dict(
+                {
+                    "schema": "repro.scenario/9",
+                    "name": "x",
+                    "vms": [{"name": "v", "workload": {"app": "gcc"}}],
+                }
+            )
+        assert "repro.scenario/1" in str(excinfo.value)

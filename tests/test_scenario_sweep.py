@@ -1,0 +1,96 @@
+"""Sweep expansion: deterministic grids from one document."""
+
+import pytest
+
+from repro.scenario import ScenarioError, expand_document
+from repro.scenario.sweep import apply_override
+
+BASE = {
+    "schema": "repro.scenario/1",
+    "name": "smoke",
+    "vms": [
+        {"name": "a", "workload": {"app": "gcc"}, "llc_cap": 250000.0},
+        {"name": "b", "workload": {"app": "lbm"}},
+    ],
+}
+
+
+def _doc(**extra):
+    doc = {
+        "schema": BASE["schema"],
+        "name": BASE["name"],
+        "vms": [dict(vm, workload=dict(vm["workload"])) for vm in BASE["vms"]],
+    }
+    doc.update(extra)
+    return doc
+
+
+class TestExpansion:
+    def test_sweep_free_document_is_one_unlabeled_point(self):
+        points = expand_document(_doc())
+        assert len(points) == 1
+        label, spec = points[0]
+        assert label is None
+        assert spec.name == "smoke"
+
+    def test_grid_is_cartesian_product_last_axis_fastest(self):
+        points = expand_document(
+            _doc(sweep={"system.seed": [0, 1], "vms.0.llc_cap": [50000.0, 250000.0]})
+        )
+        labels = [label for label, _ in points]
+        assert labels == [
+            "system.seed=0,vms.0.llc_cap=50000",
+            "system.seed=0,vms.0.llc_cap=250000",
+            "system.seed=1,vms.0.llc_cap=50000",
+            "system.seed=1,vms.0.llc_cap=250000",
+        ]
+        seeds = [spec.system.seed for _, spec in points]
+        caps = [spec.vms[0].llc_cap for _, spec in points]
+        assert seeds == [0, 0, 1, 1]
+        assert caps == [50000.0, 250000.0, 50000.0, 250000.0]
+
+    def test_point_names_carry_the_label(self):
+        points = expand_document(_doc(sweep={"system.seed": [7]}))
+        assert points[0][1].name == "smoke@system.seed=7"
+
+    def test_sweep_can_add_a_missing_section(self):
+        points = expand_document(
+            _doc(sweep={"faults.uniform_rate": [0.0, 0.5]})
+        )
+        assert [spec.faults.uniform_rate for _, spec in points] == [0.0, 0.5]
+
+    def test_base_document_is_not_mutated(self):
+        doc = _doc(sweep={"vms.0.llc_cap": [1.0, 2.0]})
+        expand_document(doc)
+        assert doc["vms"][0]["llc_cap"] == 250000.0
+
+
+class TestSweepErrors:
+    def test_empty_sweep_table_rejected(self):
+        with pytest.raises(ScenarioError, match="non-empty table"):
+            expand_document(_doc(sweep={}))
+
+    def test_axis_values_must_be_a_list(self):
+        with pytest.raises(ScenarioError, match="non-empty list"):
+            expand_document(_doc(sweep={"system.seed": 3}))
+
+    def test_invalid_point_reports_the_axis_value(self):
+        with pytest.raises(ScenarioError, match="scheduler.kind"):
+            expand_document(_doc(sweep={"scheduler.kind": ["warp-drive"]}))
+
+
+class TestApplyOverride:
+    def test_list_index_out_of_range(self):
+        doc = _doc()
+        with pytest.raises(ScenarioError, match="out of range"):
+            apply_override(doc, "vms.5.llc_cap", 1.0)
+
+    def test_list_segment_must_be_integer(self):
+        doc = _doc()
+        with pytest.raises(ScenarioError, match="integer segment"):
+            apply_override(doc, "vms.first.llc_cap", 1.0)
+
+    def test_cannot_descend_through_scalar(self):
+        doc = _doc()
+        with pytest.raises(ScenarioError, match="scalar"):
+            apply_override(doc, "name.sub.key", 1.0)

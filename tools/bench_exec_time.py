@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Micro-benchmark: chunked vs tick-by-tick execution-time protocol.
+
+The execution-time protocol used to advance the simulation with one
+``system.run_ticks(1)`` call per tick so it could check ``vm.finished``
+between ticks.  The chunked protocol
+(:func:`repro.scenario.protocol.execution_time_sec`) instead calls
+``run_ticks_until`` once per chunk with the finish check inside the
+tick loop — same stop tick, same ``finish_usec``, far fewer Python
+call round-trips.
+
+This tool measures both on the Fig 12 workload shape (two povray VMs
+sharing a core) and writes ``BENCH_pr4_exec_time.json``::
+
+    PYTHONPATH=src python tools/bench_exec_time.py [--output FILE]
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.scenario import (
+    ProtocolSpec,
+    ScenarioSpec,
+    VmSpec,
+    WorkloadSpec,
+    budget_exhausted_message,
+    execution_time_sec,
+    materialize,
+)
+
+WORK_INSTRUCTIONS = 1.5e11
+REPEATS = 3
+
+
+def _spec():
+    workload = WorkloadSpec(app="povray", total_instructions=WORK_INSTRUCTIONS)
+    return ScenarioSpec(
+        name="bench-exec-time",
+        vms=(
+            VmSpec(name="povray-a", workload=workload, pinned_cores=(0,)),
+            VmSpec(name="povray-b", workload=workload, pinned_cores=(0,)),
+        ),
+        protocol=ProtocolSpec(mode="execution_time", target_vm="povray-a"),
+    )
+
+
+def _tick_by_tick(system, vm, max_ticks=200_000):
+    while not vm.finished:
+        if system.tick_index >= max_ticks:
+            raise RuntimeError(budget_exhausted_message(system, vm, max_ticks))
+        system.run_ticks(1)
+    return vm.finish_time_usec / 1e6
+
+
+def _time(fn):
+    best = None
+    result = None
+    for _ in range(REPEATS):
+        built = materialize(_spec())
+        start = time.perf_counter()
+        result = fn(built.system, built.vm("povray-a"))
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_pr4_exec_time.json")
+    args = parser.parse_args(argv)
+
+    baseline_sec, baseline_result = _time(_tick_by_tick)
+    chunked_sec, chunked_result = _time(execution_time_sec)
+    if baseline_result != chunked_result:
+        sys.stderr.write(
+            f"MISMATCH: tick-by-tick {baseline_result} != "
+            f"chunked {chunked_result}\n"
+        )
+        return 1
+    doc = {
+        "schema": "repro.bench/1",
+        "benchmark": "execution_time_protocol",
+        "workload": f"fig12 shape: 2x povray sharing core 0, {WORK_INSTRUCTIONS:g} instructions",
+        "repeats": REPEATS,
+        "simulated_execution_time_sec": chunked_result,
+        "tick_by_tick_wall_sec": round(baseline_sec, 4),
+        "chunked_wall_sec": round(chunked_sec, 4),
+        "speedup": round(baseline_sec / chunked_sec, 2),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

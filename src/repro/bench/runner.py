@@ -1,0 +1,184 @@
+"""Benchmark runner: warmup + repeats + median, wall clock via repro.util.
+
+A :class:`Benchmark` separates *setup* (building the system under test,
+untimed) from *body* (the hot path, timed).  Every repeat gets a fresh
+setup so state warmed by one sample never flatters the next; the body
+returns a JSON-serializable *check* value that must be identical across
+repeats — benchmarks are simulations, and simulations are deterministic
+— so a timing run doubles as a semantics smoke test.
+
+Timing uses :func:`repro.util.wall_clock` / :func:`repro.util.elapsed_since`,
+the repo's one sanctioned wall-clock entry point (kyotolint D003).  Wall
+time is *reported*, never fed back into simulated results.
+"""
+
+from __future__ import annotations
+
+import platform
+import statistics
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.util import elapsed_since, wall_clock
+
+#: Schema identifier of the benchmark results document.  ``repro.bench/1``
+#: was the ad-hoc single-benchmark artifact of tools/bench_exec_time.py
+#: (retired into :data:`repro.bench.registry.BENCHMARKS`).
+BENCH_SCHEMA = "repro.bench/2"
+
+#: Default timing discipline (the CLI can override both).
+DEFAULT_WARMUP = 1
+DEFAULT_REPEATS = 5
+
+
+class BenchmarkError(ValueError):
+    """Raised on invalid benchmark configuration or nondeterministic checks."""
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One named benchmark: untimed setup, timed body.
+
+    Attributes:
+        name: registry key (``tick_loop_8vcpu``).
+        description: one-line human description.
+        setup: builds the system under test; its return value is passed
+            to ``body``.  Excluded from timing.
+        body: the timed hot path; must return a deterministic,
+            JSON-serializable check value.
+    """
+
+    name: str
+    description: str
+    setup: Callable[[], Any]
+    body: Callable[[Any], Any]
+
+
+@dataclass
+class BenchmarkResult:
+    """Timing + check outcome of one benchmark."""
+
+    name: str
+    description: str
+    warmup: int
+    repeats: int
+    samples_sec: List[float]
+    check: Any
+
+    @property
+    def median_sec(self) -> float:
+        return statistics.median(self.samples_sec)
+
+    @property
+    def min_sec(self) -> float:
+        return min(self.samples_sec)
+
+    @property
+    def max_sec(self) -> float:
+        return max(self.samples_sec)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "median_sec": round(self.median_sec, 6),
+            "min_sec": round(self.min_sec, 6),
+            "max_sec": round(self.max_sec, 6),
+            "samples_sec": [round(sample, 6) for sample in self.samples_sec],
+            "check": self.check,
+        }
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    warmup: int = DEFAULT_WARMUP,
+    repeats: int = DEFAULT_REPEATS,
+) -> BenchmarkResult:
+    """Time one benchmark: ``warmup`` untimed runs, then ``repeats`` samples.
+
+    Each run (warmup included) re-executes ``setup`` so the body always
+    starts from identical state.  The body's check value must match
+    across every run; a mismatch means the benchmark is nondeterministic
+    (or the code under test is broken) and raises :class:`BenchmarkError`
+    rather than reporting a timing for a computation that is not the
+    same computation every time.
+    """
+    if warmup < 0:
+        raise BenchmarkError(f"warmup must be >= 0, got {warmup}")
+    if repeats < 1:
+        raise BenchmarkError(f"repeats must be >= 1, got {repeats}")
+    check: Any = None
+    have_check = False
+    for _ in range(warmup):
+        payload = benchmark.setup()
+        check = benchmark.body(payload)
+        have_check = True
+    samples: List[float] = []
+    for _ in range(repeats):
+        payload = benchmark.setup()
+        start = wall_clock()
+        value = benchmark.body(payload)
+        samples.append(elapsed_since(start))
+        if have_check and value != check:
+            raise BenchmarkError(
+                f"{benchmark.name}: nondeterministic check value "
+                f"({value!r} != {check!r})"
+            )
+        check = value
+        have_check = True
+    return BenchmarkResult(
+        name=benchmark.name,
+        description=benchmark.description,
+        warmup=warmup,
+        repeats=repeats,
+        samples_sec=samples,
+        check=check,
+    )
+
+
+def run_benchmarks(
+    benchmarks: Sequence[Benchmark],
+    warmup: int = DEFAULT_WARMUP,
+    repeats: int = DEFAULT_REPEATS,
+    progress: Optional[Callable[[BenchmarkResult], None]] = None,
+) -> List[BenchmarkResult]:
+    """Run a batch of benchmarks; ``progress`` sees each result as it lands."""
+    results: List[BenchmarkResult] = []
+    for benchmark in benchmarks:
+        result = run_benchmark(benchmark, warmup=warmup, repeats=repeats)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+def machine_metadata() -> Dict[str, Any]:
+    """Host/interpreter metadata embedded in every results document.
+
+    Timings are only comparable on the same machine and interpreter;
+    the metadata is what makes a committed baseline auditable.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "executable": sys.executable,
+    }
+
+
+def results_document(
+    results: Sequence[BenchmarkResult],
+    warmup: int,
+    repeats: int,
+) -> Dict[str, Any]:
+    """Fold results into the ``repro.bench/2`` JSON document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {"warmup": warmup, "repeats": repeats},
+        "machine": machine_metadata(),
+        "results": [result.to_json_dict() for result in results],
+    }

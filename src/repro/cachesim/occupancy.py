@@ -57,13 +57,25 @@ class LlcOccupancyDomain:
             raise ValueError(f"total_lines must be positive, got {total_lines}")
         self.total_lines = float(total_lines)
         self._occupancy: Dict[int, float] = {}
+        # Cache of sum(self._occupancy.values()), refreshed at the end of
+        # every mutation.  The hot paths (relax, insert, the per-substep
+        # free_lines/occupancy_of queries) would otherwise re-sum the dict
+        # several times per call.  The cache is always refreshed by a full
+        # re-sum — never updated incrementally — so its value is bit-exact
+        # with what summing on demand would return (float addition is not
+        # associative; an incremental running total would drift).
+        self._used_lines = 0.0
 
     # -- queries -------------------------------------------------------------
 
     @property
     def used_lines(self) -> float:
         """Total resident lines across all owners."""
-        return sum(self._occupancy.values())
+        return self._used_lines
+
+    def _refresh_used(self) -> float:
+        self._used_lines = sum(self._occupancy.values())
+        return self._used_lines
 
     @property
     def free_lines(self) -> float:
@@ -157,10 +169,17 @@ class LlcOccupancyDomain:
     def reset(self) -> None:
         """Empty the cache entirely."""
         self._occupancy.clear()
+        self._used_lines = 0.0
 
     def _prune(self, epsilon: float = 1e-9) -> None:
+        """Drop sub-epsilon owners; refreshes the used-lines cache.
+
+        Every mutation path ends in a ``_prune`` call, which is what keeps
+        the cache coherent with the occupancy map.
+        """
         for owner in [o for o, occ in self._occupancy.items() if occ <= epsilon]:
             del self._occupancy[owner]
+        self._refresh_used()
 
     # -- continuous-time relaxation (the machine simulation's fast path) ------
 
@@ -205,18 +224,21 @@ class LlcOccupancyDomain:
         active_set = set(pressures) if active is None else set(active)
 
         # Phase 1: eviction pressure beyond free space consumes inactive
-        # owners' (dead) lines first, proportionally among them.
+        # owners' (dead) lines first, proportionally among them.  (Two
+        # passes over the same filter instead of building a dead-owner
+        # dict: this runs per sub-step and the second pass is usually
+        # skipped.)
+        occupancy = self._occupancy
         overflow = max(0.0, total_insertions - self.free_lines)
-        dead = {
-            owner: occ
-            for owner, occ in self._occupancy.items()
-            if owner not in active_set and occ > 0.0
-        }
-        dead_total = sum(dead.values())
+        dead_total = 0.0
+        for owner, occ in occupancy.items():
+            if owner not in active_set and occ > 0.0:
+                dead_total += occ
         from_dead = min(overflow, dead_total)
         if from_dead > 0:
-            for owner, occ in dead.items():
-                self._occupancy[owner] = occ - from_dead * occ / dead_total
+            for owner, occ in occupancy.items():
+                if owner not in active_set and occ > 0.0:
+                    occupancy[owner] = occ - from_dead * occ / dead_total
 
         # Phase 2: active owners move toward the waterfilled equilibrium
         # of the capacity not pinned down by surviving dead lines.
@@ -226,28 +248,32 @@ class LlcOccupancyDomain:
             capacity_active, pressures, footprint_caps
         )
         survive = math.exp(-total_insertions / capacity_active)
-        for owner in sorted(set(equilibrium) | (set(self._occupancy) & active_set)):
-            current = self._occupancy.get(owner, 0.0)
+        for owner in sorted(set(equilibrium) | (set(occupancy) & active_set)):
+            current = occupancy.get(owner, 0.0)
             target = equilibrium.get(owner, 0.0)
             if target >= current:
                 grow = min(target - current, pressures.get(owner, 0.0))
-                self._occupancy[owner] = current + grow
+                occupancy[owner] = current + grow
             else:
-                self._occupancy[owner] = target + (current - target) * survive
+                occupancy[owner] = target + (current - target) * survive
 
         # Conservation guard: insertion-bounded growth plus exponential
         # shrink can transiently oversubscribe; squeeze proportionally.
-        used = self.used_lines
+        used = self._refresh_used()
         if used > self.total_lines:
             scale = self.total_lines / used
-            for owner in self._occupancy:
-                self._occupancy[owner] *= scale
+            for owner in occupancy:
+                occupancy[owner] *= scale
         self._prune()
-        contract_check(
-            self.used_lines <= self.total_lines * (1.0 + 1e-9),
-            "occupancy-conservation",
-            f"{self.used_lines} lines resident in a {self.total_lines}-line LLC",
-        )
+        used = self._used_lines
+        if used > self.total_lines * (1.0 + 1e-9):
+            # Detail string built only on violation; this contract sits on
+            # the per-substep fast path.
+            contract_check(
+                False,
+                "occupancy-conservation",
+                f"{used} lines resident in a {self.total_lines}-line LLC",
+            )
 
 
 def waterfill_allocation(

@@ -22,7 +22,7 @@ number of instructions that fit in a cycle budget follows directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.hardware.latency import LatencyModel
 
@@ -93,9 +93,12 @@ class CacheBehavior:
         return self.wss_lines
 
 
-@dataclass
-class StepResult:
-    """Outcome of executing one vCPU for a cycle budget."""
+class StepResult(NamedTuple):
+    """Outcome of executing one vCPU for a cycle budget.
+
+    A NamedTuple rather than a dataclass: one is constructed per core per
+    sub-step, and tuple construction is measurably cheaper there.
+    """
 
     cycles: int
     instructions: float
@@ -174,8 +177,21 @@ def execute_step(
     """
     if cycles < 0:
         raise ValueError(f"cycles must be >= 0, got {cycles}")
-    hit = hit_probability(behavior, occupancy_lines)
-    cpi = cycles_per_instruction(behavior, hit, latency, remote_memory)
+    # hit_probability and cycles_per_instruction, inlined: this runs once
+    # per core per sub-step and the two call frames are measurable there.
+    # The arithmetic must stay expression-for-expression identical to the
+    # standalone helpers (results are pinned by experiment goldens).
+    if behavior.wss_lines <= 0 or behavior.lapki == 0:
+        hit = 1.0
+    else:
+        resident = min(1.0, max(0.0, occupancy_lines / behavior.wss_lines))
+        reuse_hit = resident ** behavior.locality_theta
+        hit = (1.0 - behavior.stream_fraction) * reuse_hit
+    access_cost = (
+        hit * latency.llc_cycles
+        + (1.0 - hit) * latency.memory_cycles_for(remote_memory)
+    )
+    cpi = behavior.base_cpi + (behavior.lapki / 1000.0) * access_cost / behavior.mlp
     instructions = cycles / cpi
     llc_accesses = instructions * behavior.lapki / 1000.0
     llc_misses = llc_accesses * (1.0 - hit)

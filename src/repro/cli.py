@@ -31,6 +31,7 @@ The repo's own static-analysis gate (docs/static_analysis.md) runs as::
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
@@ -168,6 +169,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SEC",
         help="per-scenario watchdog (see 'repro run --timeout-sec')",
+    )
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the hot-path benchmark suite (docs/performance.md)"
+    )
+    bench_parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        metavar="NAME",
+        help="benchmark names (default: the whole registry; see --list)",
+    )
+    bench_parser.add_argument(
+        "--list",
+        dest="list_benchmarks",
+        action="store_true",
+        help="list the registered benchmarks and exit",
+    )
+    bench_parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write the repro.bench/2 results document to PATH",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        help="compare against a repro.bench/2 baseline (e.g. BENCH_pr5.json)",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help=(
+            "allowed median slowdown vs the baseline, in percent "
+            "(default: 10; exit 1 beyond it)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="timed samples per benchmark (default: 5)",
+    )
+    bench_parser.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        metavar="N",
+        help="untimed warmup runs per benchmark (default: 1)",
     )
     lint_parser = subparsers.add_parser(
         "lint", help="run kyotolint over the source tree"
@@ -315,6 +366,79 @@ def run_scenario_command(args, out=sys.stdout) -> int:
     )
 
 
+def run_bench(args, out=sys.stdout) -> int:
+    """The ``repro bench`` subcommand (see repro.bench, docs/performance.md).
+
+    Exit codes: 0 ok, 1 at least one benchmark regressed beyond the
+    ``--compare`` tolerance, 2 usage errors (unknown benchmark names,
+    unreadable baselines, invalid repeat counts).
+    """
+    from repro import bench
+
+    if args.list_benchmarks:
+        for benchmark in bench.BENCHMARKS:
+            out.write(f"{benchmark.name:22s} {benchmark.description}\n")
+        return 0
+    try:
+        selected = (
+            bench.benchmarks_named(args.benchmarks)
+            if args.benchmarks
+            else list(bench.BENCHMARKS)
+        )
+    except KeyError as exc:
+        sys.stderr.write(f"repro bench: error: {exc.args[0]}\n")
+        return 2
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = bench.compare.load_baseline(args.compare)
+        except bench.BenchCompareError as exc:
+            sys.stderr.write(f"repro bench: error: {exc}\n")
+            return 2
+    warmup = args.warmup if args.warmup is not None else bench.runner.DEFAULT_WARMUP
+    repeats = (
+        args.repeats if args.repeats is not None else bench.runner.DEFAULT_REPEATS
+    )
+
+    def report_progress(result) -> None:
+        out.write(
+            f"{result.name:22s} median {result.median_sec * 1e3:9.2f} ms  "
+            f"(min {result.min_sec * 1e3:.2f}, max {result.max_sec * 1e3:.2f}, "
+            f"{result.repeats} repeats)\n"
+        )
+
+    try:
+        results = bench.run_benchmarks(
+            selected, warmup=warmup, repeats=repeats, progress=report_progress
+        )
+    except bench.runner.BenchmarkError as exc:
+        sys.stderr.write(f"repro bench: error: {exc}\n")
+        return 2
+    document = bench.results_document(results, warmup=warmup, repeats=repeats)
+    exit_code = 0
+    if baseline is not None:
+        try:
+            comparisons = bench.compare_documents(
+                document, baseline, args.tolerance
+            )
+        except bench.BenchCompareError as exc:
+            sys.stderr.write(f"repro bench: error: {exc}\n")
+            return 2
+        bench.compare.annotate_document(document, comparisons, args.compare)
+        out.write("\n" + bench.format_comparisons(comparisons, args.tolerance) + "\n")
+        if any(comparison.regressed for comparison in comparisons):
+            exit_code = 1
+    if args.json_path is not None:
+        parent = pathlib.Path(args.json_path).parent
+        if str(parent) not in ("", "."):
+            parent.mkdir(parents=True, exist_ok=True)
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write(f"benchmark results written to {args.json_path}\n")
+    return exit_code
+
+
 def run_lint(args, out=sys.stdout) -> int:
     """The ``repro lint`` subcommand (see repro.lint)."""
     from repro import lint as kyotolint
@@ -357,6 +481,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "lint":
         return run_lint(args)
+    if args.command == "bench":
+        return run_bench(args)
     if args.command == "scenario":
         return run_scenario_command(args)
     if args.command == "campaign":

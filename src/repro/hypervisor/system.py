@@ -26,13 +26,13 @@ Experiments attach per-tick observers to record timelines (Figs 2, 5).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cachesim.occupancy import LlcOccupancyDomain
-from repro.cachesim.perfmodel import execute_step
+from repro.cachesim.perfmodel import CacheBehavior, execute_step
 from repro.hardware.specs import MachineSpec, paper_machine
 from repro.hardware.topology import Core, Machine
-from repro.pmc.counters import CoreCounters, PmcEvent
+from repro.pmc.counters import CoreCounters, HardwareCounter, PmcEvent
 from repro.pmc.perfctr import PerfctrVirtualizer
 from repro.simulation.clock import (
     XEN_TICK_USEC,
@@ -113,6 +113,19 @@ class VirtualizedSystem:
             core.core_id: CoreCounters(core.core_id) for core in self.machine.cores
         }
         self.perfctr = PerfctrVirtualizer(self.core_counters)
+        # Direct references to the four counters the execution loop feeds
+        # (counter objects are mutated in place, never replaced, so the
+        # references stay live across context switches).  Skips an
+        # enum-keyed dict lookup per event per sub-step.
+        self._substep_pmcs: Dict[int, Tuple[HardwareCounter, ...]] = {
+            core_id: (
+                bank.counter(PmcEvent.UNHALTED_CORE_CYCLES),
+                bank.counter(PmcEvent.INSTRUCTIONS_RETIRED),
+                bank.counter(PmcEvent.LLC_MISSES),
+                bank.counter(PmcEvent.LLC_REFERENCES),
+            )
+            for core_id, bank in self.core_counters.items()
+        }
 
         self.engine = Engine(recorder=self.recorder)
         self.vms: List[VirtualMachine] = []
@@ -125,6 +138,18 @@ class VirtualizedSystem:
         #: (the default) costs one attribute check per migration.
         self.migration_interceptor: Optional[Callable[[VCpu, int], None]] = None
         self._pending_penalty_cycles: Dict[int, int] = {}
+        # Per-core execution budget (cycles) of one sub-step.  tick_usec,
+        # substeps_per_tick and core frequencies are all fixed at
+        # construction, so the rounding below is hoisted out of the inner
+        # execution loop; the expression matches what _execute_substep
+        # used to compute per call, digit for digit.
+        substep_usec = self.tick_usec / self.substeps_per_tick
+        self._substep_budget_cycles: Dict[int, int] = {
+            core.core_id: int(
+                round(substep_usec * self.freq_khz_of_core(core.core_id) / 1000)
+            )
+            for core in self.machine.cores
+        }
         #: Per-vCPU cycles actually executed during the last tick.
         self.last_tick_cycles: Dict[int, int] = {}
         #: Per-vCPU LLC misses produced during the last tick.
@@ -356,17 +381,23 @@ class VirtualizedSystem:
         occupancy frozen at the sub-step start, then relaxes each socket's
         occupancy domain under the collected insertion pressures (see
         :meth:`~repro.cachesim.occupancy.LlcOccupancyDomain.relax`).
+
+        The footprint cap handed to ``relax`` is taken from the same
+        pre-execution behavior sample that produced the sub-step's misses:
+        the insertions and the cap they are bounded by must describe the
+        same phase of the workload.  (Re-sampling after execution — the
+        old behaviour — let a phase transition inside the sub-step pair
+        this phase's misses with the next phase's cap.)
         """
         self.last_tick_cycles = {}
         self.last_tick_misses = {}
         self.last_tick_instructions = {}
-        substep_usec = self.tick_usec / self.substeps_per_tick
+        sockets = self.machine.sockets
+        cores = self.machine.cores
         for _ in range(self.substeps_per_tick):
-            pressures: List[Dict[int, float]] = [
-                {} for _ in self.machine.sockets
-            ]
-            caps: List[Dict[int, float]] = [{} for _ in self.machine.sockets]
-            for core in self.machine.cores:
+            pressures: List[Dict[int, float]] = [{} for _ in sockets]
+            caps: List[Dict[int, float]] = [{} for _ in sockets]
+            for core in cores:
                 vcpu = core.running
                 if vcpu is None:
                     continue
@@ -378,36 +409,42 @@ class VirtualizedSystem:
                     vcpu = core.running
                     if vcpu is None or not vcpu.runnable:
                         continue
-                misses = self._execute_substep(core, vcpu, substep_usec)
+                misses, behavior = self._execute_substep(core, vcpu)
                 socket = core.socket_id
                 pressures[socket][vcpu.gid] = (
                     pressures[socket].get(vcpu.gid, 0.0) + misses
-                )
-                behavior = vcpu.workload.behavior_at(
-                    vcpu.progress.instructions_done
                 )
                 caps[socket][vcpu.gid] = behavior.footprint_cap_lines
             for socket_id, domain in enumerate(self.llc_domains):
                 if pressures[socket_id]:
                     domain.relax(pressures[socket_id], caps[socket_id])
 
-    def _execute_substep(self, core: Core, vcpu: VCpu, substep_usec: float) -> float:
-        """Execute one vCPU for one sub-step; returns its LLC misses."""
-        freq_khz = self.freq_khz_of_core(core.core_id)
-        budget = int(round(substep_usec * freq_khz / 1000))
+    def _execute_substep(self, core: Core, vcpu: VCpu) -> Tuple[float, "CacheBehavior"]:
+        """Execute one vCPU for one sub-step.
+
+        Returns the LLC misses produced and the (pre-execution) behavior
+        the step ran under, so the caller can bound the relaxation with
+        the cap belonging to the same workload phase.
+        """
+        core_id = core.core_id
+        gid = vcpu.gid
+        progress = vcpu.progress
+        budget = self._substep_budget_cycles[core_id]
         # Pay any pending context-switch penalty out of the budget: the
         # cycles elapse (and count as unhalted) but retire nothing.
-        penalty = min(budget, self._pending_penalty_cycles.get(core.core_id, 0))
+        penalty = min(budget, self._pending_penalty_cycles.get(core_id, 0))
         if penalty:
-            self._pending_penalty_cycles[core.core_id] -= penalty
+            self._pending_penalty_cycles[core_id] -= penalty
         work_cycles = budget - penalty
 
         domain = self.llc_domains[core.socket_id]
-        behavior = vcpu.workload.behavior_at(vcpu.progress.instructions_done)
-        remote = self.is_memory_remote(vcpu, core.core_id)
+        behavior = progress.workload.behavior_at(progress.instructions_done)
+        # is_memory_remote(vcpu, core_id), inlined: core.socket_id is the
+        # socket of core_id and both operands are fixed at construction.
+        remote = core.socket_id != vcpu.vm.config.memory_node
         result = execute_step(
             behavior,
-            domain.occupancy_of(vcpu.gid),
+            domain.occupancy_of(gid),
             work_cycles,
             self.spec.latency,
             remote_memory=remote,
@@ -419,16 +456,16 @@ class VirtualizedSystem:
             )
         # Clip to remaining work for finite workloads, and to the current
         # burst for interactive workloads (burst end -> think time).
-        instructions = min(jittered, vcpu.progress.remaining_instructions)
-        boundary_fn = getattr(vcpu.workload, "next_block_boundary", None)
+        instructions = min(jittered, progress.remaining_instructions)
+        boundary_fn = vcpu._boundary_fn
         if boundary_fn is not None:
-            to_boundary = boundary_fn(vcpu.progress.instructions_done) - (
-                vcpu.progress.instructions_done
+            to_boundary = boundary_fn(progress.instructions_done) - (
+                progress.instructions_done
             )
             if instructions >= to_boundary:
                 instructions = to_boundary
                 vcpu.blocked_until_usec = (
-                    self.engine.clock.now_usec + vcpu.workload.think_usec
+                    self.engine.clock.now_usec + progress.workload.think_usec
                 )
         scale = (
             instructions / result.instructions if result.instructions > 0 else 0.0
@@ -437,27 +474,18 @@ class VirtualizedSystem:
         llc_misses = result.llc_misses * scale
 
         vcpu.record_execution(budget, instructions, llc_accesses, llc_misses)
-        self.last_tick_cycles[vcpu.gid] = (
-            self.last_tick_cycles.get(vcpu.gid, 0) + budget
-        )
-        self.last_tick_misses[vcpu.gid] = (
-            self.last_tick_misses.get(vcpu.gid, 0.0) + llc_misses
-        )
-        self.last_tick_instructions[vcpu.gid] = (
-            self.last_tick_instructions.get(vcpu.gid, 0.0) + instructions
-        )
+        last_cycles = self.last_tick_cycles
+        last_cycles[gid] = last_cycles.get(gid, 0) + budget
+        last_misses = self.last_tick_misses
+        last_misses[gid] = last_misses.get(gid, 0.0) + llc_misses
+        last_instructions = self.last_tick_instructions
+        last_instructions[gid] = last_instructions.get(gid, 0.0) + instructions
 
-        counters = self.core_counters[core.core_id]
-        counters.add(PmcEvent.UNHALTED_CORE_CYCLES, budget)
-        counters.add(
-            PmcEvent.INSTRUCTIONS_RETIRED,
-            vcpu.take_integer_instructions(instructions),
-        )
-        counters.add(PmcEvent.LLC_MISSES, vcpu.take_integer_misses(llc_misses))
-        counters.add(
-            PmcEvent.LLC_REFERENCES,
-            int(llc_accesses),
-        )
-        if vcpu.progress.done and vcpu.progress.finished_at_usec is None:
-            vcpu.progress.finished_at_usec = self.engine.clock.now_usec
-        return llc_misses
+        cycles_pmc, instr_pmc, miss_pmc, ref_pmc = self._substep_pmcs[core_id]
+        cycles_pmc.add(budget)
+        instr_pmc.add(vcpu.take_integer_instructions(instructions))
+        miss_pmc.add(vcpu.take_integer_misses(llc_misses))
+        ref_pmc.add(vcpu.take_integer_accesses(llc_accesses))
+        if progress.done and progress.finished_at_usec is None:
+            progress.finished_at_usec = self.engine.clock.now_usec
+        return llc_misses, behavior

@@ -34,6 +34,10 @@ class VCpu:
         #: Index of this vCPU within its VM.
         self.index = index
         self.progress = WorkloadProgress(workload)
+        # Interactive workloads expose next_block_boundary; the workload
+        # never changes after construction, so the per-substep getattr is
+        # paid once here instead of in the execution loop.
+        self._boundary_fn = getattr(workload, "next_block_boundary", None)
         #: Core this vCPU is pinned to (None = scheduler's choice).
         self.pinned_core = pinned_core
         #: Core the vCPU currently occupies (None when descheduled).
@@ -52,6 +56,7 @@ class VCpu:
         # Fractional miss counts carried over so integer PMCs stay exact.
         self._miss_carry = 0.0
         self._instr_carry = 0.0
+        self._access_carry = 0.0
 
     @property
     def name(self) -> str:
@@ -111,6 +116,18 @@ class VCpu:
         self._instr_carry += instructions
         whole = int(self._instr_carry)
         self._instr_carry -= whole
+        return whole
+
+    def take_integer_accesses(self, accesses: float) -> int:
+        """Same carry trick for the LLC-references counter.
+
+        Truncating each sub-step's fractional access count separately
+        (the old behaviour) dropped up to one access per sub-step, which
+        systematically undercounted LLC_REFERENCES over a window.
+        """
+        self._access_carry += accesses
+        whole = int(self._access_carry)
+        self._access_carry -= whole
         return whole
 
     def reset_metrics(self) -> None:

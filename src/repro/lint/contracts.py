@@ -68,7 +68,10 @@ def contracts_enabled() -> bool:
 
 def check(condition: bool, name: str, detail: str = "") -> None:
     """Module-level one-shot check (for call sites without a checker)."""
-    if contracts_enabled() and not condition:
+    # The condition is already evaluated (it is an argument), so test it
+    # first: the enabled lookup reads the environment and is the expensive
+    # half on hot paths, and it only matters when the invariant failed.
+    if not condition and contracts_enabled():
         raise ContractViolation(name, detail)
 
 

@@ -75,6 +75,15 @@ class CoreCounters:
         """Count ``amount`` occurrences of ``event`` on this core."""
         self._counters[event].add(amount)
 
+    def counter(self, event: PmcEvent) -> HardwareCounter:
+        """The live counter object for ``event``.
+
+        Counter objects are created once per bank and mutated in place
+        (``write`` included), so hot paths may hold the reference and
+        call :meth:`HardwareCounter.add` directly.
+        """
+        return self._counters[event]
+
     def read(self, event: PmcEvent) -> int:
         """Raw value of ``event``'s counter."""
         return self._counters[event].read()

@@ -30,6 +30,10 @@ class Scheduler(ABC):
         #: Static vCPU -> core assignment (pinning or balance-at-boot).
         self.assigned_core: Dict[int, int] = {}
         self._vcpus: List["VCpu"] = []
+        #: gid -> vCPU lookup, maintained on admission.  Placement runs
+        #: per core per tick; rebuilding this map there is the dominant
+        #: scheduler cost, so subclasses read this cache instead.
+        self._vcpu_by_gid: Dict[int, "VCpu"] = {}
 
     # -- wiring -----------------------------------------------------------------
 
@@ -42,6 +46,7 @@ class Scheduler(ABC):
         if self.system is None:
             raise RuntimeError("scheduler not attached to a system")
         self._vcpus.append(vcpu)
+        self._vcpu_by_gid[vcpu.gid] = vcpu
         if vcpu.pinned_core is not None:
             core_id = vcpu.pinned_core
         else:

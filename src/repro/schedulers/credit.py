@@ -64,9 +64,13 @@ class CreditScheduler(Scheduler):
         self.accounts: Dict[int, CreditAccount] = {}
         # Round-robin cursor per core: vCPU gids in service order.
         self._rr_order: Dict[int, List[int]] = {}
-        # Consecutive ticks the current head has been running per core; a
-        # vCPU keeps the core for a whole time slice before rotating.
+        # Consecutive ticks the current occupant has been running per
+        # core, and whose stint it is; a vCPU keeps the core for a whole
+        # time slice before rotating.  Tracking the owner matters: a
+        # replacement occupant must start a fresh stint rather than
+        # inherit (and be charged for) its predecessor's ticks.
         self._stint: Dict[int, int] = {}
+        self._stint_gid: Dict[int, Optional[int]] = {}
         # Freshly woken UNDER vCPUs get BOOST: they preempt at the next
         # scheduling decision (Xen's latency optimisation for I/O VMs).
         self._boosted: set = set()
@@ -98,12 +102,14 @@ class CreditScheduler(Scheduler):
     # -- placement ---------------------------------------------------------------
 
     def _candidates(self, core_id: int) -> List["VCpu"]:
-        order = self._rr_order.get(core_id, [])
-        by_gid = {v.gid: v for v in self.vcpus}
+        order = self._rr_order.get(core_id)
+        if not order:
+            return []
+        by_gid = self._vcpu_by_gid
         return [
-            by_gid[gid]
-            for gid in order
-            if by_gid[gid].runnable and not self.is_parked(by_gid[gid])
+            vcpu
+            for vcpu in (by_gid[gid] for gid in order)
+            if vcpu.runnable and not self.is_parked(vcpu)
         ]
 
     def on_vcpu_wake(self, vcpu) -> None:
@@ -115,19 +121,26 @@ class CreditScheduler(Scheduler):
         candidates = self._candidates(core_id)
         if not candidates:
             return self._steal(core_id)
-        under = [v for v in candidates if self.accounts[v.gid].priority is Priority.UNDER]
-        boosted = [v for v in under if v.gid in self._boosted]
-        if boosted:
-            return boosted[0]
-        if under:
-            return under[0]
+        accounts = self.accounts
+        boosted = self._boosted
+        first_under: Optional["VCpu"] = None
+        first_uncapped: Optional["VCpu"] = None
+        for vcpu in candidates:
+            account = accounts[vcpu.gid]
+            if account.credits > 0:  # UNDER
+                if boosted and vcpu.gid in boosted:
+                    return vcpu
+                if first_under is None:
+                    first_under = vcpu
+            if first_uncapped is None and account.cap_percent is None:
+                first_uncapped = vcpu
+        if first_under is not None:
+            return first_under
         # Work-conserving: run an OVER vCPU, but never one that is capped —
-        # a cap is a hard limit.
-        over_uncapped = [
-            v for v in candidates if self.accounts[v.gid].cap_percent is None
-        ]
-        if over_uncapped:
-            return over_uncapped[0]
+        # a cap is a hard limit.  (first_uncapped can only be reached when
+        # no UNDER candidate exists, so every remaining candidate is OVER.)
+        if first_uncapped is not None:
+            return first_uncapped
         return self._steal(core_id)
 
     def _steal(self, core_id: int) -> Optional["VCpu"]:
@@ -137,32 +150,34 @@ class CreditScheduler(Scheduler):
         Stealing only crosses socket boundaries as a last resort — moving
         a vCPU away from its warm LLC is expensive (the Fig 9 lesson).
         """
-        my_socket = self.system.machine.core(core_id).socket_id
+        machine = self.system.machine
+        my_socket = machine.core(core_id).socket_id
+        accounts = self.accounts
 
-        def stealable(other_core_id: int) -> List["VCpu"]:
-            return [
-                v
-                for v in self._candidates(other_core_id)
-                if v.pinned_core is None
-                and not v.is_running
-                and self.accounts[v.gid].priority is Priority.UNDER
-            ]
+        def steal_from(other_core_id: int) -> Optional["VCpu"]:
+            for vcpu in self._candidates(other_core_id):
+                if (
+                    vcpu.pinned_core is None
+                    and not vcpu.is_running
+                    and accounts[vcpu.gid].credits > 0  # UNDER
+                ):
+                    self.reassign_vcpu(vcpu, core_id)
+                    self.system.recorder.inc("credit.steals")
+                    return vcpu
+            return None
 
-        same_socket: List[tuple] = []
-        other_socket: List[tuple] = []
-        for other in self.system.machine.cores:
-            if other.core_id == core_id:
-                continue
-            for vcpu in stealable(other.core_id):
-                entry = (other.core_id, vcpu)
-                if other.socket_id == my_socket:
-                    same_socket.append(entry)
-                else:
-                    other_socket.append(entry)
-        for source_core, vcpu in same_socket + other_socket:
-            self.reassign_vcpu(vcpu, core_id)
-            self.system.recorder.inc("credit.steals")
-            return vcpu
+        # Same-socket cores first, remote sockets only as a fallback;
+        # within a pass, cores are scanned in machine order and the first
+        # stealable vCPU wins (matching Xen's runqueue walk).
+        for want_same_socket in (True, False):
+            for other in machine.cores:
+                if other.core_id == core_id:
+                    continue
+                if (other.socket_id == my_socket) is not want_same_socket:
+                    continue
+                vcpu = steal_from(other.core_id)
+                if vcpu is not None:
+                    return vcpu
         return None
 
     def on_tick_start(self, tick_index: int) -> None:
@@ -185,9 +200,11 @@ class CreditScheduler(Scheduler):
 
     def on_tick_end(self, tick_index: int) -> None:
         for core in self.system.machine.cores:
+            core_id = core.core_id
             vcpu = core.running
             if vcpu is None:
-                self._stint[core.core_id] = 0
+                self._stint[core_id] = 0
+                self._stint_gid[core_id] = None
                 continue
             account = self.accounts[vcpu.gid]
             account.credits -= CREDITS_PER_TICK
@@ -196,22 +213,39 @@ class CreditScheduler(Scheduler):
             self._boosted.discard(vcpu.gid)
             # A vCPU owns the core for a full time slice (Xen: 30 ms)
             # before the round-robin order rotates — unless its credits
-            # ran out earlier.
-            stint = self._stint.get(core.core_id, 0) + 1
+            # ran out earlier.  The slice is per vCPU: when the occupant
+            # changed since the last tick (block, preemption, steal), the
+            # new occupant starts its stint at zero instead of being
+            # charged the ticks its predecessor ran.
+            if self._stint_gid.get(core_id) == vcpu.gid:
+                stint = self._stint.get(core_id, 0) + 1
+            else:
+                stint = 1
             if stint >= self.system.ticks_per_slice or account.credits <= 0:
-                order = self._rr_order[core.core_id]
+                order = self._rr_order[core_id]
                 if vcpu.gid in order:
                     order.remove(vcpu.gid)
                     order.append(vcpu.gid)
                 stint = 0
-            self._stint[core.core_id] = stint
+            self._stint[core_id] = stint
+            self._stint_gid[core_id] = vcpu.gid
 
     def on_accounting(self, tick_index: int) -> None:
         self.system.recorder.inc("credit.accounting_passes")
         slice_credits = float(CREDITS_PER_TICK * self.system.ticks_per_slice)
+        by_gid = self._vcpu_by_gid
         for core in self.system.machine.cores:
+            # The per-core round-robin order holds exactly the vCPUs
+            # assigned to the core; iterating it beats scanning every
+            # registered vCPU per core.  Refills are per-account and
+            # weights are integers, so iteration order cannot change
+            # the resulting credits.
             active = [
-                v for v in self.vcpus_on_core(core.core_id) if v.runnable
+                v
+                for v in (
+                    by_gid[gid] for gid in self._rr_order.get(core.core_id, ())
+                )
+                if v.runnable
             ]
             if not active:
                 continue

@@ -2,11 +2,13 @@
 
 import pytest
 
+from repro.cachesim.perfmodel import CacheBehavior
 from repro.hardware.specs import numa_machine
 from repro.hypervisor.system import HypervisorError, VirtualizedSystem
 from repro.hypervisor.vm import VmConfig
 from repro.pmc.counters import PmcEvent
 from repro.schedulers.credit import CreditScheduler
+from repro.workloads.phased import Phase, PhasedWorkload
 from repro.workloads.profiles import application_workload
 
 from conftest import make_vm
@@ -153,6 +155,103 @@ class TestExecution:
         )
         with pytest.raises(HypervisorError):
             xcs_system.run_until_finished(max_ticks=3)
+
+
+class TestPmcReferences:
+    def test_llc_references_converge_to_truth(self, xcs_system):
+        """Per-vCPU virtualised LLC_REFERENCES tracks the truth accumulator
+        to within the one outstanding carry fraction.
+
+        Regression test: each sub-step's fractional access count used to
+        be truncated independently, dropping up to one reference per
+        sub-step and systematically undercounting over a window.
+        """
+        vms = [
+            make_vm(xcs_system, f"v{i}", app="lbm", core=i % 2)
+            for i in range(4)
+        ]
+        xcs_system.run_ticks(50)
+        for vm in vms:
+            vcpu = vm.vcpus[0]
+            xcs_system.perfctr.flush_running(vcpu.gid)
+            counted = xcs_system.perfctr.account(vcpu.gid).read(
+                PmcEvent.LLC_REFERENCES
+            )
+            assert counted == pytest.approx(vcpu.llc_accesses, abs=1.0)
+
+    def test_references_at_least_misses(self, xcs_system):
+        vm = make_vm(xcs_system, app="lbm")
+        xcs_system.run_ticks(10)
+        vcpu = vm.vcpus[0]
+        xcs_system.perfctr.flush_running(vcpu.gid)
+        account = xcs_system.perfctr.account(vcpu.gid)
+        assert (
+            account.read(PmcEvent.LLC_REFERENCES)
+            >= account.read(PmcEvent.LLC_MISSES)
+        )
+
+
+class TestFootprintCapSampling:
+    def test_cap_comes_from_pre_execution_phase(self, xcs_system):
+        """The cap handed to relax() must belong to the behavior that
+        produced the sub-step's misses.
+
+        Regression test: the cap used to be re-sampled after execution,
+        so a phase transition inside a sub-step paired this phase's
+        insertions with the next phase's (here much smaller) cap.  Also
+        pins the behavior_at dedup: exactly one sample per sub-step.
+        """
+        big = CacheBehavior(wss_lines=100_000.0, lapki=30.0)
+        small = CacheBehavior(
+            wss_lines=100_000.0,
+            lapki=30.0,
+            pollution_footprint_lines=2_000.0,
+        )
+        workload = PhasedWorkload(
+            "ab", [Phase(big, 2e7), Phase(small, 2e7)]
+        )
+        vm = xcs_system.create_vm(
+            VmConfig(name="phased", workload=workload, pinned_cores=[0])
+        )
+        vcpu = vm.vcpus[0]
+        domain = xcs_system.llc_domains[0]
+
+        sampled = []
+        real_behavior_at = workload.behavior_at
+
+        def spy_behavior_at(done):
+            sampled.append(done)
+            return real_behavior_at(done)
+
+        workload.behavior_at = spy_behavior_at
+
+        relaxed = []
+        real_relax = domain.relax
+
+        def spy_relax(pressures, caps):
+            relaxed.append((vcpu.progress.instructions_done, dict(caps)))
+            return real_relax(pressures, caps)
+
+        domain.relax = spy_relax
+
+        xcs_system.run_ticks(30)
+
+        # Exactly one behavior sample per executed sub-step (the second,
+        # post-execution call is gone).
+        assert len(sampled) == len(relaxed)
+        # Every relax cap equals the footprint of the pre-execution
+        # sample of the same sub-step — including at phase crossings,
+        # where the post-execution sample would disagree.
+        crossings = 0
+        for before, (after, caps) in zip(sampled, relaxed):
+            expected = real_behavior_at(before).footprint_cap_lines
+            assert caps[vcpu.gid] == expected
+            if (
+                workload.phase_index_at(before)
+                != workload.phase_index_at(after)
+            ):
+                crossings += 1
+        assert crossings > 0  # the run actually exercised transitions
 
 
 class TestObservers:

@@ -5,6 +5,7 @@ import pytest
 from repro.hypervisor.system import VirtualizedSystem
 from repro.hypervisor.vm import VmConfig
 from repro.schedulers.credit import CREDITS_PER_TICK, CreditScheduler, Priority
+from repro.workloads.interactive import web_tier_workload
 from repro.workloads.profiles import application_workload
 
 from conftest import make_vm
@@ -134,6 +135,72 @@ class TestPriorities:
         account = xcs_system.scheduler.account(vm.vcpus[0])
         bound = CREDITS_PER_TICK * xcs_system.ticks_per_slice
         assert -bound <= account.credits <= bound
+
+    def test_replacement_occupant_starts_fresh_stint(self, xcs_system):
+        """A mid-slice occupant change (block, preemption, steal) must not
+        charge the new occupant for its predecessor's ticks.
+
+        Regression test: the stint counter used to be per-core only, so a
+        replacement inherited the old occupant's tick count and was
+        rotated to the back of the round-robin order after a short,
+        unfairly truncated slice.
+        """
+        a = make_vm(xcs_system, "a", app="povray", core=0)
+        b = make_vm(xcs_system, "b", app="povray", core=0)
+        c = make_vm(xcs_system, "c", app="povray", core=0)
+        ga, gb, gc = (vm.vcpus[0].gid for vm in (a, b, c))
+        sched = xcs_system.scheduler
+        core = xcs_system.machine.core(0)
+        # A occupies the core for two of its three slice ticks...
+        xcs_system.context_switch(core, a.vcpus[0])
+        sched.on_tick_end(0)
+        sched.on_tick_end(1)
+        assert sched._stint[0] == 2
+        assert sched._stint_gid[0] == ga
+        # ... then B replaces it mid-slice.  B's stint starts at 1; with
+        # the per-core counter it would hit ticks_per_slice immediately
+        # and rotate B to the back after a single tick.
+        xcs_system.context_switch(core, None)
+        xcs_system.context_switch(core, b.vcpus[0])
+        sched.on_tick_end(2)
+        assert sched._stint[0] == 1
+        assert sched._stint_gid[0] == gb
+        assert sched._rr_order[0] == [ga, gb, gc]
+
+    def test_idle_tick_resets_stint(self, xcs_system):
+        a = make_vm(xcs_system, "a", app="povray", core=0)
+        sched = xcs_system.scheduler
+        core = xcs_system.machine.core(0)
+        xcs_system.context_switch(core, a.vcpus[0])
+        sched.on_tick_end(0)
+        assert sched._stint[0] == 1
+        xcs_system.context_switch(core, None)
+        sched.on_tick_end(1)
+        assert sched._stint[0] == 0
+        assert sched._stint_gid[0] is None
+
+    def test_blocking_interactive_vcpu_keeps_hogs_fair(self, xcs_system):
+        """An interactive vCPU blocking mid-slice hands its core to a
+        CPU hog; the hog's slice accounting starts fresh, so the two
+        hogs keep splitting the leftover time evenly."""
+        xcs_system.create_vm(
+            VmConfig(
+                name="web",
+                workload=web_tier_workload(),
+                pinned_cores=[0],
+            )
+        )
+        hog_a = make_vm(xcs_system, "hog_a", app="povray", core=0)
+        hog_b = make_vm(xcs_system, "hog_b", app="povray", core=0)
+        web = xcs_system.vm_by_name("web")
+        xcs_system.run_ticks(300)
+        # The interactive VM completed several burst/think cycles, i.e.
+        # it blocked mid-slice and was re-serviced repeatedly...
+        assert web.instructions_retired > 3 * web_tier_workload().burst_instructions
+        # ... and the hogs stay fair despite the repeated mid-slice
+        # occupant changes the blocking causes.
+        ratio = hog_a.instructions_retired / hog_b.instructions_retired
+        assert ratio == pytest.approx(1.0, abs=0.15)
 
     def test_finished_vcpu_releases_core(self, xcs_system):
         finite = xcs_system.create_vm(

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.cachesim.occupancy import LlcOccupancyDomain
-from repro.experiments.campaign import aggregate_artifacts
+from repro.experiments.campaign import ARTIFACT_SCHEMA, aggregate_artifacts
 from repro.experiments.registry import expand_names
 from repro.hardware.specs import paper_machine
 from repro.hypervisor.system import VirtualizedSystem
@@ -177,7 +177,7 @@ def _fanout_setup() -> List[Dict[str, Any]]:
     for index in range(64):
         artifacts.append(
             {
-                "schema": "repro.artifact/1",
+                "schema": ARTIFACT_SCHEMA,
                 "name": f"bench-artifact-{index:02d}",
                 "description": "synthetic artifact for fan-out benchmarking",
                 "ok": index % 16 != 7,

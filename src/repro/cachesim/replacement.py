@@ -83,7 +83,9 @@ class RandomPolicy(ReplacementPolicy):
     name = "random"
 
     def __init__(self, seed: int = 0, rng: Optional[random.Random] = None) -> None:
-        self._rng = rng if rng is not None else seeded_stream(seed)
+        # Nameless stream is deliberate: the golden sha256 pins derive from
+        # the seed-global stream; naming it now would reseed every golden.
+        self._rng = rng if rng is not None else seeded_stream(seed)  # kyotolint: disable=S002
 
     def on_hit(self, state: SetState, way: int) -> None:
         # Random replacement keeps no recency order beyond occupancy.
@@ -117,7 +119,8 @@ class BipPolicy(ReplacementPolicy):
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must be in [0,1], got {epsilon}")
         self.epsilon = epsilon
-        self._rng = rng if rng is not None else seeded_stream(seed)
+        # Nameless stream is deliberate: golden-pinned, see RandomPolicy.
+        self._rng = rng if rng is not None else seeded_stream(seed)  # kyotolint: disable=S002
 
     def on_hit(self, state: SetState, way: int) -> None:
         state.recency.remove(way)

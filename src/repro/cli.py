@@ -26,6 +26,7 @@ canonical form of one point, ``run`` files (same engine as ``run``).
 The repo's own static-analysis gate (docs/static_analysis.md) runs as::
 
     python -m repro lint [paths ...] [--format json] [--baseline FILE]
+                         [--jobs N] [--cache FILE] [--warn-only]
 """
 
 from __future__ import annotations
@@ -249,6 +250,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the known rules and exit",
     )
+    lint_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze files with N worker processes (default: 1)",
+    )
+    lint_parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="on-disk facts cache; skips re-analysis of unchanged files",
+    )
+    lint_parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="demote every finding to the warn tier (report, never gate)",
+    )
     return parser
 
 
@@ -444,15 +462,28 @@ def run_lint(args, out=sys.stdout) -> int:
     from repro import lint as kyotolint
 
     if args.rules:
+        out.write("per-file rules (phase 1):\n")
         for rule in kyotolint.ALL_RULES:
-            out.write(f"{rule.rule_id}  {rule.description}\n")
+            out.write(
+                f"  {rule.rule_id}  [{rule.severity:7s}] {rule.description}\n"
+            )
+        out.write("whole-program rules (phase 2):\n")
+        for rule in kyotolint.ALL_PROGRAM_RULES:
+            out.write(
+                f"  {rule.rule_id}  [{rule.severity:7s}] {rule.description}\n"
+            )
         return 0
     paths = args.paths or [str(pathlib.Path(__file__).parent)]
     missing = [p for p in paths if not pathlib.Path(p).exists()]
     if missing:
         sys.stderr.write(f"repro lint: error: no such path: {', '.join(missing)}\n")
         return 2
-    findings = kyotolint.lint_paths(paths)
+    findings = kyotolint.lint_paths(
+        paths, jobs=args.jobs, cache_path=args.cache
+    )
+    if args.warn_only:
+        for finding in findings:
+            finding.severity = "warning"
     if args.baseline:
         if args.update_baseline:
             kyotolint.Baseline.from_findings(findings).save(args.baseline)

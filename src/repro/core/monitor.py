@@ -358,7 +358,9 @@ class FaultInjectingMonitor(PollutionMonitor):
         self.inner = inner
         self.drop_every = drop_every
         self.noise_fraction = noise_fraction
-        self._rng = rng if rng is not None else seeded_stream(seed)
+        # Nameless stream is deliberate: the PMC-noise goldens pin sha256
+        # digests of runs seeded exactly this way; renaming would reseed.
+        self._rng = rng if rng is not None else seeded_stream(seed)  # kyotolint: disable=S002
         self._count = 0
         self.dropped = 0
 

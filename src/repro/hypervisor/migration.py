@@ -59,7 +59,9 @@ class PeriodicMigrator:
         self.period_ticks = period_ticks
         self.min_dwell_ticks = min_dwell_ticks
         self.max_dwell_ticks = max_dwell_ticks
-        self._rng = rng if rng is not None else seeded_stream(seed)
+        # Nameless stream is deliberate: migration dwell draws are pinned
+        # by the experiment goldens; naming the stream would reseed them.
+        self._rng = rng if rng is not None else seeded_stream(seed)  # kyotolint: disable=S002
         self._away = False
         self._return_at_tick: Optional[int] = None
         self.migrations = 0

@@ -17,6 +17,7 @@ programmatically::
     assert exit_code(findings) == 0
 """
 
+from .analyzer import analyze_paths
 from .baseline import Baseline, BaselineError
 from .contracts import (
     ContractViolation,
@@ -26,8 +27,17 @@ from .contracts import (
     invariant,
     set_contracts_enabled,
 )
+from .facts import FACTS_VERSION, ModuleFacts, Program, extract_facts
 from .report import exit_code, failing_findings, format_json, format_text
-from .rules import ALL_RULES, RULES_BY_ID, Finding, Rule
+from .rules import (
+    ALL_PROGRAM_RULES,
+    ALL_RULES,
+    RULES_BY_ID,
+    RULES_VERSION,
+    Finding,
+    ProgramRule,
+    Rule,
+)
 from .walker import (
     clear_cache,
     iter_python_files,
@@ -37,18 +47,26 @@ from .walker import (
 )
 
 __all__ = [
+    "ALL_PROGRAM_RULES",
     "ALL_RULES",
     "Baseline",
     "BaselineError",
     "ContractViolation",
+    "FACTS_VERSION",
     "Finding",
     "InvariantChecker",
+    "ModuleFacts",
+    "Program",
+    "ProgramRule",
     "RULES_BY_ID",
+    "RULES_VERSION",
     "Rule",
+    "analyze_paths",
     "check",
     "clear_cache",
     "contracts_enabled",
     "exit_code",
+    "extract_facts",
     "failing_findings",
     "format_json",
     "format_text",

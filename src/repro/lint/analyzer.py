@@ -1,0 +1,208 @@
+"""Two-phase analysis driver: per-file pass, fact join, program rules.
+
+Phase 1 visits every file exactly once: a single :func:`ast.parse` feeds
+both the per-file AST rules and the fact extractor.  Per-file results
+are memoized twice — in-process (:mod:`repro.lint.walker`'s cache) and,
+when ``cache_path`` is given, in an on-disk JSON cache keyed by content
+hash + rules/facts version, so repeated CLI runs only re-analyze files
+that actually changed.  With ``jobs > 1`` the uncached files fan out
+over a ``multiprocessing`` pool; results are merged back in sorted-path
+order so the output is byte-identical regardless of worker scheduling.
+
+Phase 2 joins every module's facts into a :class:`repro.lint.facts.Program`
+and runs the whole-program rules (S/C/T families).  Program-rule
+findings are suppressed through the *flagged file's* pragma table, which
+travels inside the facts so phase 2 never re-reads source.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
+
+from .facts import FACTS_VERSION, ModuleFacts, Program
+from .pragmas import PragmaTable
+from .rules import ALL_PROGRAM_RULES, RULES_VERSION
+from .rules.base import Finding, Rule
+
+#: On-disk cache format identifier (not a repro data schema).
+CACHE_SCHEMA = "kyotolint.facts-cache/1"
+
+
+def _finding_record(finding: Finding) -> Dict[str, Any]:
+    record = finding.to_dict()
+    record["end_line"] = finding.end_line
+    return record
+
+
+def _finding_from_record(record: Dict[str, Any]) -> Finding:
+    finding = Finding.from_dict(record)
+    finding.end_line = int(record.get("end_line", 0))
+    return finding
+
+
+def _analyze_one(path: str) -> Dict[str, Any]:
+    """Pool worker: full phase-1 analysis of one file, as plain JSON."""
+    from . import walker
+
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    findings, facts = walker.analyze_source(text, path=path)
+    return {
+        "path": path,
+        "hash": walker.content_hash(text),
+        "findings": [_finding_record(f) for f in findings],
+        "facts": facts.to_dict(),
+    }
+
+
+def _load_cache(cache_path: Optional[str]) -> Dict[str, Any]:
+    """Load the on-disk facts cache; any mismatch discards it wholesale."""
+    if cache_path is None:
+        return {}
+    try:
+        data = json.loads(pathlib.Path(cache_path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if (
+        not isinstance(data, dict)
+        or data.get("schema") != CACHE_SCHEMA
+        or data.get("rules_version") != RULES_VERSION
+        or data.get("facts_version") != FACTS_VERSION
+    ):
+        return {}
+    files = data.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def _save_cache(
+    cache_path: Optional[str], files: Dict[str, Any]
+) -> None:
+    if cache_path is None:
+        return
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "rules_version": RULES_VERSION,
+        "facts_version": FACTS_VERSION,
+        "files": files,
+    }
+    try:
+        pathlib.Path(cache_path).write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+    except OSError:
+        pass  # a cache that cannot be written is just a cache miss later
+
+
+def _phase1(
+    files: List[str],
+    jobs: int,
+    cache_path: Optional[str],
+) -> Tuple[Dict[str, List[Finding]], List[ModuleFacts]]:
+    """Analyze every file once, via disk cache, pool, or in-process."""
+    from . import walker
+
+    disk_cache = _load_cache(cache_path)
+    next_cache: Dict[str, Any] = {}
+    per_file: Dict[str, List[Finding]] = {}
+    facts_by_file: Dict[str, ModuleFacts] = {}
+    misses: List[str] = []
+
+    for path in files:
+        norm = walker.normalize_path(path)
+        try:
+            text = pathlib.Path(path).read_text(encoding="utf-8")
+        except OSError:
+            continue
+        digest = walker.content_hash(text)
+        entry = disk_cache.get(norm)
+        if isinstance(entry, dict) and entry.get("hash") == digest:
+            per_file[path] = [
+                _finding_from_record(r) for r in entry["findings"]
+            ]
+            facts_by_file[path] = ModuleFacts.from_dict(entry["facts"])
+            next_cache[norm] = entry
+        else:
+            misses.append(path)
+
+    if jobs > 1 and len(misses) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=jobs) as pool:
+            worker_results = list(pool.imap(_analyze_one, misses))
+        for result in worker_results:
+            path = result["path"]
+            per_file[path] = [
+                _finding_from_record(r) for r in result["findings"]
+            ]
+            facts_by_file[path] = ModuleFacts.from_dict(result["facts"])
+            next_cache[walker.normalize_path(path)] = {
+                "hash": result["hash"],
+                "findings": result["findings"],
+                "facts": result["facts"],
+            }
+    else:
+        for path in misses:
+            findings, facts = walker.analyze_file(path)
+            per_file[path] = findings
+            facts_by_file[path] = facts
+            text = pathlib.Path(path).read_text(encoding="utf-8")
+            next_cache[walker.normalize_path(path)] = {
+                "hash": walker.content_hash(text),
+                "findings": [_finding_record(f) for f in findings],
+                "facts": facts.to_dict(),
+            }
+
+    _save_cache(cache_path, next_cache)
+    ordered_facts = [facts_by_file[path] for path in files if path in facts_by_file]
+    return per_file, ordered_facts
+
+
+def _phase2(modules: List[ModuleFacts]) -> List[Finding]:
+    """Run every whole-program rule over the joined fact base."""
+    program = Program(modules)
+    tables: Dict[str, PragmaTable] = {
+        facts.path: PragmaTable.from_dict(facts.pragmas)
+        for facts in program.modules
+    }
+    findings: List[Finding] = []
+    for rule_class in ALL_PROGRAM_RULES:
+        for finding in rule_class().check(program):
+            table = tables.get(finding.path)
+            if table is not None and table.is_suppressed(
+                finding.rule_id, finding.line, finding.end_line
+            ):
+                continue
+            findings.append(finding)
+    return findings
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    rules: Optional[Iterable[Type[Rule]]] = None,
+    jobs: int = 1,
+    cache_path: Optional[str] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` with both phases.
+
+    Passing explicit ``rules`` restricts phase 1 to those rules and
+    skips phase 2 entirely (single-rule testing mode); the disk cache is
+    bypassed in that mode because its entries assume the full rule set.
+    """
+    from . import walker
+
+    files = walker.iter_python_files(str(p) for p in paths)
+    findings: List[Finding] = []
+    if rules is not None:
+        for path in files:
+            file_findings, _ = walker.analyze_file(path, rules=rules)
+            findings.extend(file_findings)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+    per_file, modules = _phase1(files, max(1, jobs), cache_path)
+    for path in files:
+        findings.extend(per_file.get(path, []))
+    findings.extend(_phase2(modules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings

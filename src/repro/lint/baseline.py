@@ -7,13 +7,23 @@ legacy violations are burned down incrementally — the acceptance bar for
 this repo is an *empty* baseline, so the file mostly exists for branches
 mid-migration.
 
-Entries match on ``(path, rule, line)``; the format is plain JSON so
-diffs are reviewable:
+Format version 2 anchors each entry to the *content* of the flagged
+source line (``line_hash``: first 12 hex chars of the sha256 of the
+stripped line) in addition to its number.  A finding matches when either
+
+* ``(path, rule, line)`` matches exactly (hash ignored if absent), or
+* ``(path, rule, line_hash)`` matches an entry whose recorded line is
+  within :data:`LINE_WINDOW` lines of the finding — so an unrelated edit
+  higher in the file that shifts everything by a few lines does not
+  resurrect grandfathered findings.
+
+Version-1 files (no hashes) still load; saving always writes version 2:
 
 .. code-block:: json
 
-    {"version": 1, "entries": [
-        {"path": "repro/foo.py", "rule": "D001", "line": 42}
+    {"version": 2, "entries": [
+        {"path": "repro/foo.py", "rule": "D001", "line": 42,
+         "line_hash": "9f2b6c0d81aa"}
     ]}
 """
 
@@ -21,11 +31,14 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from .rules.base import Finding
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: How far a hash-anchored entry may drift from its recorded line.
+LINE_WINDOW = 20
 
 
 class BaselineError(ValueError):
@@ -35,14 +48,33 @@ class BaselineError(ValueError):
 class Baseline:
     """Set of grandfathered findings."""
 
-    def __init__(self, entries: Iterable[Tuple[str, str, int]] = ()) -> None:
-        self._entries: Set[Tuple[str, str, int]] = set(entries)
+    def __init__(
+        self, entries: Iterable[Tuple[str, str, int, str]] = ()
+    ) -> None:
+        #: (path, rule, line, line_hash) records, hash may be "".
+        self._entries: List[Tuple[str, str, int, str]] = sorted(set(entries))
+        self._exact = {(p, r, line) for p, r, line, _ in self._entries}
+        self._by_hash: Dict[Tuple[str, str, str], List[int]] = {}
+        for path, rule, line, line_hash in self._entries:
+            if line_hash:
+                self._by_hash.setdefault(
+                    (path, rule, line_hash), []
+                ).append(line)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def matches(self, finding: Finding) -> bool:
-        return (finding.path, finding.rule_id, finding.line) in self._entries
+        if (finding.path, finding.rule_id, finding.line) in self._exact:
+            return True
+        if not finding.source_hash:
+            return False
+        anchored = self._by_hash.get(
+            (finding.path, finding.rule_id, finding.source_hash), []
+        )
+        return any(
+            abs(finding.line - line) <= LINE_WINDOW for line in anchored
+        )
 
     def apply(self, findings: Iterable[Finding]) -> List[Finding]:
         """Demote matching findings to baselined warnings; returns input."""
@@ -56,7 +88,7 @@ class Baseline:
     @classmethod
     def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
         return cls(
-            (finding.path, finding.rule_id, finding.line)
+            (finding.path, finding.rule_id, finding.line, finding.source_hash)
             for finding in findings
         )
 
@@ -77,7 +109,12 @@ class Baseline:
         for entry in payload["entries"]:
             try:
                 entries.append(
-                    (str(entry["path"]), str(entry["rule"]), int(entry["line"]))
+                    (
+                        str(entry["path"]),
+                        str(entry["rule"]),
+                        int(entry["line"]),
+                        str(entry.get("line_hash", "")),
+                    )
                 )
             except (KeyError, TypeError, ValueError) as exc:
                 raise BaselineError(f"bad baseline entry {entry!r}: {exc}")
@@ -87,8 +124,8 @@ class Baseline:
         payload = {
             "version": _FORMAT_VERSION,
             "entries": [
-                {"path": p, "rule": rule, "line": line}
-                for p, rule, line in sorted(self._entries)
+                {"path": p, "rule": rule, "line": line, "line_hash": line_hash}
+                for p, rule, line, line_hash in self._entries
             ],
         }
         pathlib.Path(path).write_text(

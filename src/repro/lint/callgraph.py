@@ -1,0 +1,143 @@
+"""Lightweight cross-module call graph over extracted facts.
+
+Nodes are ``"module:qualname"`` strings for every function the fact
+extractor saw; edges come from the per-function call records, resolved
+through each module's import bindings.  Resolution is deliberately
+conservative — it follows name/attribute chains, ``from x import y``
+bindings and re-export chains (``repro.telemetry`` re-exporting
+``recording`` from ``repro.telemetry.recorder``), and gives up on
+anything dynamic.  An unresolvable call simply contributes no edge, so
+reachability under-approximates: the C-rules may miss exotic flows but
+never invent them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
+
+if TYPE_CHECKING:  # break the facts -> rules -> callgraph import cycle
+    from .facts import ModuleFacts, Program
+
+#: Re-export chains longer than this are cycles or pathological; stop.
+_MAX_REEXPORT_DEPTH = 8
+
+
+def node_id(module: str, qualname: str) -> str:
+    return f"{module}:{qualname}"
+
+
+class CallGraph:
+    """Function-level call graph with BFS reachability."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.edges: Dict[str, Set[str]] = {}
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    def _build(self) -> None:
+        for facts in self.program.modules:
+            for call in facts.calls:
+                caller = call["caller"]
+                if caller == "<module>":
+                    continue
+                source = node_id(facts.module, caller)
+                target = self.resolve_call(facts, call["parts"])
+                if target is not None:
+                    self.edges.setdefault(source, set()).add(target)
+
+    def resolve_symbol(
+        self, module: str, name: str, depth: int = 0
+    ) -> Optional[str]:
+        """Resolve ``module.name`` to a function node, following re-exports."""
+        if depth > _MAX_REEXPORT_DEPTH:
+            return None
+        facts = self.program.by_module.get(module)
+        if facts is None:
+            return None
+        if name in facts.functions and not facts.functions[name]["nested"]:
+            return node_id(module, name)
+        if name in facts.from_imports:
+            target_module, original = facts.from_imports[name]
+            resolved = self.resolve_symbol(target_module, original, depth + 1)
+            if resolved is not None:
+                return resolved
+            # `from package import submodule` style re-export.
+            submodule = f"{target_module}.{original}"
+            if submodule in self.program.by_module:
+                return None
+        return None
+
+    def resolve_call(
+        self, facts: ModuleFacts, parts: Sequence[str]
+    ) -> Optional[str]:
+        """Resolve one dotted call target from inside ``facts``'s module."""
+        if not parts:
+            return None
+        head = parts[0]
+        # Same-module function or re-exported name.
+        if len(parts) == 1:
+            return self.resolve_symbol(facts.module, head)
+        # `self.method()` / `cls.method()`: approximate with any same-module
+        # method of that name (methods are unique per module in practice).
+        if head in ("self", "cls") and len(parts) == 2:
+            for qualname, record in facts.functions.items():
+                if record["name"] == parts[1] and "." in qualname:
+                    return node_id(facts.module, qualname)
+            return None
+        # `alias.attr...` through a module import.
+        if head in facts.imports:
+            base = facts.imports[head]
+            module = ".".join([base] + list(parts[1:-1]))
+            resolved = self.resolve_symbol(module, parts[-1])
+            if resolved is not None:
+                return resolved
+            return None
+        # `name.attr()` where `name` was from-imported and is a module.
+        if head in facts.from_imports:
+            target_module, original = facts.from_imports[head]
+            submodule = f"{target_module}.{original}"
+            module = ".".join([submodule] + list(parts[1:-1]))
+            return self.resolve_symbol(module, parts[-1])
+        return None
+
+    # -- queries ----------------------------------------------------------
+
+    def function_record(self, node: str) -> Optional[Dict[str, object]]:
+        module, _, qualname = node.partition(":")
+        facts = self.program.by_module.get(module)
+        if facts is None:
+            return None
+        return facts.functions.get(qualname)
+
+    def reachable(self, entry: str) -> Dict[str, Optional[str]]:
+        """BFS from ``entry``; maps each reached node to its BFS parent."""
+        parents: Dict[str, Optional[str]] = {entry: None}
+        queue = deque([entry])
+        while queue:
+            current = queue.popleft()
+            for neighbor in sorted(self.edges.get(current, ())):
+                if neighbor not in parents:
+                    parents[neighbor] = current
+                    queue.append(neighbor)
+        return parents
+
+    @staticmethod
+    def chain(parents: Dict[str, Optional[str]], node: str) -> List[str]:
+        """The entry -> ... -> node path recorded by :meth:`reachable`."""
+        path = [node]
+        seen = {node}
+        while True:
+            parent = parents.get(path[-1])
+            if parent is None or parent in seen:
+                break
+            path.append(parent)
+            seen.add(parent)
+        return list(reversed(path))
+
+
+def pretty_chain(nodes: Sequence[str]) -> str:
+    """Human form of a call chain: strip module prefixes where unambiguous."""
+    return " -> ".join(node.split(":", 1)[-1] for node in nodes)

@@ -3,9 +3,14 @@
 Two forms, both comments:
 
 * same-line: ``x = random.random()  # kyotolint: disable=D001`` silences
-  the listed rules (comma-separated, or ``all``) on that line only;
+  the listed rules (comma-separated, or ``all``) on that line only —
+  for a construct spanning several physical lines (a parenthesized
+  expression, a call broken across lines) the pragma may sit on *any*
+  line of the construct's span;
 * file-level: ``# kyotolint: disable-file=U002`` anywhere in the file
-  silences the listed rules for the whole file.
+  silences the listed rules for the whole file.  Both forms may share a
+  line (``# kyotolint: disable=D001  # kyotolint: disable-file=U002``);
+  each is parsed independently.
 
 A pragma is a *justified* suppression: unlike a baseline entry it lives in
 the code next to the violation, so reviewers see it.  Prefer pragmas with
@@ -16,8 +21,11 @@ permanent.
 from __future__ import annotations
 
 import re
-from typing import Dict, Set
+from typing import Any, Dict, List, Optional, Set
 
+# `disable` must not swallow `disable-file`: the lookahead requires `=`
+# immediately after the keyword, and the file form is matched first on
+# each line so the two coexist in either order.
 _LINE_PRAGMA_RE = re.compile(
     r"#\s*kyotolint:\s*disable=([A-Za-z0-9,\s]+?)\s*(?:#|$)"
 )
@@ -37,20 +45,61 @@ class PragmaTable:
         self.line_disables: Dict[int, Set[str]] = {}
         self.file_disables: Set[str] = set()
         for lineno, text in enumerate(source.splitlines(), start=1):
-            match = _LINE_PRAGMA_RE.search(text)
-            if match:
+            for match in _LINE_PRAGMA_RE.finditer(text):
                 self.line_disables.setdefault(lineno, set()).update(
                     _parse_rule_list(match.group(1))
                 )
-            match = _FILE_PRAGMA_RE.search(text)
-            if match:
+            for match in _FILE_PRAGMA_RE.finditer(text):
                 self.file_disables.update(_parse_rule_list(match.group(1)))
 
-    def is_suppressed(self, rule_id: str, line: int) -> bool:
-        """True when ``rule_id`` is pragma-disabled at ``line``."""
+    def is_suppressed(
+        self, rule_id: str, line: int, end_line: Optional[int] = None
+    ) -> bool:
+        """True when ``rule_id`` is pragma-disabled anywhere in the span.
+
+        ``end_line`` extends the check over a multi-line construct so a
+        pragma on a continuation line still applies; omitted, only
+        ``line`` itself is consulted.
+        """
         if rule_id in self.file_disables or "ALL" in self.file_disables:
             return True
-        disabled = self.line_disables.get(line)
-        if not disabled:
-            return False
-        return rule_id in disabled or "ALL" in disabled
+        last = max(line, end_line or line)
+        for candidate in range(line, last + 1):
+            disabled = self.line_disables.get(candidate)
+            if disabled and (rule_id in disabled or "ALL" in disabled):
+                return True
+        return False
+
+    # -- serialization (for the facts cache / phase-2 suppression) --------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "file": sorted(self.file_disables),
+            "lines": {
+                str(line): sorted(rules)
+                for line, rules in sorted(self.line_disables.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PragmaTable":
+        table = cls("")
+        table.file_disables = set(data.get("file", []))
+        table.line_disables = {
+            int(line): set(rules)
+            for line, rules in data.get("lines", {}).items()
+        }
+        return table
+
+
+def suppressed_findings_removed(
+    findings: List[Any], table: PragmaTable
+) -> List[Any]:
+    """Filter a finding list through one file's pragma table."""
+    return [
+        finding
+        for finding in findings
+        if not table.is_suppressed(
+            finding.rule_id, finding.line, finding.end_line or finding.line
+        )
+    ]

@@ -1,20 +1,39 @@
-"""kyotolint rule registry — one module per rule family."""
+"""kyotolint rule registry — one module per rule family.
+
+Two kinds of rules:
+
+* per-file AST rules (:data:`ALL_RULES`) run in phase 1, one instance
+  per linted file, fed nodes by the single-pass walker;
+* whole-program rules (:data:`ALL_PROGRAM_RULES`) run in phase 2 over
+  the joined fact base (:mod:`repro.lint.facts`) and may relate sites
+  across modules.
+
+:data:`RULES_VERSION` keys the on-disk facts/findings cache: bump it
+whenever any rule's behaviour changes so stale cached findings are
+recomputed.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import Dict, List, Type, Union
 
-from .base import FileContext, Finding, Rule
+from .base import FileContext, Finding, ProgramRule, Rule
+from .concurrency import UnpicklableWorkerRule, WorkerGlobalMutationRule
 from .determinism import (
     BareRandomRule,
     RawRandomConstructionRule,
     SetIterationRule,
     WallClockRule,
 )
+from .flow import DuplicateStreamNameRule, UnitFlowRule, UntrackableStreamNameRule
 from .hygiene import MutableDefaultRule, SwallowedExceptionRule
+from .telemetry import SchemaDriftRule, TelemetryNameFlowRule
 from .units import FloatEqualityRule, MixedUnitArithmeticRule
 
-#: Every rule kyotolint knows, in reporting order.
+#: Bumped whenever rule behaviour changes; part of the cache key.
+RULES_VERSION = "2.0"
+
+#: Every per-file AST rule kyotolint knows, in reporting order.
 ALL_RULES: List[Type[Rule]] = [
     BareRandomRule,
     RawRandomConstructionRule,
@@ -22,16 +41,32 @@ ALL_RULES: List[Type[Rule]] = [
     SetIterationRule,
     MixedUnitArithmeticRule,
     FloatEqualityRule,
+    UnitFlowRule,
     MutableDefaultRule,
     SwallowedExceptionRule,
 ]
 
-RULES_BY_ID: Dict[str, Type[Rule]] = {rule.rule_id: rule for rule in ALL_RULES}
+#: Every whole-program (phase 2) rule, in reporting order.
+ALL_PROGRAM_RULES: List[Type[ProgramRule]] = [
+    DuplicateStreamNameRule,
+    UntrackableStreamNameRule,
+    UnpicklableWorkerRule,
+    WorkerGlobalMutationRule,
+    TelemetryNameFlowRule,
+    SchemaDriftRule,
+]
+
+RULES_BY_ID: Dict[str, Union[Type[Rule], Type[ProgramRule]]] = {
+    rule.rule_id: rule for rule in [*ALL_RULES, *ALL_PROGRAM_RULES]
+}
 
 __all__ = [
+    "ALL_PROGRAM_RULES",
     "ALL_RULES",
     "RULES_BY_ID",
+    "RULES_VERSION",
     "FileContext",
     "Finding",
+    "ProgramRule",
     "Rule",
 ]

@@ -17,7 +17,15 @@ from typing import Dict, List, Sequence, Set, Tuple, Type
 
 @dataclass
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``end_line`` is the last physical line of the flagged construct (0
+    means "same as line"); pragma suppression honours the whole span so
+    a ``# kyotolint: disable=...`` on a continuation line works.
+    ``source_hash`` anchors the finding to the *content* of its source
+    line so baseline entries survive unrelated edits that shift line
+    numbers (see :mod:`repro.lint.baseline`).
+    """
 
     rule_id: str
     path: str
@@ -26,6 +34,12 @@ class Finding:
     message: str
     severity: str = "error"
     baselined: bool = False
+    end_line: int = 0
+    source_hash: str = ""
+
+    def span(self) -> Tuple[int, int]:
+        """(first, last) physical line of the flagged construct."""
+        return (self.line, max(self.line, self.end_line))
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
@@ -39,7 +53,28 @@ class Finding:
             "message": self.message,
             "severity": self.severity,
             "baselined": self.baselined,
+            "line_hash": self.source_hash,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule_id=data["rule"],
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=data["message"],
+            severity=data.get("severity", "error"),
+            baselined=bool(data.get("baselined", False)),
+            source_hash=data.get("line_hash", ""),
+        )
+
+
+def source_line_hash(text: str) -> str:
+    """Content anchor of one source line: sha256 of the stripped text."""
+    import hashlib
+
+    return hashlib.sha256(text.strip().encode("utf-8")).hexdigest()[:12]
 
 
 @dataclass
@@ -94,16 +129,62 @@ class Rule:
     def report(
         self, node: ast.AST, ctx: FileContext, message: str
     ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        # Expressions commonly span continuation lines (a BinOp wrapped
+        # in parens); statements like an except handler span their whole
+        # body, where honouring the span would over-suppress.
+        end_line = (
+            getattr(node, "end_lineno", None) or line
+            if isinstance(node, ast.expr)
+            else line
+        )
         finding = Finding(
             rule_id=self.rule_id,
             path=ctx.path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0),
             message=message,
             severity=self.severity,
+            end_line=end_line,
         )
         self.findings.append(finding)
         return finding
+
+
+class ProgramRule:
+    """Base class for phase-2 (whole-program) rules.
+
+    Unlike :class:`Rule`, a program rule never sees an AST: it runs after
+    every file has been parsed once, over the joined
+    :class:`repro.lint.facts.Program` fact base, and may relate call
+    sites across modules (RNG stream provenance, worker-reachable state,
+    telemetry name flow).  Pragma and baseline handling are applied by
+    the analyzer exactly as for per-file findings.
+    """
+
+    #: Stable identifier, e.g. ``"S001"``.
+    rule_id: str = "P000"
+    #: One-line description shown by ``repro lint --rules``.
+    description: str = ""
+    #: Default severity; ``"error"`` gates, ``"warning"`` reports.
+    severity: str = "error"
+
+    def check(self, program: "object") -> List[Finding]:
+        """Return every violation visible in ``program``."""
+        raise NotImplementedError
+
+    def finding_at(self, site: dict, path: str, message: str) -> Finding:
+        """Build a finding anchored at a facts site record."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=path,
+            line=int(site.get("line", 1)),
+            col=int(site.get("col", 0)),
+            message=message,
+            severity=self.severity,
+            end_line=int(site.get("end_line", 0)),
+            source_hash=site.get("line_hash", ""),
+        )
 
 
 def call_name(node: ast.AST) -> Sequence[str]:

@@ -1,0 +1,127 @@
+"""Concurrency-safety rules (C-family) for the campaign fan-out.
+
+``repro run --jobs N`` ships work to ``multiprocessing`` workers, and
+the ROADMAP's herd orchestration will multiply the fan-out surface.
+Two failure classes are invisible per-file:
+
+* **C001** — an unpicklable callable shipped to a worker: a lambda or a
+  function nested inside another function passed as
+  ``multiprocessing.Process(target=...)`` or ``pool.imap(func, ...)``.
+  These raise ``PicklingError`` at runtime under the spawn start method
+  — but only on platforms that spawn, so the bug hides on Linux CI.
+* **C002** — module-global mutable state reachable from a worker entry
+  point: the entry function (or anything it transitively calls, across
+  modules) rebinds a module global (``global x; x = ...``) or mutates a
+  module-level container.  Under fork the parent's state leaks into the
+  child and mutations silently diverge per process; under spawn the
+  global starts fresh.  Either way the result depends on the start
+  method — exactly the unpredictability this repo exists to kill.  Warn
+  tier: per-process ambient state is sometimes the design (the ambient
+  telemetry recorder), but every site deserves a written justification.
+
+Both rules run in phase 2: C002 needs the cross-module call graph, and
+C001 needs the target function's definition site, which usually lives in
+another module than the fan-out call.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..callgraph import CallGraph, node_id, pretty_chain
+from .base import Finding, ProgramRule
+
+
+class UnpicklableWorkerRule(ProgramRule):
+    """C001: lambda / nested function shipped to a worker process."""
+
+    rule_id = "C001"
+    description = (
+        "lambda or nested function shipped to a multiprocessing worker; "
+        "unpicklable under the spawn start method"
+    )
+    severity = "error"
+
+    def check(self, program) -> List[Finding]:
+        findings: List[Finding] = []
+        for facts, site in program.iter_sites("worker_sites"):
+            if site["func_kind"] == "lambda":
+                findings.append(
+                    self.finding_at(
+                        site,
+                        facts.path,
+                        f"lambda passed to {site['api']}(); workers pickle "
+                        "their payload — use a module-level function",
+                    )
+                )
+                continue
+            if site["func_kind"] != "name" or len(site["func_parts"]) != 1:
+                continue
+            name = site["func_parts"][0]
+            for qualname, record in facts.functions.items():
+                if record["name"] == name and record["nested"]:
+                    findings.append(
+                        self.finding_at(
+                            site,
+                            facts.path,
+                            f"nested function {name}() (defined at line "
+                            f"{record['line']}) passed to {site['api']}(); "
+                            "only module-level functions pickle — hoist it",
+                        )
+                    )
+                    break
+        return findings
+
+
+class WorkerGlobalMutationRule(ProgramRule):
+    """C002: worker entry point reaches module-global mutable state."""
+
+    rule_id = "C002"
+    description = (
+        "worker entry point transitively rebinds or mutates a module "
+        "global; results depend on the multiprocessing start method"
+    )
+    severity = "warning"
+
+    def check(self, program) -> List[Finding]:
+        graph = CallGraph(program)
+        findings: List[Finding] = []
+        for facts, site in program.iter_sites("worker_sites"):
+            if site["func_kind"] != "name":
+                continue
+            entry = graph.resolve_call(facts, site["func_parts"])
+            if entry is None and len(site["func_parts"]) == 1:
+                entry_name = site["func_parts"][0]
+                if entry_name in facts.functions:
+                    entry = node_id(facts.module, entry_name)
+            if entry is None:
+                continue
+            parents = graph.reachable(entry)
+            reported = set()
+            for node in sorted(parents):
+                record = graph.function_record(node)
+                if record is None:
+                    continue
+                touched = sorted(
+                    set(record.get("global_writes", []))
+                    | set(record.get("mutates", []))
+                )
+                if not touched:
+                    continue
+                key = (node, tuple(touched))
+                if key in reported:
+                    continue
+                reported.add(key)
+                module = node.split(":", 1)[0]
+                chain = pretty_chain(graph.chain(parents, node))
+                findings.append(
+                    self.finding_at(
+                        site,
+                        facts.path,
+                        f"worker fan-out reaches module-global mutation of "
+                        f"{', '.join(touched)} in {module} "
+                        f"(call chain: {chain}); results depend on the "
+                        "start method — pass state explicitly or justify",
+                    )
+                )
+        return findings

@@ -1,0 +1,328 @@
+"""Flow rules: RNG stream provenance (S-family) and unit dataflow (U003).
+
+The determinism guarantee is per-*stream*: two components drawing from
+the same ``(seed, name)`` stream produce correlated randomness silently
+— every draw one makes perturbs the other, and the correlation is
+invisible in any single file.  The S-rules run in phase 2 over the
+whole-program fact base:
+
+* **S001** — the same literal stream name constructed in two or more
+  modules (``rng.stream("jitter")`` here, ``seeded_stream(seed,
+  "jitter")`` there).  Reuse *within* one module is allowed — a module
+  re-deriving its own stream is the normal accessor pattern.
+* **S002** — a stream construction whose name the analyzer cannot track:
+  a dynamic expression (``rng.stream(config.stream)``), an f-string, or
+  an omitted name (``seeded_stream(seed)`` — the seed-global stream,
+  which every other nameless call site with the same seed aliases).
+  Warn tier: dynamic names are sometimes deliberate (validated scenario
+  fields), but each site deserves a justification pragma.
+
+**U003** extends the per-expression U001 check through assignment
+chains: a suffix-less local that is assigned a unit-carrying expression
+*inherits* that unit, so ``delay = end_usec - start_usec`` followed by
+``delay + budget_ms`` is flagged even though ``delay`` itself names no
+unit, as is ``total_ms = a_ticks + b_ticks`` (the assignment itself
+crosses units).  Propagation is straight-line and conservative: a name
+reassigned with a different inferred unit becomes unknown, and any
+call crossing (a conversion function) resets the unit to unknown.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .base import FileContext, Finding, ProgramRule, Rule
+from .units import unit_of_expr, unit_suffix_of_identifier
+
+#: Files allowed to construct raw/unnamed streams (the registry itself).
+_RNG_ALLOWLIST = ("simulation/rng.py",)
+
+
+class DuplicateStreamNameRule(ProgramRule):
+    """S001: one stream name constructed from two or more modules."""
+
+    rule_id = "S001"
+    description = (
+        "RNG stream name constructed in multiple modules; shared (seed, "
+        "name) streams are silently correlated"
+    )
+    severity = "error"
+
+    def check(self, program) -> List[Finding]:
+        sites_by_name: Dict[str, List[Tuple[object, dict]]] = defaultdict(list)
+        for facts, site in program.iter_sites("rng_sites"):
+            if facts.path.endswith(_RNG_ALLOWLIST):
+                continue
+            if site.get("name") and not site.get("dynamic"):
+                sites_by_name[site["name"]].append((facts, site))
+        findings: List[Finding] = []
+        for name in sorted(sites_by_name):
+            entries = sites_by_name[name]
+            modules = sorted({facts.module for facts, _ in entries})
+            if len(modules) < 2:
+                continue
+            for facts, site in entries:
+                others = ", ".join(m for m in modules if m != facts.module)
+                findings.append(
+                    self.finding_at(
+                        site,
+                        facts.path,
+                        f"RNG stream name {name!r} is also constructed in "
+                        f"{others}; streams sharing (seed, name) are "
+                        "identical — derive a distinct name per component",
+                    )
+                )
+        return findings
+
+
+class UntrackableStreamNameRule(ProgramRule):
+    """S002: stream name the analyzer cannot statically track."""
+
+    rule_id = "S002"
+    description = (
+        "RNG stream constructed with a dynamic or omitted name; "
+        "collisions cannot be checked statically"
+    )
+    severity = "warning"
+
+    def check(self, program) -> List[Finding]:
+        findings: List[Finding] = []
+        for facts, site in program.iter_sites("rng_sites"):
+            if facts.path.endswith(_RNG_ALLOWLIST):
+                continue
+            if site.get("name") is not None and not site.get("dynamic"):
+                continue
+            if site.get("name") is None and not site.get("dynamic"):
+                what = (
+                    "seeded_stream() without a name derives the seed-global "
+                    "stream; every nameless call site with the same seed "
+                    "aliases it"
+                )
+            else:
+                what = (
+                    "stream name is a dynamic expression; S001 collision "
+                    "checking cannot see it"
+                )
+            findings.append(
+                self.finding_at(
+                    site,
+                    facts.path,
+                    f"{what} — pass a distinct literal name (or justify "
+                    "with a pragma)",
+                )
+            )
+        return findings
+
+
+class _UnitEnv:
+    """Straight-line unit inference environment for one scope."""
+
+    #: Sentinel for "assigned conflicting units; stop tracking".
+    CONFLICT = "<conflict>"
+
+    def __init__(self) -> None:
+        self.units: Dict[str, str] = {}
+
+    def lookup(self, name: str) -> Optional[str]:
+        unit = self.units.get(name)
+        return None if unit == self.CONFLICT else unit
+
+    def assign(self, name: str, unit: Optional[str]) -> None:
+        previous = self.units.get(name)
+        if previous is None:
+            if unit is not None:
+                self.units[name] = unit
+        elif unit != previous:
+            self.units[name] = self.CONFLICT
+
+
+def _unit_of(node: ast.AST, env: _UnitEnv) -> Tuple[Optional[str], bool]:
+    """(unit, inferred_via_env) for an expression under ``env``.
+
+    Mirrors :func:`repro.lint.rules.units.unit_of_expr` but lets a
+    suffix-less name fall back to the unit its last assignment carried.
+    """
+    if isinstance(node, ast.Name):
+        own = unit_suffix_of_identifier(node.id)
+        if own is not None:
+            return own, False
+        return env.lookup(node.id), True
+    if isinstance(node, ast.Attribute):
+        return unit_suffix_of_identifier(node.attr), False
+    if isinstance(node, ast.UnaryOp):
+        return _unit_of(node.operand, env)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left, left_env = _unit_of(node.left, env)
+        right, right_env = _unit_of(node.right, env)
+        if left is not None and right is not None and left == right:
+            return left, left_env or right_env
+    return None, False
+
+
+class UnitFlowRule(Rule):
+    """U003: unit suffixes propagated through assignment chains."""
+
+    rule_id = "U003"
+    description = (
+        "unit mismatch through an assignment chain (a local inherits the "
+        "unit of its last assignment)"
+    )
+    severity = "error"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        env = _UnitEnv()
+        for stmt in self._scope_statements(node):
+            self._check_statement(stmt, ctx, env)
+
+    def _scope_statements(self, scope: ast.AST) -> Iterable[ast.stmt]:
+        """Statements of one scope in source order, without nested defs."""
+        pending = list(getattr(scope, "body", []))
+        while pending:
+            stmt = pending.pop(0)
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield stmt
+            nested: List[ast.stmt] = []
+            for attr in ("body", "orelse", "finalbody"):
+                nested.extend(getattr(stmt, attr, []))
+            for handler in getattr(stmt, "handlers", []):
+                nested.extend(handler.body)
+            pending = nested + pending
+
+    def _check_statement(
+        self, stmt: ast.stmt, ctx: FileContext, env: _UnitEnv
+    ) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                self._check_assignment(stmt, target.id, stmt.value, ctx, env)
+                return
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name):
+                self._check_assignment(
+                    stmt, stmt.target.id, stmt.value, ctx, env
+                )
+                return
+        elif isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.op, (ast.Add, ast.Sub)
+        ):
+            if isinstance(stmt.target, ast.Name):
+                target_unit = unit_suffix_of_identifier(
+                    stmt.target.id
+                ) or env.lookup(stmt.target.id)
+                value_unit, _ = _unit_of(stmt.value, env)
+                if (
+                    target_unit is not None
+                    and value_unit is not None
+                    and target_unit != value_unit
+                ):
+                    self.report(
+                        stmt.value,
+                        ctx,
+                        f"augmented assignment adds _{value_unit} into "
+                        f"{stmt.target.id} which carries _{target_unit}",
+                    )
+                return
+        self._check_expressions(stmt, ctx, env)
+
+    def _check_assignment(
+        self,
+        stmt: ast.stmt,
+        name: str,
+        value: ast.AST,
+        ctx: FileContext,
+        env: _UnitEnv,
+    ) -> None:
+        self._check_expressions(stmt, ctx, env)
+        value_unit, _ = _unit_of(value, env)
+        own_suffix = unit_suffix_of_identifier(name)
+        if (
+            own_suffix is not None
+            and value_unit is not None
+            and value_unit != own_suffix
+        ):
+            self.report(
+                value,
+                ctx,
+                f"assigning a _{value_unit}-valued expression to "
+                f"{name} (suffix _{own_suffix}) crosses units without a "
+                "conversion call",
+            )
+            return
+        env.assign(name, own_suffix or value_unit)
+
+    @staticmethod
+    def _expression_roots(stmt: ast.stmt) -> List[ast.AST]:
+        """The expressions owned by ``stmt`` itself (not by nested stmts)."""
+        roots: List[Optional[ast.AST]] = []
+        if isinstance(stmt, (ast.Assign, ast.Expr, ast.Return)):
+            roots.append(getattr(stmt, "value", None))
+        elif isinstance(stmt, ast.AnnAssign):
+            roots.append(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            roots.append(stmt.test)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            roots.append(stmt.iter)
+        elif isinstance(stmt, ast.Assert):
+            roots.extend([stmt.test, stmt.msg])
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            roots.extend(item.context_expr for item in stmt.items)
+        elif isinstance(stmt, ast.Raise):
+            roots.append(stmt.exc)
+        return [root for root in roots if root is not None]
+
+    def _check_expressions(
+        self, stmt: ast.stmt, ctx: FileContext, env: _UnitEnv
+    ) -> None:
+        """Flag env-dependent additive/comparison conflicts inside ``stmt``.
+
+        Only the statement's own expressions are walked — nested
+        statements are visited by the scope iterator — and conflicts
+        visible from identifier suffixes alone are U001's and are not
+        re-reported here.
+        """
+        nodes: List[ast.AST] = []
+        for root in self._expression_roots(stmt):
+            nodes.extend(ast.walk(root))
+        for node in nodes:
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs = [(node, node.left, node.right)]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                pairs = [
+                    (node, left, right)
+                    for left, right in zip(operands, operands[1:])
+                ]
+            else:
+                continue
+            for anchor, left, right in pairs:
+                left_unit, left_env = _unit_of(left, env)
+                right_unit, right_env = _unit_of(right, env)
+                if (
+                    left_unit is not None
+                    and right_unit is not None
+                    and left_unit != right_unit
+                    and (left_env or right_env)
+                ):
+                    self.report(
+                        anchor,
+                        ctx,
+                        f"mixing _{left_unit} and _{right_unit} through an "
+                        "assignment chain without a conversion call",
+                    )
+
+
+# Re-exported for the rule registry.
+__all__ = [
+    "DuplicateStreamNameRule",
+    "UntrackableStreamNameRule",
+    "UnitFlowRule",
+    "unit_of_expr",
+]

@@ -1,0 +1,136 @@
+"""Telemetry dataflow rules (T-family).
+
+Telemetry names are stringly-typed: ``recorder.inc("kyoto.samples")`` at
+one end, ``recorder.counters["kyoto.samples"]`` (or a campaign summary
+key) at the other.  A typo on either side does not crash — the counter
+is silently created empty or read as missing — so the linter joins the
+write and read sides across the whole program:
+
+* **T001** — a literal telemetry read with no matching write: the name
+  was never recorded anywhere (a typo at the read site — the classic
+  "incremented under one name, exported under another"), or it was
+  recorded under a *different kind* (read as a counter, recorded as a
+  gauge).  F-string writes match reads by their literal prefix; if a
+  kind has any fully-dynamic write the analyzer cannot rule a read out
+  and stays silent for that kind.  Warn tier.
+* **T002** — schema-version literal drift: the same schema family
+  (``repro.artifact``) appearing with different versions across the
+  program (error — one of them is stale), or a schema literal hardcoded
+  outside the module that owns its constant (warning — when the owner
+  bumps the version, the copy silently drifts).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from .base import Finding, ProgramRule
+
+
+class TelemetryNameFlowRule(ProgramRule):
+    """T001: literal telemetry read that no write site produces."""
+
+    rule_id = "T001"
+    description = (
+        "telemetry name read but never recorded (or recorded under a "
+        "different kind); stringly-typed metric names drift silently"
+    )
+    severity = "warning"
+
+    def check(self, program) -> List[Finding]:
+        literal_writes: Dict[str, Set[str]] = defaultdict(set)
+        prefix_writes: Dict[str, Set[str]] = defaultdict(set)
+        wildcard_kinds: Set[str] = set()
+        for _, site in program.iter_sites("telemetry_writes"):
+            kind = site["kind"]
+            name = site.get("name")
+            if name is None:
+                wildcard_kinds.add(kind)
+            elif site.get("dynamic"):
+                prefix_writes[kind].add(name)
+            else:
+                literal_writes[kind].add(name)
+        findings: List[Finding] = []
+        for facts, site in program.iter_sites("telemetry_reads"):
+            kind = site["kind"]
+            name = site["name"]
+            if kind in wildcard_kinds:
+                continue
+            if name in literal_writes[kind]:
+                continue
+            if any(name.startswith(p) for p in prefix_writes[kind]):
+                continue
+            other_kinds = sorted(
+                k
+                for k in literal_writes
+                if name in literal_writes[k]
+                or any(name.startswith(p) for p in prefix_writes[k])
+            )
+            if other_kinds:
+                message = (
+                    f"telemetry {kind} {name!r} is read here but recorded "
+                    f"as a {'/'.join(other_kinds)} — kind mismatch"
+                )
+            else:
+                message = (
+                    f"telemetry {kind} {name!r} is read here but never "
+                    "recorded anywhere in the program — typo or dead metric"
+                )
+            findings.append(self.finding_at(site, facts.path, message))
+        return findings
+
+
+class SchemaDriftRule(ProgramRule):
+    """T002: schema identifier literals drifting across the program."""
+
+    rule_id = "T002"
+    description = (
+        "schema-version literal drift: one family with several versions, "
+        "or a literal hardcoded outside its owning constant"
+    )
+    severity = "error"
+
+    def check(self, program) -> List[Finding]:
+        by_family: Dict[str, List[Tuple[object, dict]]] = defaultdict(list)
+        owners: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+        for facts, site in program.iter_sites("schema_sites"):
+            by_family[site["family"]].append((facts, site))
+            if site["scope"] == "<module>":
+                for const, value in facts.str_constants.items():
+                    if value == site["literal"] and const.isupper():
+                        owners[site["literal"]].append((facts.module, const))
+        findings: List[Finding] = []
+        for family in sorted(by_family):
+            entries = by_family[family]
+            versions = sorted({site["version"] for _, site in entries})
+            if len(versions) > 1:
+                for facts, site in entries:
+                    findings.append(
+                        self.finding_at(
+                            site,
+                            facts.path,
+                            f"schema family {family!r} appears with versions "
+                            f"{versions} across the program; one side is "
+                            "stale — bump or import the shared constant",
+                        )
+                    )
+                continue
+            for facts, site in entries:
+                owning = [
+                    (module, const)
+                    for module, const in owners.get(site["literal"], [])
+                    if module != facts.module
+                ]
+                if owning and site["scope"] != "<module>":
+                    module, const = sorted(owning)[0]
+                    finding = self.finding_at(
+                        site,
+                        facts.path,
+                        f"schema literal {site['literal']!r} is hardcoded "
+                        f"here but owned by {module}.{const}; import the "
+                        "constant so a version bump cannot drift",
+                    )
+                    finding.severity = "warning"
+                    findings.append(finding)
+        return findings

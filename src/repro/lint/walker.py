@@ -2,24 +2,35 @@
 
 One parse and one tree traversal per file regardless of how many rules
 are active: rules declare the node types they care about and the walker
-dispatches each node to the interested rules only.  Results are cached
-per (path, content-hash) so the pytest lint gate and a CLI run in the
-same process never re-lint an unchanged file.
+dispatches each node to the interested rules only.  The same parse feeds
+phase-1 fact extraction (:mod:`repro.lint.facts`), so whole-program
+analysis never re-parses a file.  Results are cached per
+(path, content-hash, rules-version) so the pytest lint gate and a CLI
+run in the same process never re-lint an unchanged file.
+
+:func:`lint_paths` is the two-phase entry point (per-file rules plus the
+S/C/T program rules); :func:`lint_source` / :func:`lint_file` are the
+per-file half, used by rule unit tests and by anything that only has one
+file's text.
 """
 
 from __future__ import annotations
 
 import ast
+import dataclasses
 import hashlib
 import pathlib
 from typing import Dict, Iterable, List, Optional, Tuple, Type
 
+from .facts import ModuleFacts, extract_facts
 from .pragmas import PragmaTable
-from .rules import ALL_RULES
-from .rules.base import FileContext, Finding, Rule
+from .rules import ALL_RULES, RULES_VERSION
+from .rules.base import FileContext, Finding, Rule, source_line_hash
 
-#: (posix path, sha256 of source) -> findings.  Process-lifetime cache.
-_CACHE: Dict[Tuple[str, str], List[Finding]] = {}
+#: (posix path, sha256, rules version) -> (findings, facts).
+#: Process-lifetime cache; findings are copied out so baseline/severity
+#: mutations by one caller never leak into the next.
+_CACHE: Dict[Tuple[str, str, str], Tuple[List[Finding], ModuleFacts]] = {}
 
 
 def _collect_imports(tree: ast.Module, ctx: FileContext) -> None:
@@ -49,38 +60,48 @@ def _collect_imports(tree: ast.Module, ctx: FileContext) -> None:
 def normalize_path(path: str) -> str:
     """Posix form of ``path``, relative to the repository when possible."""
     posix = pathlib.PurePath(path).as_posix()
-    for anchor in ("src/repro/", "repro/"):
+    for anchor, skip in (
+        ("src/repro/", len("src/")),
+        ("repro/", 0),
+        ("tests/", 0),
+        ("tools/", 0),
+    ):
         index = posix.rfind(anchor)
         if index >= 0:
-            return posix[index:]
+            return posix[index + skip:]
     return posix
 
 
-def lint_source(
+def content_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _attach_source_hashes(findings: List[Finding], lines: List[str]) -> None:
+    for finding in findings:
+        if not finding.source_hash and 1 <= finding.line <= len(lines):
+            finding.source_hash = source_line_hash(lines[finding.line - 1])
+
+
+def analyze_source(
     source: str,
     path: str = "<string>",
     rules: Optional[Iterable[Type[Rule]]] = None,
-) -> List[Finding]:
-    """Lint one file's source text and return its findings.
-
-    ``path`` participates in rule allowlists (e.g. ``simulation/rng.py``
-    may construct raw streams), so virtual paths in tests should mimic
-    real repo layout when they want allowlist behaviour.
-    """
+) -> Tuple[List[Finding], ModuleFacts]:
+    """One parse of one file: per-file findings plus extracted facts."""
     rule_classes = list(ALL_RULES if rules is None else rules)
     ctx = FileContext(path=normalize_path(path))
     try:
-        tree = ast.parse(source)
+        tree: Optional[ast.Module] = ast.parse(source)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id="E999",
-                path=ctx.path,
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        finding = Finding(
+            rule_id="E999",
+            path=ctx.path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            message=f"syntax error: {exc.msg}",
+        )
+        _attach_source_hashes([finding], source.splitlines())
+        return [finding], extract_facts(None, source, ctx.path)
     _collect_imports(tree, ctx)
     pragmas = PragmaTable(source)
 
@@ -97,23 +118,53 @@ def lint_source(
     findings: List[Finding] = []
     for rule in instances:
         for finding in rule.findings:
-            if not pragmas.is_suppressed(finding.rule_id, finding.line):
+            if not pragmas.is_suppressed(
+                finding.rule_id, finding.line, finding.end_line
+            ):
                 findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    _attach_source_hashes(findings, source.splitlines())
+    facts = extract_facts(tree, source, ctx.path, pragmas=pragmas.to_dict())
+    return findings, facts
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[Type[Rule]]] = None,
+) -> List[Finding]:
+    """Lint one file's source text and return its per-file findings.
+
+    ``path`` participates in rule allowlists (e.g. ``simulation/rng.py``
+    may construct raw streams), so virtual paths in tests should mimic
+    real repo layout when they want allowlist behaviour.  Whole-program
+    (S/C/T) rules need the full fact base and only run via
+    :func:`lint_paths`.
+    """
+    findings, _ = analyze_source(source, path=path, rules=rules)
     return findings
+
+
+def analyze_file(
+    path: str, rules: Optional[Iterable[Type[Rule]]] = None
+) -> Tuple[List[Finding], ModuleFacts]:
+    """Analyze one file from disk, with content-hash caching."""
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    key = (normalize_path(path), content_hash(text), RULES_VERSION)
+    if rules is None and key in _CACHE:
+        cached_findings, cached_facts = _CACHE[key]
+        return [dataclasses.replace(f) for f in cached_findings], cached_facts
+    findings, facts = analyze_source(text, path=path, rules=rules)
+    if rules is None:
+        _CACHE[key] = ([dataclasses.replace(f) for f in findings], facts)
+    return findings, facts
 
 
 def lint_file(
     path: str, rules: Optional[Iterable[Type[Rule]]] = None
 ) -> List[Finding]:
-    """Lint one file from disk, with content-hash caching."""
-    text = pathlib.Path(path).read_text(encoding="utf-8")
-    key = (normalize_path(path), hashlib.sha256(text.encode("utf-8")).hexdigest())
-    if rules is None and key in _CACHE:
-        return list(_CACHE[key])
-    findings = lint_source(text, path=path, rules=rules)
-    if rules is None:
-        _CACHE[key] = list(findings)
+    """Lint one file from disk (per-file rules only), with caching."""
+    findings, _ = analyze_file(path, rules=rules)
     return findings
 
 
@@ -130,15 +181,25 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
 
 
 def lint_paths(
-    paths: Iterable[str], rules: Optional[Iterable[Type[Rule]]] = None
+    paths: Iterable[str],
+    rules: Optional[Iterable[Type[Rule]]] = None,
+    jobs: int = 1,
+    cache_path: Optional[str] = None,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
-    findings: List[Finding] = []
-    for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path, rules=rules))
-    return findings
+    """Two-phase lint of every ``.py`` file under ``paths``.
+
+    Phase 1 runs the per-file AST rules and extracts module facts (one
+    parse per file, optionally fanned out over ``jobs`` worker
+    processes and memoized in the on-disk ``cache_path``); phase 2 joins
+    the facts and runs the whole-program S/C/T rules.  Passing explicit
+    ``rules`` restricts phase 1 and skips phase 2 (legacy single-rule
+    testing mode).
+    """
+    from .analyzer import analyze_paths
+
+    return analyze_paths(paths, rules=rules, jobs=jobs, cache_path=cache_path)
 
 
 def clear_cache() -> None:
-    """Drop the per-file findings cache (tests)."""
+    """Drop the per-file findings/facts cache (tests)."""
     _CACHE.clear()

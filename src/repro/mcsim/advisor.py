@@ -139,7 +139,7 @@ class ColocationAdvisor:
         socket = self.machine.sockets[0]
         capacity = float(socket.llc.num_lines)
         latency = self.machine.latency
-        freq_ms = socket.freq_khz  # cycles per millisecond
+        freq_khz = socket.freq_khz  # kHz is numerically cycles per ms
 
         behaviors = {w.name: w.behavior for w in workloads}
         caps = {
@@ -159,7 +159,7 @@ class ColocationAdvisor:
             for name, behavior in behaviors.items():
                 hit = hit_probability(behavior, occupancy[name])
                 cpi = cycles_per_instruction(behavior, hit, latency)
-                inst_per_ms = freq_ms / cpi
+                inst_per_ms = freq_khz / cpi
                 pressures[name] = (
                     inst_per_ms * behavior.lapki / 1000.0 * (1.0 - hit)
                 )

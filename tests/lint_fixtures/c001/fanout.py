@@ -1,0 +1,17 @@
+"""C001 fixture: unpicklable payloads shipped to worker processes."""
+
+import multiprocessing
+
+
+def fan_out(items):
+    with multiprocessing.Pool(2) as pool:
+        return list(pool.imap(lambda item: item + 1, items))
+
+
+def spawn_nested():
+    def helper():
+        return 1
+
+    proc = multiprocessing.Process(target=helper)
+    proc.start()
+    return proc

@@ -1,0 +1,10 @@
+"""C002 fixture: fan-out whose entry transitively mutates a global."""
+
+import multiprocessing
+
+from .state import run
+
+
+def fan_out(items):
+    with multiprocessing.Pool(2) as pool:
+        return list(pool.imap(run, items))

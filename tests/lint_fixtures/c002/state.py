@@ -1,0 +1,12 @@
+"""C002 fixture: the worker entry point mutates module-global state."""
+
+_COUNTS = {}
+
+
+def bump(name):
+    _COUNTS[name] = _COUNTS.get(name, 0) + 1
+
+
+def run(item):
+    bump(item)
+    return item

@@ -1,0 +1,12 @@
+"""C002 negative fixture: the worker entry point is pure."""
+
+import multiprocessing
+
+
+def run(item):
+    return item * 2
+
+
+def fan_out(items):
+    with multiprocessing.Pool(2) as pool:
+        return list(pool.imap(run, items))

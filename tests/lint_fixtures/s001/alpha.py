@@ -1,0 +1,5 @@
+"""S001 fixture: derives the same literal stream name as beta.py."""
+
+
+def perturb(host_rng, value):
+    return value + host_rng.stream("shared-jitter").random()

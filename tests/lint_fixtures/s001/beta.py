@@ -1,0 +1,5 @@
+"""S001 fixture: derives the same literal stream name as alpha.py."""
+
+
+def delay(host_rng):
+    return host_rng.stream("shared-jitter").random() * 2.0

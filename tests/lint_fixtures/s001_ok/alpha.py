@@ -1,0 +1,5 @@
+"""S001 negative fixture: every module uses a distinct stream name."""
+
+
+def perturb(host_rng, value):
+    return value + host_rng.stream("alpha-jitter").random()

@@ -1,0 +1,5 @@
+"""S001 negative fixture: every module uses a distinct stream name."""
+
+
+def delay(host_rng):
+    return host_rng.stream("beta-dwell").random() * 2.0

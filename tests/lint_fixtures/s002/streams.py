@@ -1,0 +1,11 @@
+"""S002 fixture: one dynamic stream name, one omitted stream name."""
+
+from repro.simulation.rng import seeded_stream
+
+
+def dynamic(host_rng, name):
+    return host_rng.stream(name)
+
+
+def omitted(seed):
+    return seeded_stream(seed)

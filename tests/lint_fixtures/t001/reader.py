@@ -1,0 +1,13 @@
+"""T001 fixture: one typo'd read, one kind-mismatched read, one clean."""
+
+
+def sample_total(recorder):
+    return recorder.counters["kyoto.sample"]
+
+
+def load_now(recorder):
+    return recorder.counters.get("kyoto.load")
+
+
+def ok_total(recorder):
+    return recorder.counters["kyoto.samples"]

@@ -1,0 +1,6 @@
+"""T001 fixture: metrics recorded under their canonical names."""
+
+
+def record_sample(recorder):
+    recorder.inc("kyoto.samples")
+    recorder.gauge("kyoto.load", 0.5)

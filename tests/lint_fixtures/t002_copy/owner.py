@@ -1,0 +1,3 @@
+"""T002 fixture: this module owns the copyfam schema constant."""
+
+COPY_SCHEMA = "repro.copyfam/3"

@@ -1,0 +1,5 @@
+"""T002 fixture: hardcodes a literal that owner.py owns as a constant."""
+
+
+def tag():
+    return {"schema": "repro.copyfam/3"}

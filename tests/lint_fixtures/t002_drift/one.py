@@ -1,0 +1,3 @@
+"""T002 fixture: this module pins version 1 of the fixture family."""
+
+FIXTURE_SCHEMA = "repro.fixturefam/1"

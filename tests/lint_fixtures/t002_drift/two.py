@@ -1,0 +1,5 @@
+"""T002 fixture: this module hardcodes version 2 of the same family."""
+
+
+def tag():
+    return {"schema": "repro.fixturefam/2"}

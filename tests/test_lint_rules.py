@@ -209,6 +209,51 @@ RULE_CASES = [
         "ok = value < 0.3\n",
         False,
     ),
+    # -- U003: unit flow through assignment chains --------------------------
+    (
+        "u003-direct-suffix-assign",
+        "U003",
+        "freq_ms = clock_khz\n",
+        True,
+    ),
+    (
+        "u003-chain-assign",
+        "U003",
+        "elapsed = end_usec\nbudget_ms = elapsed\n",
+        True,
+    ),
+    (
+        "u003-chain-arithmetic",
+        "U003",
+        "elapsed = end_usec\ntotal = elapsed + window_ms\n",
+        True,
+    ),
+    (
+        "u003-inside-function",
+        "U003",
+        "def f(end_usec, window_ms):\n"
+        "    elapsed = end_usec\n"
+        "    return elapsed + window_ms\n",
+        True,
+    ),
+    (
+        "u003-conversion-call-ok",
+        "U003",
+        "budget_ms = usec_to_ms(end_usec)\n",
+        False,
+    ),
+    (
+        "u003-conflicting-reassignment-ok",
+        "U003",
+        "a = end_usec\na = window_ms\nb_ms = a\n",
+        False,
+    ),
+    (
+        "u003-same-unit-ok",
+        "U003",
+        "elapsed = end_usec\ntotal_usec = elapsed\n",
+        False,
+    ),
     # -- H001: mutable defaults ---------------------------------------------
     (
         "h001-list",
@@ -323,6 +368,36 @@ def test_file_level_pragma():
     assert lint_source(source, path="repro/example.py") == []
 
 
+def test_pragma_on_continuation_line_covers_the_construct():
+    source = (
+        "total = (\n"
+        "    freq_khz\n"
+        "    + delay_usec  # kyotolint: disable=U001\n"
+        ")\n"
+    )
+    assert lint_source(source, path="repro/example.py") == []
+
+
+def test_disable_and_disable_file_share_a_line():
+    source = (
+        "import random\n"
+        "x = random.random()"
+        "  # kyotolint: disable=D001  # kyotolint: disable-file=U002\n"
+        "a = y == 0.3\n"
+    )
+    assert lint_source(source, path="repro/example.py") == []
+
+
+def test_disable_file_then_disable_on_same_line():
+    source = (
+        "import random\n"
+        "x = random.random()"
+        "  # kyotolint: disable-file=U002  # kyotolint: disable=D001\n"
+        "a = y == 0.3\n"
+    )
+    assert lint_source(source, path="repro/example.py") == []
+
+
 # -- baseline -----------------------------------------------------------------
 
 
@@ -361,6 +436,68 @@ def test_new_violation_fails_despite_baseline(tmp_path):
 
 def test_missing_baseline_file_is_empty(tmp_path):
     assert len(Baseline.load(str(tmp_path / "nope.json"))) == 0
+
+
+def test_baseline_saves_version_2_with_line_hashes(tmp_path):
+    findings = lint_source(
+        "import random\nx = random.random()\n", path="repro/example.py"
+    )
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(str(path))
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 2
+    (entry,) = payload["entries"]
+    assert entry["rule"] == "D001"
+    assert len(entry["line_hash"]) == 12
+
+
+def test_baseline_rematches_within_the_line_window(tmp_path):
+    source = "import random\nx = random.random()\n"
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(
+        lint_source(source, path="repro/example.py")
+    ).save(str(path))
+
+    # Three unrelated lines added above shift the finding but keep its
+    # content; the hash anchor re-matches it inside the window.
+    shifted = "# a\n# b\n# c\n" + source
+    fresh = lint_source(shifted, path="repro/example.py")
+    Baseline.load(str(path)).apply(fresh)
+    assert all(f.baselined for f in fresh)
+    assert exit_code(fresh) == 0
+
+
+def test_baseline_does_not_rematch_beyond_the_window(tmp_path):
+    source = "import random\nx = random.random()\n"
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(
+        lint_source(source, path="repro/example.py")
+    ).save(str(path))
+
+    shifted = "# pad\n" * 25 + source
+    fresh = lint_source(shifted, path="repro/example.py")
+    Baseline.load(str(path)).apply(fresh)
+    assert not any(f.baselined for f in fresh)
+    assert exit_code(fresh) == 1
+
+
+def test_version_1_baseline_still_loads(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {"path": "repro/example.py", "rule": "D001", "line": 2}
+                ],
+            }
+        )
+    )
+    findings = lint_source(
+        "import random\nx = random.random()\n", path="repro/example.py"
+    )
+    Baseline.load(str(path)).apply(findings)
+    assert all(f.baselined for f in findings)
 
 
 # -- reports / plumbing -------------------------------------------------------

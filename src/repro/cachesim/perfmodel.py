@@ -174,6 +174,14 @@ def execute_step(
     :class:`~repro.cachesim.occupancy.LlcOccupancyDomain` and updating the
     occupancy used for the *next* step — that feedback loop at sub-tick
     granularity is what creates the contention dynamics.
+
+    This function is the *reference semantics* for the step arithmetic.
+    The batched tick engine (``repro.hypervisor.batch``) re-implements
+    the same chain over slot locals (``BatchTickEngine._step_floats`` and
+    its numpy kernel) and is pinned bit-identical to it by property
+    tests and the experiment goldens; any change to an expression here
+    must be mirrored there (and vice versa), keeping the evaluation
+    order of every float operation intact.
     """
     if cycles < 0:
         raise ValueError(f"cycles must be >= 0, got {cycles}")

@@ -93,7 +93,7 @@ class DirectPmcMonitor(PollutionMonitor):
         rate = llc_cap_act(
             deltas[PmcEvent.LLC_MISSES],
             deltas[PmcEvent.UNHALTED_CORE_CYCLES],
-            self.system.freq_khz,
+            self.system.freq_khz_of_vcpu(lead),
         )
         return rate * len(vm.vcpus)
 
@@ -136,7 +136,7 @@ class IsolationPolicy:
         cycles = self.system.last_tick_cycles.get(vcpu.gid, 0)
         if cycles == 0:
             return 0.0
-        return misses / (cycles / self.system.freq_khz)
+        return misses / (cycles / self.system.freq_khz_of_vcpu(vcpu))
 
     def should_isolate(self, vm: "VirtualMachine") -> bool:
         """True if measuring ``vm`` requires dedicating the socket."""
@@ -280,7 +280,7 @@ class SocketDedicationSampler:
         rate = llc_cap_act(
             deltas[PmcEvent.LLC_MISSES],
             deltas[PmcEvent.UNHALTED_CORE_CYCLES],
-            self.system.freq_khz,
+            self.system.freq_khz_of_vcpu(lead),
         )
         return rate * len(vm.vcpus)
 

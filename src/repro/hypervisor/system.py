@@ -26,6 +26,7 @@ Experiments attach per-tick observers to record timelines (Figs 2, 5).
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cachesim.occupancy import LlcOccupancyDomain
@@ -68,6 +69,7 @@ class VirtualizedSystem:
         perf_jitter_fraction: float = 0.0,
         seed: int = 0,
         recorder: Optional[MetricsRecorder] = None,
+        tick_engine: Optional[str] = None,
     ) -> None:
         if tick_usec <= 0:
             raise ValueError(f"tick_usec must be positive, got {tick_usec}")
@@ -138,6 +140,12 @@ class VirtualizedSystem:
         #: (the default) costs one attribute check per migration.
         self.migration_interceptor: Optional[Callable[[VCpu, int], None]] = None
         self._pending_penalty_cycles: Dict[int, int] = {}
+        # vCPUs currently in think time (blocked_until_usec set).  Only
+        # the sub-step boundary path ever blocks a vCPU, and only
+        # _wake_sleepers unblocks, so this counter lets the per-tick wake
+        # scan be skipped entirely while nothing is asleep (the common
+        # case for the batch experiments).
+        self._sleeping_count = 0
         # Per-core execution budget (cycles) of one sub-step.  tick_usec,
         # substeps_per_tick and core frequencies are all fixed at
         # construction, so the rounding below is hoisted out of the inner
@@ -160,6 +168,29 @@ class VirtualizedSystem:
         self.scheduler = scheduler
         scheduler.attach(self)
 
+        #: Which inner tick-loop implementation executes sub-steps.
+        #: ``batch`` (default) is the struct-of-arrays engine in
+        #: :mod:`repro.hypervisor.batch`; ``batch-numpy`` adds its
+        #: vectorised perf-model kernel; ``scalar`` is the reference
+        #: per-core loop.  All three are bit-exact with each other
+        #: (asserted by the equivalence property tests).  The
+        #: ``REPRO_TICK_ENGINE`` environment variable supplies the
+        #: default so experiments can be cross-checked without edits.
+        if tick_engine is None:
+            tick_engine = os.environ.get("REPRO_TICK_ENGINE", "batch")
+        if tick_engine not in ("batch", "batch-numpy", "scalar"):
+            raise ValueError(
+                f"unknown tick_engine {tick_engine!r}; expected 'batch', "
+                f"'batch-numpy' or 'scalar'"
+            )
+        self.tick_engine = tick_engine
+        # The batch engine's per-core slots are built lazily on the
+        # first tick: systems that are constructed but never run (spec
+        # materialization, validation passes) pay nothing for it.
+        self._tick_executor: Optional[Callable[[], None]] = (
+            self._execute_tick if tick_engine == "scalar" else None
+        )
+
     # -- frequency helpers ----------------------------------------------------
 
     def freq_khz_of_core(self, core_id: int) -> int:
@@ -172,6 +203,28 @@ class VirtualizedSystem:
 
     def cycles_per_tick(self, core_id: int = 0) -> int:
         return usec_to_cycles(self.tick_usec, self.freq_khz_of_core(core_id))
+
+    def socket_id_of_vcpu(self, vcpu: VCpu) -> int:
+        """Socket a vCPU's execution state lives on.
+
+        The current core wins, then the pinned core; a vCPU that has
+        never been placed anywhere falls back to its VM's memory node —
+        that is the socket whose LLC it will populate once scheduled,
+        so per-socket lookups (occupancy, frequency) stay coherent on
+        multi-socket machines.
+        """
+        core_id = (
+            vcpu.current_core
+            if vcpu.current_core is not None
+            else vcpu.pinned_core
+        )
+        if core_id is None:
+            return vcpu.vm.config.memory_node
+        return self.machine.core(core_id).socket_id
+
+    def freq_khz_of_vcpu(self, vcpu: VCpu) -> int:
+        """Frequency of the socket the vCPU runs (or would run) on."""
+        return self.machine.sockets[self.socket_id_of_vcpu(vcpu)].spec.freq_khz
 
     # -- VM lifecycle -----------------------------------------------------------
 
@@ -277,14 +330,22 @@ class VirtualizedSystem:
         """
         if vcpu.cycles_run == 0:
             return 0.0
-        ms_run = vcpu.cycles_run / (self.freq_khz)  # freq_khz == cycles/ms
+        # freq_khz == cycles/ms.  The frequency must be the socket the
+        # vCPU actually ran on: socket 0's frequency would misconvert
+        # cycles to milliseconds on heterogeneous multi-socket specs.
+        ms_run = vcpu.cycles_run / (self.freq_khz_of_vcpu(vcpu))
         return vcpu.llc_misses / ms_run
 
     def occupancy_of(self, vcpu: VCpu) -> float:
-        """LLC lines the vCPU holds on its (current or pinned) socket."""
-        core_id = vcpu.current_core if vcpu.current_core is not None else vcpu.pinned_core
-        socket_id = 0 if core_id is None else self.machine.core(core_id).socket_id
-        return self.llc_domains[socket_id].occupancy_of(vcpu.gid)
+        """LLC lines the vCPU holds on its (current or pinned) socket.
+
+        An unplaced, unpinned vCPU reads its VM's memory-node socket —
+        not socket 0 — so Kyoto sampling of a never-yet-scheduled vCPU
+        homed on another socket doesn't consult the wrong LLC domain.
+        """
+        return self.llc_domains[self.socket_id_of_vcpu(vcpu)].occupancy_of(
+            vcpu.gid
+        )
 
     # -- the tick loop -------------------------------------------------------------
 
@@ -342,7 +403,15 @@ class VirtualizedSystem:
     def _do_tick(self) -> None:
         self._wake_sleepers()
         self.scheduler.on_tick_start(self.tick_index)
-        self._execute_tick()
+        executor = self._tick_executor
+        if executor is None:
+            from .batch import BatchTickEngine
+
+            self._batch_engine = BatchTickEngine(
+                self, use_numpy=self.tick_engine == "batch-numpy"
+            )
+            executor = self._tick_executor = self._batch_engine.execute_tick
+        executor()
         self.scheduler.on_tick_end(self.tick_index)
         if (self.tick_index + 1) % self.ticks_per_slice == 0:
             self.scheduler.on_accounting(self.tick_index)
@@ -368,10 +437,13 @@ class VirtualizedSystem:
     def _wake_sleepers(self) -> None:
         """Unblock vCPUs whose think time elapsed; notify the scheduler
         (Xen gives freshly woken vCPUs BOOST priority)."""
+        if self._sleeping_count == 0:
+            return
         now = self.engine.clock.now_usec
         for vcpu in self.vcpus:
             if vcpu.blocked_until_usec is not None and vcpu.blocked_until_usec <= now:
                 vcpu.blocked_until_usec = None
+                self._sleeping_count -= 1
                 self.scheduler.on_vcpu_wake(vcpu)
 
     def _execute_tick(self) -> None:
@@ -400,6 +472,12 @@ class VirtualizedSystem:
             for core in cores:
                 vcpu = core.running
                 if vcpu is None:
+                    # An idle core burns no cycles, so any pending
+                    # context-switch penalty dies with the departed
+                    # occupant rather than being charged to whichever
+                    # vCPU lands here ticks later (which would owe only
+                    # its own switch-in cost).
+                    self._pending_penalty_cycles.pop(core.core_id, None)
                     continue
                 if not vcpu.runnable:
                     # Finished or blocked mid-tick: vacate the core and
@@ -408,6 +486,7 @@ class VirtualizedSystem:
                     self.scheduler.refill_core(core)
                     vcpu = core.running
                     if vcpu is None or not vcpu.runnable:
+                        self._pending_penalty_cycles.pop(core.core_id, None)
                         continue
                 misses, behavior = self._execute_substep(core, vcpu)
                 socket = core.socket_id
@@ -467,6 +546,7 @@ class VirtualizedSystem:
                 vcpu.blocked_until_usec = (
                     self.engine.clock.now_usec + progress.workload.think_usec
                 )
+                self._sleeping_count += 1
         scale = (
             instructions / result.instructions if result.instructions > 0 else 0.0
         )

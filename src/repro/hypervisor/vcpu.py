@@ -130,6 +130,50 @@ class VCpu:
         self._access_carry -= whole
         return whole
 
+    def batch_mirror(self):
+        """Snapshot truth metrics, progress and carry state as a tuple.
+
+        Consumed by the batched tick engine when it primes a core slot:
+        the engine accumulates into slot-local copies of these values
+        (in the same order as :meth:`record_execution` and the
+        ``take_integer_*`` carries would) and writes them back with
+        :meth:`batch_writeback`, keeping the carry fields private to
+        this class.  Field order is the writeback argument order.
+        """
+        return (
+            self.cycles_run,
+            self.instructions_retired,
+            self.llc_accesses,
+            self.llc_misses,
+            self.progress.instructions_done,
+            self._instr_carry,
+            self._miss_carry,
+            self._access_carry,
+        )
+
+    def batch_writeback(
+        self,
+        cycles_run: int,
+        instructions_retired: float,
+        llc_accesses: float,
+        llc_misses: float,
+        instructions_done: float,
+        instr_carry: float,
+        miss_carry: float,
+        access_carry: float,
+    ) -> None:
+        """Apply a batched engine's accumulated mirrors (see
+        :meth:`batch_mirror`).  Idempotent: flushing twice with the same
+        values is a no-op."""
+        self.cycles_run = cycles_run
+        self.instructions_retired = instructions_retired
+        self.llc_accesses = llc_accesses
+        self.llc_misses = llc_misses
+        self.progress.instructions_done = instructions_done
+        self._instr_carry = instr_carry
+        self._miss_carry = miss_carry
+        self._access_carry = access_carry
+
     def reset_metrics(self) -> None:
         """Zero truth metrics (start of a measurement window)."""
         self.instructions_retired = 0.0

@@ -36,7 +36,16 @@ class HardwareCounter:
     raw: int = 0
 
     def add(self, amount: int) -> None:
-        """Increment the counter, wrapping at 2**48."""
+        """Increment the counter, wrapping at 2**48.
+
+        Contract relied on by the batched tick engine: integer addition
+        modulo ``2**48`` is associative, so ``add(a); add(b)`` and
+        ``add(a + b)`` leave the same raw value.  Per-sub-step deltas may
+        therefore be coalesced into one flush — but only between reads:
+        any code that can observe ``raw`` mid-batch (a context switch
+        virtualising the bank, a sampling window) must be preceded by a
+        flush of the pending deltas.
+        """
         if amount < 0:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
         self.raw = (self.raw + amount) & COUNTER_MASK

@@ -118,6 +118,33 @@ class CreditScheduler(Scheduler):
             self.system.recorder.inc("credit.boosts")
 
     def _pick(self, core_id: int) -> Optional["VCpu"]:
+        boosted = self._boosted
+        if not boosted:
+            # Fast path: with no boosted vCPU anywhere, the first UNDER
+            # candidate in round-robin order wins outright, so the
+            # candidate filter fuses into one early-exiting scan instead
+            # of building the candidate list on every refill.
+            order = self._rr_order.get(core_id)
+            if not order:
+                return self._steal(core_id)
+            accounts = self.accounts
+            by_gid = self._vcpu_by_gid
+            fast_first_uncapped: Optional["VCpu"] = None
+            for gid in order:
+                vcpu = by_gid[gid]
+                if not vcpu.runnable or self.is_parked(vcpu):
+                    continue
+                account = accounts[gid]
+                if account.credits > 0:  # UNDER
+                    return vcpu
+                if (
+                    fast_first_uncapped is None
+                    and account.cap_percent is None
+                ):
+                    fast_first_uncapped = vcpu
+            if fast_first_uncapped is not None:
+                return fast_first_uncapped
+            return self._steal(core_id)
         candidates = self._candidates(core_id)
         if not candidates:
             return self._steal(core_id)

@@ -1,0 +1,327 @@
+"""Tests for the batched struct-of-arrays tick engine.
+
+The engine has exactly one contract: every observable — truth metrics,
+integer-carry state, per-tick metric dicts, virtualised PMC readings and
+LLC occupancy trajectories — is bit-identical to the scalar reference
+path (``tick_engine="scalar"``).  The property test drives random fleets
+through both engines (and the numpy backend when numpy is importable)
+and compares full fingerprints for equality, not approximation.
+
+Also pins the multi-socket accounting bugfixes that shipped with the
+engine: socket-correct frequency in ``truth_llc_cap``, memory-node
+fallback in ``occupancy_of``, and pending context-switch penalties dying
+with an idle core.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cachesim.perfmodel import CacheBehavior
+from repro.hardware.latency import PAPER_LATENCIES
+from repro.hardware.specs import CacheSpec, KIB, MIB, MachineSpec, SocketSpec
+from repro.hypervisor.system import VirtualizedSystem
+from repro.hypervisor.vm import VmConfig
+from repro.partitioning.static import apply_page_coloring
+from repro.pmc.counters import PmcEvent
+from repro.schedulers.credit import CreditScheduler
+from repro.workloads.base import Workload
+from repro.workloads.interactive import InteractiveWorkload
+from repro.workloads.phased import Phase, PhasedWorkload
+
+from conftest import make_vm
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+ENGINES = ["scalar", "batch"] + (["batch-numpy"] if HAVE_NUMPY else [])
+
+
+def _socket(freq_khz: int, cores: int = 4) -> SocketSpec:
+    return SocketSpec(
+        cores=cores,
+        freq_khz=freq_khz,
+        l1d=CacheSpec("L1D", 32 * KIB, 8),
+        l1i=CacheSpec("L1I", 32 * KIB, 8),
+        l2=CacheSpec("L2", 256 * KIB, 8),
+        llc=CacheSpec("LLC", 10 * MIB, 20, shared=True),
+    )
+
+
+def hetero_machine() -> MachineSpec:
+    """Two sockets at different frequencies (socket 1 at half speed)."""
+    return MachineSpec(
+        name="hetero-2s",
+        sockets=(_socket(2_800_000), _socket(1_400_000)),
+        memory_bytes=2 * 8_096 * MIB,
+        latency=PAPER_LATENCIES,
+    )
+
+
+def two_socket_machine() -> MachineSpec:
+    socket = _socket(2_800_000)
+    return MachineSpec(
+        name="homog-2s",
+        sockets=(socket, socket),
+        memory_bytes=2 * 8_096 * MIB,
+        latency=PAPER_LATENCIES,
+    )
+
+
+# -- the equivalence property -------------------------------------------------
+
+behaviors = st.builds(
+    CacheBehavior,
+    wss_lines=st.floats(min_value=1, max_value=1e6),
+    lapki=st.floats(min_value=0, max_value=100),
+    base_cpi=st.floats(min_value=0.1, max_value=5),
+    locality_theta=st.floats(min_value=0.1, max_value=4),
+    stream_fraction=st.floats(min_value=0, max_value=1),
+    mlp=st.floats(min_value=1, max_value=64),
+)
+
+vm_specs = st.lists(
+    st.tuples(
+        behaviors,
+        behaviors,  # second phase / unused for single-phase kinds
+        st.sampled_from(["plain", "finite", "phased", "interactive"]),
+        st.integers(min_value=0, max_value=1),  # memory node
+        st.booleans(),  # pinned?
+    ),
+    min_size=2,
+    max_size=6,
+)
+
+
+def _workload(kind: str, index: int, behavior, behavior2) -> Workload:
+    if kind == "finite":
+        return Workload(
+            name=f"w{index}", behavior=behavior, total_instructions=3e7
+        )
+    if kind == "phased":
+        return PhasedWorkload(
+            f"w{index}",
+            [Phase(behavior, 5e6), Phase(behavior2, 5e6)],
+        )
+    if kind == "interactive":
+        return InteractiveWorkload(
+            f"w{index}",
+            behavior,
+            burst_instructions=4e6,
+            think_usec=5_000,
+        )
+    return Workload(name=f"w{index}", behavior=behavior)
+
+
+def _fingerprint(engine, specs, substeps, jitter, seed, ticks, color=False):
+    """Run a fleet on ``engine`` and capture every observable, exactly."""
+    system = VirtualizedSystem(
+        CreditScheduler(),
+        two_socket_machine(),
+        substeps_per_tick=substeps,
+        perf_jitter_fraction=jitter,
+        seed=seed,
+        tick_engine=engine,
+    )
+    vms = []
+    total_cores = system.machine.spec.total_cores
+    for index, (behavior, behavior2, kind, node, pinned) in enumerate(specs):
+        vms.append(
+            system.create_vm(
+                VmConfig(
+                    name=f"vm{index}",
+                    workload=_workload(kind, index, behavior, behavior2),
+                    pinned_cores=[index % total_cores] if pinned else None,
+                    memory_node=node,
+                )
+            )
+        )
+    if color:
+        apply_page_coloring(
+            system, {vms[0]: 20_000.0, vms[1]: 30_000.0}
+        )
+    trail = []
+
+    def observe(s, tick):
+        trail.append(
+            (
+                dict(s.last_tick_cycles),
+                dict(s.last_tick_instructions),
+                dict(s.last_tick_misses),
+                tuple(
+                    tuple(sorted(d.snapshot().items()))
+                    for d in s.llc_domains
+                ),
+            )
+        )
+
+    system.add_tick_observer(observe)
+    system.run_ticks(ticks)
+    final = []
+    for vm in vms:
+        for vcpu in vm.vcpus:
+            system.perfctr.flush_running(vcpu.gid)
+            account = system.perfctr.account(vcpu.gid)
+            final.append(
+                (
+                    vcpu.cycles_run,
+                    vcpu.instructions_retired,
+                    vcpu.llc_accesses,
+                    vcpu.llc_misses,
+                    vcpu.progress.instructions_done,
+                    vcpu.progress.finished_at_usec,
+                    vcpu.blocked_until_usec,
+                    vcpu.batch_mirror(),
+                    tuple(account.read(event) for event in PmcEvent),
+                )
+            )
+    return trail, final
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        specs=vm_specs,
+        substeps=st.sampled_from([4, 10]),
+        jitter=st.sampled_from([0.0, 0.03]),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_batched_engines_bit_identical_to_scalar(
+        self, specs, substeps, jitter, seed
+    ):
+        reference = _fingerprint("scalar", specs, substeps, jitter, seed, 40)
+        for engine in ENGINES[1:]:
+            assert (
+                _fingerprint(engine, specs, substeps, jitter, seed, 40)
+                == reference
+            ), engine
+
+    def test_phase_crossing_fleet_bit_identical(self):
+        """Deterministic pin: phase transitions inside a tick (the cap-
+        provenance regression of PR 5) survive the batched engines."""
+        big = CacheBehavior(wss_lines=120_000.0, lapki=25.0)
+        small = CacheBehavior(
+            wss_lines=120_000.0,
+            lapki=25.0,
+            pollution_footprint_lines=2_000.0,
+        )
+        specs = [
+            (big, small, "phased", 0, True),
+            (small, big, "phased", 1, True),
+            (big, big, "plain", 0, False),
+            (small, small, "finite", 1, False),
+        ]
+        reference = _fingerprint("scalar", specs, 10, 0.0, 7, 60)
+        for engine in ENGINES[1:]:
+            assert _fingerprint(engine, specs, 10, 0.0, 7, 60) == reference
+
+    def test_page_colored_domains_bit_identical(self):
+        """Replacement (duck-typed) LLC domains go through the same
+        relax/occupancy sequence on every engine."""
+        a = CacheBehavior(wss_lines=90_000.0, lapki=30.0)
+        b = CacheBehavior(wss_lines=50_000.0, lapki=15.0, stream_fraction=0.4)
+        specs = [
+            (a, b, "plain", 0, True),
+            (b, a, "plain", 0, True),
+            (a, a, "phased", 1, False),
+        ]
+        reference = _fingerprint(
+            "scalar", specs, 10, 0.0, 3, 50, color=True
+        )
+        for engine in ENGINES[1:]:
+            assert (
+                _fingerprint(engine, specs, 10, 0.0, 3, 50, color=True)
+                == reference
+            )
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            VirtualizedSystem(
+                CreditScheduler(), tick_engine="vectorised-maybe"
+            )
+
+
+# -- multi-socket accounting bugfixes -----------------------------------------
+
+class TestSocketFrequencyAccounting:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_truth_llc_cap_uses_own_socket_frequency(self, engine):
+        """Regression: cycles→ms conversion used socket 0's frequency no
+        matter where the vCPU ran, halving/doubling misses/ms on
+        heterogeneous machines."""
+        system = VirtualizedSystem(
+            CreditScheduler(), hetero_machine(), tick_engine=engine
+        )
+        slow_core = system.machine.spec.cores_of_socket(1)[0]
+        vm = make_vm(system, app="lbm", core=slow_core, memory_node=1)
+        system.run_ticks(10)
+        vcpu = vm.vcpus[0]
+        assert vcpu.llc_misses > 0
+        slow_khz = system.machine.sockets[1].spec.freq_khz
+        expected = vcpu.llc_misses / (vcpu.cycles_run / slow_khz)
+        assert system.truth_llc_cap(vcpu) == expected
+        # The two sockets genuinely disagree, so the old socket-0 math
+        # would have produced a different rate.
+        wrong = vcpu.llc_misses / (vcpu.cycles_run / system.freq_khz)
+        assert system.truth_llc_cap(vcpu) != wrong
+
+    def test_occupancy_of_unplaced_vcpu_reads_memory_node_socket(self):
+        """Regression: a never-scheduled, unpinned vCPU homed on socket 1
+        read socket 0's LLC domain."""
+        system = VirtualizedSystem(CreditScheduler(), two_socket_machine())
+        vm = system.create_vm(
+            VmConfig(
+                name="idle",
+                workload=Workload(
+                    name="w", behavior=CacheBehavior(wss_lines=1e5, lapki=10.0)
+                ),
+                memory_node=1,
+            )
+        )
+        vcpu = vm.vcpus[0]
+        assert vcpu.current_core is None and vcpu.pinned_core is None
+        system.llc_domains[1].relax({vcpu.gid: 200.0}, {vcpu.gid: 5_000.0})
+        assert system.llc_domains[0].occupancy_of(vcpu.gid) == 0.0
+        expected = system.llc_domains[1].occupancy_of(vcpu.gid)
+        assert expected > 0.0
+        assert system.occupancy_of(vcpu) == expected
+
+
+class TestPendingPenaltyIdleGap:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_penalty_cleared_when_core_goes_idle(self, engine):
+        """Pinned semantics: a pending context-switch penalty dies with
+        the occupant — switch→idle→switch must not charge the stale
+        penalty to whoever lands on the core ticks later."""
+        system = VirtualizedSystem(
+            CreditScheduler(),
+            ticks_per_slice=1,
+            # Far larger than a slice's budget: the penalty cannot be
+            # fully absorbed before the idle gap, so a leftover would be
+            # observable after it.
+            context_switch_cost_cycles=10**10,
+            tick_engine=engine,
+        )
+        vm_a = make_vm(system, "a", app="gcc", core=0)
+        vm_b = make_vm(system, "b", app="lbm", core=0)
+        system.run_ticks(3)  # at least one preemption switch on core 0
+        assert system._pending_penalty_cycles.get(0, 0) > 0
+        # Park both: core 0 is observed idle during the next tick.
+        vm_a.vcpus[0].paused = True
+        vm_b.vcpus[0].paused = True
+        system.run_ticks(1)
+        assert system._pending_penalty_cycles.get(0, 0) == 0
+        # The next occupant starts clean.  Its own switch-in charges one
+        # fresh penalty, so after a tick of absorption the pending total
+        # must sit strictly within one charge — a leaked stale penalty
+        # would push it above 10**10.
+        vm_b.vcpus[0].paused = False
+        system.run_ticks(1)
+        pending = system._pending_penalty_cycles.get(0, 0)
+        assert 0 < pending <= 10**10 - system.cycles_per_tick(0) // 2

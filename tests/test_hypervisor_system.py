@@ -229,7 +229,9 @@ class TestFootprintCapSampling:
         real_relax = domain.relax
 
         def spy_relax(pressures, caps):
-            relaxed.append((vcpu.progress.instructions_done, dict(caps)))
+            # The behavior sample always precedes the relaxation within
+            # a sub-step, so sampled[-1] is this sub-step's sample.
+            relaxed.append((sampled[-1], dict(caps)))
             return real_relax(pressures, caps)
 
         domain.relax = spy_relax
@@ -237,21 +239,30 @@ class TestFootprintCapSampling:
         xcs_system.run_ticks(30)
 
         # Exactly one behavior sample per executed sub-step (the second,
-        # post-execution call is gone).
-        assert len(sampled) == len(relaxed)
+        # post-execution call is gone).  Relax-call counts are not a
+        # sub-step proxy: the batch engine elides provably no-op
+        # relaxations.
+        assert len(sampled) == 30 * xcs_system.substeps_per_tick
+        assert 0 < len(relaxed) <= len(sampled)
         # Every relax cap equals the footprint of the pre-execution
         # sample of the same sub-step — including at phase crossings,
         # where the post-execution sample would disagree.
-        crossings = 0
-        for before, (after, caps) in zip(sampled, relaxed):
+        for before, caps in relaxed:
             expected = real_behavior_at(before).footprint_cap_lines
             assert caps[vcpu.gid] == expected
-            if (
-                workload.phase_index_at(before)
-                != workload.phase_index_at(after)
-            ):
-                crossings += 1
-        assert crossings > 0  # the run actually exercised transitions
+        # The run actually exercised a phase transition, and relax was
+        # invoked in both phases (a crossing sub-step always relaxes —
+        # the behavior change defeats the elision).
+        crossings = sum(
+            1
+            for a, b in zip(sampled, sampled[1:])
+            if workload.phase_index_at(a) != workload.phase_index_at(b)
+        )
+        assert crossings > 0
+        relaxed_phases = {
+            workload.phase_index_at(before) for before, _ in relaxed
+        }
+        assert len(relaxed_phases) > 1
 
 
 class TestObservers:

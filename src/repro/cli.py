@@ -9,6 +9,13 @@ Run any of the paper's reproduced experiments from a shell::
     python -m repro run examples/scenarios/colocation.toml
     python -m repro campaign out/ --output BENCH.json
     python -m repro scenario validate examples/scenarios/*.toml
+    python -m repro herd run all --jobs 4 --json herd-out/
+    python -m repro herd resume herd-out/
+
+``herd`` is the crash-resilient campaign driver (docs/herd.md): every
+point's lifecycle is journalled, transient failures retry under
+deterministic backoff, poison points are quarantined, and a killed
+campaign resumes from its journal without re-running completed points.
 
 Each experiment prints the same rows/series the paper's figure or table
 reports (see EXPERIMENTS.md for the paper-vs-measured record).
@@ -95,8 +102,93 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "per-experiment watchdog: run each experiment in a supervised "
             "subprocess killed after SEC seconds (a hang is reported like "
-            "a crash and the batch continues; implies serial execution)"
+            "a crash and the batch continues; combines with --jobs N for "
+            "concurrent supervised workers)"
         ),
+    )
+    herd_parser = subparsers.add_parser(
+        "herd",
+        help="crash-resilient resumable campaigns (docs/herd.md)",
+    )
+    herd_sub = herd_parser.add_subparsers(dest="herd_command", required=True)
+    herd_run = herd_sub.add_parser(
+        "run", help="start a journalled campaign into a fresh directory"
+    )
+    herd_run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names, scenario/sweep files, or 'all'",
+    )
+    herd_run.add_argument(
+        "--json",
+        dest="json_dir",
+        required=True,
+        metavar="DIR",
+        help="campaign directory: artifacts, journal.jsonl, herd-summary.json",
+    )
+    herd_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrently supervised watchdog workers (default 1)",
+    )
+    herd_run.add_argument(
+        "--timeout-sec",
+        dest="timeout_sec",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-attempt watchdog timeout (a hang retries, then quarantines)",
+    )
+    herd_run.add_argument(
+        "--max-attempts",
+        dest="max_attempts",
+        type=int,
+        default=3,
+        metavar="K",
+        help="attempt budget per point before quarantine (default 3)",
+    )
+    herd_run.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="master seed for deterministic retry jitter (default 0)",
+    )
+    herd_run.add_argument(
+        "--base-delay-sec",
+        dest="base_delay_sec",
+        type=float,
+        default=0.5,
+        metavar="SEC",
+        help="backoff base delay before the first retry (default 0.5)",
+    )
+    herd_run.add_argument(
+        "--max-delay-sec",
+        dest="max_delay_sec",
+        type=float,
+        default=30.0,
+        metavar="SEC",
+        help="backoff delay cap (default 30)",
+    )
+    herd_resume = herd_sub.add_parser(
+        "resume", help="resume a killed/interrupted campaign from its journal"
+    )
+    herd_resume.add_argument(
+        "json_dir", metavar="DIR", help="campaign directory holding journal.jsonl"
+    )
+    herd_resume.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the journalled worker count",
+    )
+    herd_status = herd_sub.add_parser(
+        "status", help="replay a campaign journal and print queue state"
+    )
+    herd_status.add_argument(
+        "json_dir", metavar="DIR", help="campaign directory holding journal.jsonl"
     )
     campaign_parser = subparsers.add_parser(
         "campaign",
@@ -384,6 +476,33 @@ def run_scenario_command(args, out=sys.stdout) -> int:
     )
 
 
+def run_herd_command(args, out=sys.stdout) -> int:
+    """Dispatch ``repro herd run | resume | status`` (docs/herd.md)."""
+    from repro import herd
+
+    try:
+        if args.herd_command == "run":
+            config = herd.HerdConfig(
+                jobs=args.jobs,
+                timeout_sec=args.timeout_sec,
+                max_attempts=args.max_attempts,
+                backoff=herd.BackoffPolicy(
+                    base_delay_sec=args.base_delay_sec,
+                    max_delay_sec=args.max_delay_sec,
+                ),
+                seed=args.seed,
+            )
+            return herd.run_herd(
+                args.experiments, args.json_dir, config, out=out
+            )
+        if args.herd_command == "resume":
+            return herd.resume_herd(args.json_dir, jobs=args.jobs, out=out)
+        return herd.herd_status(args.json_dir, out=out)
+    except (herd.HerdError, herd.JournalError, herd.BackoffError) as exc:
+        sys.stderr.write(f"repro herd: error: {exc}\n")
+        return 2
+
+
 def run_bench(args, out=sys.stdout) -> int:
     """The ``repro bench`` subcommand (see repro.bench, docs/performance.md).
 
@@ -516,6 +635,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_bench(args)
     if args.command == "scenario":
         return run_scenario_command(args)
+    if args.command == "herd":
+        return run_herd_command(args)
     if args.command == "campaign":
         return campaign_mod.summarize_campaign(args.artifact_dir, output=args.output)
     return run_experiments(

@@ -29,8 +29,9 @@ import json
 import multiprocessing
 import os
 import sys
+import tempfile
 import traceback
-from typing import Any, Dict, IO, List, Optional, Sequence
+from typing import Any, Dict, IO, Iterator, List, Optional, Sequence, Tuple
 
 from repro.scenario import ScenarioError
 from repro.telemetry import MetricsRecorder, recording, to_json_dict
@@ -98,6 +99,30 @@ def run_one(name: str) -> Dict[str, Any]:
     }
 
 
+def failure_artifact(
+    name: str,
+    description: str,
+    error: str,
+    wall_time_sec: float,
+) -> Dict[str, Any]:
+    """Synthetic ``ok: False`` artifact for work that produced no report.
+
+    Used for watchdog timeouts, worker crashes and herd quarantines —
+    anywhere the experiment never got to build its own artifact.
+    """
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "name": name,
+        "description": description,
+        "ok": False,
+        "report": "",
+        "error": error,
+        "traceback": None,
+        "wall_time_sec": wall_time_sec,
+        "telemetry": to_json_dict(MetricsRecorder()),
+    }
+
+
 def _run_one_into(name: str, conn: "multiprocessing.connection.Connection") -> None:
     """Watchdog child entry point: run the experiment, ship the artifact.
 
@@ -109,17 +134,23 @@ def _run_one_into(name: str, conn: "multiprocessing.connection.Connection") -> N
         conn.close()
 
 
-def run_one_with_timeout(name: str, timeout_sec: float) -> Dict[str, Any]:
+def run_one_with_timeout(
+    name: str, timeout_sec: float, grace_sec: float = 5.0
+) -> Dict[str, Any]:
     """Run one experiment in a subprocess, killed after ``timeout_sec``.
 
     A hung driver (infinite loop, deadlock) cannot be interrupted
-    in-process, so the watchdog runs it in a child and terminates the
-    child on timeout.  The timeout — and a child that dies without
-    reporting — is surfaced exactly like a crashing driver: an
-    ``ok: False`` artifact, and the batch continues.
+    in-process, so the watchdog runs it in a child and stops the child
+    on timeout — SIGTERM first, escalating to SIGKILL after
+    ``grace_sec`` (:func:`repro.herd.pool.stop_child`), so a child that
+    ignores SIGTERM cannot hang the campaign.  The timeout — and a
+    child that dies without reporting — is surfaced exactly like a
+    crashing driver: an ``ok: False`` artifact, and the batch continues.
     """
     if timeout_sec <= 0:
         raise CampaignError(f"timeout_sec must be positive, got {timeout_sec}")
+    if grace_sec <= 0:
+        raise CampaignError(f"grace_sec must be positive, got {grace_sec}")
     try:
         spec = resolve(name)
     except (KeyError, ScenarioError):
@@ -152,21 +183,74 @@ def run_one_with_timeout(name: str, timeout_sec: float) -> Dict[str, Any]:
                 f"{timeout_sec:g}s"
             )
     finally:
+        # Local import: repro.herd orchestrates *over* the campaign
+        # runner, so campaign -> herd must not bind at import time.
+        from repro.herd.pool import stop_child
+
         receiver.close()
-        if child.is_alive():
-            child.terminate()
-        child.join()
-    return {
-        "schema": ARTIFACT_SCHEMA,
-        "name": spec.name,
-        "description": spec.description,
-        "ok": False,
-        "report": "",
-        "error": error,
-        "traceback": None,
-        "wall_time_sec": elapsed_since(start),
-        "telemetry": to_json_dict(MetricsRecorder()),
-    }
+        stop_child(child, grace_sec)
+    return failure_artifact(
+        spec.name, spec.description, error or "", elapsed_since(start)
+    )
+
+
+def _watchdog_artifact(
+    name: str, kind: str, result: Optional[Dict[str, Any]],
+    timeout_sec: float, wall_time_sec: float, exitcode: Optional[int],
+) -> Dict[str, Any]:
+    """Artifact for one supervised-pool outcome (see ``_watchdog_stream``)."""
+    if kind == "result" and result is not None:
+        return result
+    try:
+        spec = resolve(name)
+        display, description = spec.name, spec.description
+    except (KeyError, ScenarioError):
+        display, description = name, f"unresolvable experiment {name!r}"
+    if kind == "timeout":
+        error = (
+            f"TimeoutError: watchdog killed '{display}' after "
+            f"{timeout_sec:g}s"
+        )
+    else:
+        error = (
+            f"ChildCrash: experiment '{display}' worker died without "
+            f"reporting (exit code "
+            f"{exitcode if exitcode is not None else '?'})"
+        )
+    return failure_artifact(display, description, error, wall_time_sec)
+
+
+def _watchdog_stream(
+    names: Sequence[str], jobs: int, timeout_sec: float
+) -> Iterator[Dict[str, Any]]:
+    """Supervised watchdog workers, ``jobs`` at a time, request order out."""
+    # Local import: campaign -> herd must not bind at import time (the
+    # herd orchestrator builds on this module).
+    from repro.herd.pool import SupervisedPool
+
+    buffered: Dict[int, Dict[str, Any]] = {}
+    next_index = 0
+    launched = 0
+    with SupervisedPool(
+        target=_run_one_into, jobs=jobs, timeout_sec=timeout_sec
+    ) as pool:
+        while next_index < len(names):
+            while pool.free_slots > 0 and launched < len(names):
+                pool.launch(str(launched), names[launched])
+                launched += 1
+            for outcome in pool.wait(0.25):
+                index = int(outcome.key)
+                buffered[index] = _watchdog_artifact(
+                    names[index],
+                    outcome.kind,
+                    outcome.result,
+                    timeout_sec,
+                    outcome.wall_time_sec,
+                    outcome.exitcode,
+                )
+            while next_index in buffered:
+                yield buffered.pop(next_index)
+                next_index += 1
 
 
 def _artifact_stream(
@@ -178,12 +262,17 @@ def _artifact_stream(
     otherwise a worker pool computes out of order while ``imap``
     delivers in order, so the observable output is identical.  With a
     ``timeout_sec`` watchdog each experiment gets its own supervised
-    subprocess; the watchdog path runs the batch serially (one child at
-    a time) so every experiment owns its full time budget.
+    subprocess — up to ``jobs`` of them concurrently
+    (:class:`repro.herd.pool.SupervisedPool`), each owning its full
+    time budget, with results still delivered in request order.
     """
     if timeout_sec is not None:
-        for name in names:
-            yield run_one_with_timeout(name, timeout_sec)
+        if jobs <= 1 or len(names) <= 1:
+            for name in names:
+                yield run_one_with_timeout(name, timeout_sec)
+        else:
+            for artifact in _watchdog_stream(names, jobs, timeout_sec):
+                yield artifact
         return
     if jobs <= 1 or len(names) <= 1:
         for name in names:
@@ -202,21 +291,44 @@ def artifact_filename(name: str) -> str:
     Scenario names may carry sweep labels (``chaos@faults.uniform_rate=0.5``)
     or, for unresolvable tokens, whole paths; everything outside a
     conservative safe set maps to ``_`` so the file lands inside
-    ``json_dir`` on every platform.
+    ``json_dir`` on every platform.  Sanitization is lossy (``a/b`` and
+    ``a_b`` both sanitize to ``a_b``), so whenever it changed the name a
+    short hash of the *original* name is appended — distinct experiment
+    names can never silently share (and overwrite) one artifact file.
     """
     safe = "".join(
         ch if ch.isalnum() or ch in "._@=,+-" else "_" for ch in name
     )
-    return f"{safe or 'experiment'}.json"
+    if not safe:
+        safe = "experiment"
+    if safe != name:
+        digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
+        safe = f"{safe}-{digest}"
+    return f"{safe}.json"
 
 
 def write_artifact(json_dir: str, artifact: Dict[str, Any]) -> str:
-    """Write one per-experiment artifact; returns the path written."""
+    """Write one per-experiment artifact atomically; returns the path.
+
+    The document lands in a temp file in the same directory and is
+    ``os.replace``d into place, so a kill mid-write can never leave a
+    truncated ``.json`` behind — readers see the old content or the new
+    content, never half a document.
+    """
     os.makedirs(json_dir, exist_ok=True)
     path = os.path.join(json_dir, artifact_filename(artifact["name"]))
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(artifact, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    handle_fd, tmp_path = tempfile.mkstemp(
+        dir=json_dir, prefix=".artifact-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
     return path
 
 
@@ -269,26 +381,44 @@ def run_campaign(
 # -- aggregation -------------------------------------------------------------
 
 
-def load_artifacts(json_dir: str) -> List[Dict[str, Any]]:
-    """Load every ``repro.artifact/1`` document in ``json_dir``.
+def scan_artifacts(
+    json_dir: str,
+) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Load ``repro.artifact/1`` documents; report corrupt files.
 
+    Returns ``(artifacts, corrupt)`` where ``corrupt`` lists the
+    filenames (sorted) that held undecodable JSON.  A corrupt artifact —
+    e.g. one truncated by a kill mid-write before writes became atomic —
+    must not abort aggregation of the healthy rest of the directory.
     Non-artifact JSON files (e.g. a previously written campaign summary
     in the same directory) are skipped, not errors.
     """
     if not os.path.isdir(json_dir):
         raise CampaignError(f"no such artifact directory: {json_dir}")
     artifacts: List[Dict[str, Any]] = []
+    corrupt: List[str] = []
     for entry in sorted(os.listdir(json_dir)):
         if not entry.endswith(".json"):
             continue
         path = os.path.join(json_dir, entry)
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
             try:
                 data = json.load(handle)
-            except json.JSONDecodeError as exc:
-                raise CampaignError(f"unreadable artifact {path}: {exc}") from exc
+            except json.JSONDecodeError:
+                corrupt.append(entry)
+                continue
         if isinstance(data, dict) and data.get("schema") == ARTIFACT_SCHEMA:
             artifacts.append(data)
+    return artifacts, corrupt
+
+
+def load_artifacts(json_dir: str) -> List[Dict[str, Any]]:
+    """Load every readable ``repro.artifact/1`` document in ``json_dir``.
+
+    Corrupt files are tolerated (see :func:`scan_artifacts`); a
+    directory with no readable artifact at all is still an error.
+    """
+    artifacts, _corrupt = scan_artifacts(json_dir)
     if not artifacts:
         raise CampaignError(
             f"no {ARTIFACT_SCHEMA} artifacts found in {json_dir}"
@@ -328,8 +458,21 @@ def aggregate_artifacts(artifacts: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
 
 
 def aggregate_dir(json_dir: str) -> Dict[str, Any]:
-    """Aggregate every artifact in ``json_dir`` into a campaign summary."""
-    return aggregate_artifacts(load_artifacts(json_dir))
+    """Aggregate every artifact in ``json_dir`` into a campaign summary.
+
+    Corrupt artifact files do not abort aggregation — they are listed
+    under ``corrupt_artifacts`` in the summary so the campaign still
+    reports (and exits nonzero on) the damage.
+    """
+    artifacts, corrupt = scan_artifacts(json_dir)
+    if not artifacts:
+        raise CampaignError(
+            f"no {ARTIFACT_SCHEMA} artifacts found in {json_dir}"
+        )
+    summary = aggregate_artifacts(artifacts)
+    if corrupt:
+        summary["corrupt_artifacts"] = corrupt
+    return summary
 
 
 def summarize_campaign(
@@ -353,4 +496,8 @@ def summarize_campaign(
         out.write(f"campaign summary written to {output}\n")
     else:
         out.write(text)
+    if summary.get("corrupt_artifacts"):
+        names = ", ".join(summary["corrupt_artifacts"])
+        sys.stderr.write(f"repro campaign: corrupt artifact(s): {names}\n")
+        return 1
     return 0 if summary["num_failed"] == 0 else 1

@@ -1,0 +1,83 @@
+"""Crash-resilient, resumable campaign orchestration (``repro herd``).
+
+The herd turns a sweep grid into a durable work queue: every point's
+lifecycle is journalled (:mod:`repro.herd.journal`), up to ``--jobs N``
+supervised watchdog workers run concurrently (:mod:`repro.herd.pool`),
+transient failures retry under deterministic exponential backoff
+(:mod:`repro.herd.backoff`), poison points are quarantined after a
+bounded attempt budget, and a killed campaign resumes from its journal
+(:mod:`repro.herd.orchestrator`) to the same merged summary an
+uninterrupted run produces (:mod:`repro.herd.merge`).  See
+``docs/herd.md``.
+"""
+
+from .backoff import BackoffError, BackoffPolicy
+from .journal import (
+    JOURNAL_FILENAME,
+    JOURNAL_SCHEMA,
+    HerdState,
+    JournalError,
+    JournalWriter,
+    PointRecord,
+    journal_path,
+    replay_journal,
+    replay_records,
+    scan_journal,
+)
+from .merge import (
+    SUMMARY_FILENAME,
+    merge_state,
+    normalized_for_comparison,
+    summary_path,
+    write_summary,
+)
+from .orchestrator import (
+    HerdConfig,
+    HerdError,
+    HerdPoint,
+    expand_points,
+    herd_status,
+    point_for,
+    resume_herd,
+    run_herd,
+)
+from .pool import (
+    DEFAULT_GRACE_SEC,
+    PoolError,
+    SupervisedPool,
+    WorkerOutcome,
+    stop_child,
+)
+
+__all__ = [
+    "BackoffError",
+    "BackoffPolicy",
+    "DEFAULT_GRACE_SEC",
+    "HerdConfig",
+    "HerdError",
+    "HerdPoint",
+    "HerdState",
+    "JOURNAL_FILENAME",
+    "JOURNAL_SCHEMA",
+    "JournalError",
+    "JournalWriter",
+    "PointRecord",
+    "PoolError",
+    "SUMMARY_FILENAME",
+    "SupervisedPool",
+    "WorkerOutcome",
+    "expand_points",
+    "herd_status",
+    "journal_path",
+    "merge_state",
+    "normalized_for_comparison",
+    "point_for",
+    "replay_journal",
+    "replay_records",
+    "resume_herd",
+    "run_herd",
+    "scan_journal",
+    "stop_child",
+    "summary_path",
+    "write_summary",
+]

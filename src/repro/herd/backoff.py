@@ -1,0 +1,93 @@
+"""Retry backoff with deterministic, per-(point, attempt) jitter.
+
+Transient failures (a crashed or hung worker) are retried under
+exponential backoff.  Naive jitter (``random.random()``) would make a
+resumed campaign schedule retries differently from an uninterrupted one;
+here the jitter for attempt *k* of point *p* is a pure function of
+``(seed, p, k)`` — drawn from a :mod:`repro.simulation.rng` stream whose
+seed is derived from those three values — so kill + resume replays the
+exact same delay sequence (kyotolint S-rules: the one stream name,
+``herd.backoff``, lives only in this module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.rng import derive_seed, seeded_stream
+
+
+class BackoffError(ValueError):
+    """Raised on invalid backoff configuration."""
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff: ``base * multiplier**(attempt-1)``, capped."""
+
+    base_delay_sec: float = 0.5
+    multiplier: float = 2.0
+    max_delay_sec: float = 30.0
+    #: Jitter half-width as a fraction of the raw delay (0.1 = +/-10%).
+    jitter_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_delay_sec < 0.0:
+            raise BackoffError(
+                f"base_delay_sec must be >= 0, got {self.base_delay_sec}"
+            )
+        if self.multiplier < 1.0:
+            raise BackoffError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay_sec < self.base_delay_sec:
+            raise BackoffError(
+                f"max_delay_sec must be >= base_delay_sec, got "
+                f"{self.max_delay_sec} < {self.base_delay_sec}"
+            )
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise BackoffError(
+                f"jitter_frac must be in [0, 1), got {self.jitter_frac}"
+            )
+
+    def raw_delay_sec(self, attempt: int) -> float:
+        """Unjittered delay before retrying after failed attempt ``attempt``."""
+        if attempt < 1:
+            raise BackoffError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.max_delay_sec,
+            self.base_delay_sec * self.multiplier ** (attempt - 1),
+        )
+
+    def delay_sec(self, seed: int, point_id: str, attempt: int) -> float:
+        """Jittered delay — a pure function of ``(seed, point_id, attempt)``.
+
+        The jitter stream is re-derived from scratch on every call, so a
+        resumed orchestrator computes the same delay an uninterrupted
+        one would have, regardless of how many draws happened before the
+        crash.
+        """
+        raw = self.raw_delay_sec(attempt)
+        if self.jitter_frac == 0.0 or raw == 0.0:
+            return raw
+        stream = seeded_stream(
+            derive_seed(seed, f"{point_id}:{attempt}"), "herd.backoff"
+        )
+        jitter = 1.0 + self.jitter_frac * (2.0 * stream.random() - 1.0)
+        return raw * jitter
+
+    def to_dict(self) -> dict:
+        """JSON shape recorded in the journal header (lossless)."""
+        return {
+            "base_delay_sec": self.base_delay_sec,
+            "multiplier": self.multiplier,
+            "max_delay_sec": self.max_delay_sec,
+            "jitter_frac": self.jitter_frac,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BackoffPolicy":
+        return cls(
+            base_delay_sec=float(data.get("base_delay_sec", 0.5)),
+            multiplier=float(data.get("multiplier", 2.0)),
+            max_delay_sec=float(data.get("max_delay_sec", 30.0)),
+            jitter_frac=float(data.get("jitter_frac", 0.1)),
+        )

@@ -1,0 +1,135 @@
+"""Merge a herd run into the ``repro.campaign/1`` summary document.
+
+The merged document is the ordinary campaign summary
+(:func:`repro.experiments.campaign.aggregate_artifacts` over the
+artifact directory) extended with a ``herd`` section: per-point attempt
+histories, the quarantined points, resume count and the ``herd.*``
+telemetry counters.
+
+The herd's central invariant — kill + resume converges on the same
+campaign result as an uninterrupted run — is *modulo* wall times and
+attempt bookkeeping, which legitimately differ between the two
+histories.  :func:`normalized_for_comparison` strips exactly those
+fields, and nothing else, so the chaos tests (and the CI smoke job) can
+assert byte-identical normalized documents.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping
+
+from repro.experiments.campaign import aggregate_artifacts, scan_artifacts
+
+from .journal import JOURNAL_SCHEMA, HerdState
+
+#: Filename of the merged summary inside a herd campaign directory.
+SUMMARY_FILENAME = "herd-summary.json"
+
+
+def summary_path(json_dir: str) -> str:
+    """The merged summary file of a herd campaign directory."""
+    return os.path.join(json_dir, SUMMARY_FILENAME)
+
+
+def merge_state(
+    state: HerdState,
+    json_dir: str,
+    counters: Mapping[str, float],
+) -> Dict[str, Any]:
+    """Aggregate ``json_dir`` artifacts + journal state into one document."""
+    artifacts, corrupt = scan_artifacts(json_dir)
+    summary = aggregate_artifacts(artifacts)
+    if corrupt:
+        summary["corrupt_artifacts"] = corrupt
+    points: List[Dict[str, Any]] = []
+    quarantined: List[str] = []
+    for record in state.points.values():
+        points.append(
+            {
+                "id": record.point_id,
+                "name": record.name,
+                "status": record.status,
+                "attempts": record.attempts_used,
+                "history": record.history,
+                "error": record.last_error,
+            }
+        )
+        if record.status == "quarantined":
+            quarantined.append(record.name)
+    summary["herd"] = {
+        "schema": JOURNAL_SCHEMA,
+        "resumes": state.resumes,
+        "counters": {
+            name: value
+            for name, value in sorted(counters.items())
+            if name.startswith("herd.")
+        },
+        "points": points,
+        "quarantined": quarantined,
+    }
+    return summary
+
+
+def write_summary(summary: Dict[str, Any], json_dir: str) -> str:
+    """Write the merged summary atomically; returns the path written."""
+    path = summary_path(json_dir)
+    text = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp_path, path)
+    return path
+
+
+def normalized_for_comparison(summary: Mapping[str, Any]) -> Dict[str, Any]:
+    """The crash-equivalence projection of a merged summary.
+
+    Keeps everything deterministic across kill/resume histories —
+    experiment results, report hashes, errors, per-point terminal
+    statuses, the quarantined set — and drops exactly the fields an
+    interruption legitimately perturbs: wall times, attempt counts and
+    histories, resume count and the ``herd.*`` counters.
+    """
+    experiments = [
+        {
+            key: value
+            for key, value in entry.items()
+            if key != "wall_time_sec"
+        }
+        for entry in summary.get("experiments", [])
+    ]
+    herd = summary.get("herd", {})
+    points = [
+        {
+            "id": entry.get("id"),
+            "name": entry.get("name"),
+            "status": entry.get("status"),
+        }
+        for entry in herd.get("points", [])
+    ]
+    normalized: Dict[str, Any] = {
+        "schema": summary.get("schema"),
+        "num_experiments": summary.get("num_experiments"),
+        "num_failed": summary.get("num_failed"),
+        "failed": summary.get("failed"),
+        "experiments": experiments,
+        "herd": {
+            "schema": herd.get("schema"),
+            "points": points,
+            "quarantined": herd.get("quarantined"),
+        },
+    }
+    if summary.get("corrupt_artifacts"):
+        normalized["corrupt_artifacts"] = summary["corrupt_artifacts"]
+    return normalized
+
+
+__all__ = [
+    "SUMMARY_FILENAME",
+    "merge_state",
+    "normalized_for_comparison",
+    "summary_path",
+    "write_summary",
+]

@@ -3,6 +3,7 @@
 import io
 import json
 import os
+import signal
 
 import pytest
 
@@ -11,11 +12,14 @@ from repro.experiments.campaign import (
     CAMPAIGN_SCHEMA,
     CampaignError,
     aggregate_dir,
+    artifact_filename,
     load_artifacts,
     run_campaign,
     run_one,
     run_one_with_timeout,
+    scan_artifacts,
     summarize_campaign,
+    write_artifact,
 )
 from repro.experiments.registry import (
     REGISTRY,
@@ -40,8 +44,27 @@ def _hang():
     return "never reached"
 
 
+#: Nap long enough that serialized watchdog execution is unambiguous.
+NAP_SEC = 0.4
+
+
+def _nap():
+    import time
+
+    time.sleep(NAP_SEC)
+    return "napped\n"
+
+
 def _die_hard():
     os._exit(3)
+
+
+def _ignore_sigterm_and_hang():
+    import time
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    time.sleep(600)
+    return "never reached"
 
 
 @pytest.fixture
@@ -186,6 +209,102 @@ class TestWatchdog:
             run_campaign(["table1"], timeout_sec=0.0)
         with pytest.raises(CampaignError):
             run_one_with_timeout("table1", timeout_sec=-1.0)
+        with pytest.raises(CampaignError):
+            run_one_with_timeout("table1", timeout_sec=1.0, grace_sec=0.0)
+
+    def test_sigterm_ignoring_child_is_escalated_to_sigkill(
+        self, monkeypatch
+    ):
+        """terminate() alone used to hang the campaign forever here."""
+        monkeypatch.setitem(
+            REGISTRY,
+            "stubborn",
+            ExperimentSpec(
+                "stubborn", "ignores SIGTERM", _ignore_sigterm_and_hang
+            ),
+        )
+        artifact = run_one_with_timeout(
+            "stubborn", timeout_sec=0.5, grace_sec=0.4
+        )
+        assert artifact["ok"] is False
+        assert "TimeoutError" in artifact["error"]
+        # The whole escalation (timeout + grace + SIGKILL) stayed
+        # bounded — nowhere near the child's 600s sleep.
+        assert artifact["wall_time_sec"] < 10.0
+
+    def test_watchdog_workers_run_concurrently(self, monkeypatch, tmp_path):
+        """--jobs N with --timeout-sec is no longer serialized."""
+        import time as _time
+
+        from repro.util import elapsed_since, wall_clock
+
+        monkeypatch.setitem(
+            REGISTRY, "nap1", ExperimentSpec("nap1", "naps", _nap)
+        )
+        monkeypatch.setitem(
+            REGISTRY, "nap2", ExperimentSpec("nap2", "naps", _nap)
+        )
+        start = wall_clock()
+        out = io.StringIO()
+        code = run_campaign(
+            ["nap1", "nap2"],
+            jobs=2,
+            json_dir=str(tmp_path),
+            out=out,
+            timeout_sec=30.0,
+        )
+        elapsed = elapsed_since(start)
+        assert code == 0
+        assert elapsed < 2 * NAP_SEC * 0.9, (
+            f"watchdog workers ran serially ({elapsed:.2f}s)"
+        )
+        # Request order is preserved in the streamed output.
+        text = out.getvalue()
+        assert text.index("== nap1:") < text.index("== nap2:")
+
+    def test_parallel_watchdog_artifacts_match_serial(self, tmp_path):
+        serial_dir, parallel_dir = str(tmp_path / "s"), str(tmp_path / "p")
+        assert run_campaign(
+            FAST, jobs=1, json_dir=serial_dir, out=io.StringIO(),
+            timeout_sec=30.0,
+        ) == 0
+        assert run_campaign(
+            FAST, jobs=3, json_dir=parallel_dir, out=io.StringIO(),
+            timeout_sec=30.0,
+        ) == 0
+        for name in FAST:
+            serial = json.loads(
+                open(os.path.join(serial_dir, f"{name}.json")).read()
+            )
+            parallel = json.loads(
+                open(os.path.join(parallel_dir, f"{name}.json")).read()
+            )
+            assert parallel["report"] == serial["report"]
+            assert parallel["telemetry"] == serial["telemetry"]
+
+    def test_parallel_watchdog_crash_and_timeout_reported(
+        self, hangy, monkeypatch, tmp_path
+    ):
+        monkeypatch.setitem(
+            REGISTRY,
+            "diehard",
+            ExperimentSpec("diehard", "kills its worker", _die_hard),
+        )
+        out = io.StringIO()
+        # hangy sleeps forever, so the timeout arm fires regardless;
+        # the budget is generous so table1 never times out under load.
+        code = run_campaign(
+            ["diehard", "table1", hangy],
+            jobs=2,
+            json_dir=str(tmp_path),
+            out=out,
+            timeout_sec=5.0,
+        )
+        assert code == 1
+        text = out.getvalue()
+        assert "ChildCrash" in text
+        assert "watchdog killed 'hangy'" in text
+        assert "8096 MB" in text  # table1 still ran
 
 
 class TestParallelDeterminism:
@@ -242,3 +361,72 @@ class TestAggregation:
     def test_missing_directory_is_an_error(self):
         with pytest.raises(CampaignError):
             aggregate_dir("/definitely/not/here")
+
+
+class TestArtifactFilenames:
+    def test_clean_names_keep_plain_filenames(self):
+        assert artifact_filename("table1") == "table1.json"
+        assert (
+            artifact_filename("chaos@faults.uniform_rate=0.5")
+            == "chaos@faults.uniform_rate=0.5.json"
+        )
+
+    def test_sanitized_names_cannot_collide(self):
+        """Regression: 'a/b' and 'a_b' used to map to the same file."""
+        assert artifact_filename("a/b") != artifact_filename("a_b")
+        assert artifact_filename("a/b") != artifact_filename("a:b")
+        assert artifact_filename("").startswith("experiment-")
+
+    def test_sanitized_filename_is_deterministic(self):
+        assert artifact_filename("a/b") == artifact_filename("a/b")
+
+    def test_colliding_artifacts_both_survive_on_disk(self, tmp_path):
+        for name in ("a/b", "a_b"):
+            write_artifact(
+                str(tmp_path),
+                {
+                    "schema": ARTIFACT_SCHEMA,
+                    "name": name,
+                    "ok": True,
+                    "report": name,
+                    "error": None,
+                    "wall_time_sec": 0.0,
+                    "telemetry": {},
+                },
+            )
+        artifacts, corrupt = scan_artifacts(str(tmp_path))
+        assert corrupt == []
+        assert sorted(a["name"] for a in artifacts) == ["a/b", "a_b"]
+
+
+class TestAtomicArtifacts:
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        path = write_artifact(
+            str(tmp_path), run_one("table1")
+        )
+        assert os.path.basename(path) == "table1.json"
+        assert sorted(os.listdir(str(tmp_path))) == ["table1.json"]
+
+    def test_corrupt_artifact_reported_not_fatal(self, tmp_path):
+        run_campaign(
+            ["table1"], jobs=1, json_dir=str(tmp_path), out=io.StringIO()
+        )
+        (tmp_path / "torn.json").write_text('{"schema": "repro.artifact/1", ')
+        # load_artifacts no longer aborts the whole directory...
+        assert len(load_artifacts(str(tmp_path))) == 1
+        # ...scan reports the damage...
+        artifacts, corrupt = scan_artifacts(str(tmp_path))
+        assert [a["name"] for a in artifacts] == ["table1"]
+        assert corrupt == ["torn.json"]
+        # ...and aggregation surfaces it in the summary + exit code.
+        summary = aggregate_dir(str(tmp_path))
+        assert summary["corrupt_artifacts"] == ["torn.json"]
+        assert summary["num_experiments"] == 1
+        assert summarize_campaign(str(tmp_path), out=io.StringIO()) == 1
+
+    def test_directory_of_only_corrupt_files_is_an_error(self, tmp_path):
+        (tmp_path / "torn.json").write_text("{")
+        with pytest.raises(CampaignError):
+            load_artifacts(str(tmp_path))
+        with pytest.raises(CampaignError):
+            aggregate_dir(str(tmp_path))

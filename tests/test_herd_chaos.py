@@ -1,0 +1,192 @@
+"""Chaos validation: SIGKILL the orchestrator mid-run, resume, compare.
+
+The herd's central invariant (ISSUE 8 acceptance): a campaign killed
+mid-run and resumed from its journal produces a merged summary
+*equivalent* — byte-identical after :func:`normalized_for_comparison`
+strips wall times and attempt bookkeeping — to an uninterrupted run of
+the same campaign.  The grid mixes every behavior class: fast real
+experiments, a sleeper (kill window), a flaky point that crashes once
+then succeeds, and a poison point that is quarantined in both histories.
+"""
+
+import io
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro import herd
+from repro.experiments.registry import REGISTRY, ExperimentSpec
+from repro.herd.journal import journal_path, replay_journal
+from repro.herd.merge import normalized_for_comparison, summary_path
+from repro.util import wall_clock
+
+#: Campaign order mixes quick wins (kill trigger) with slow/poison tail.
+GRID = ["table1", "sleepy", "flaky", "poison", "table2"]
+
+#: max_attempts=3 absorbs one orphaned attempt (the kill) on any point
+#: while still letting the flaky point's crash-then-succeed arc finish.
+CONFIG = herd.HerdConfig(
+    jobs=2,
+    timeout_sec=30.0,
+    max_attempts=3,
+    backoff=herd.BackoffPolicy(
+        base_delay_sec=0.05, multiplier=2.0, max_delay_sec=0.2
+    ),
+    seed=11,
+)
+
+
+def _sleepy():
+    time.sleep(0.4)
+    return "slept\n"
+
+
+def _flaky():
+    marker = os.environ["HERD_TEST_MARKER"]
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(5)
+    return "flaky report\n"
+
+
+def _poison():
+    os._exit(7)
+
+
+@pytest.fixture
+def chaos_registry(monkeypatch):
+    monkeypatch.setitem(
+        REGISTRY, "sleepy", ExperimentSpec("sleepy", "naps briefly", _sleepy)
+    )
+    monkeypatch.setitem(
+        REGISTRY, "flaky", ExperimentSpec("flaky", "crashes once", _flaky)
+    )
+    monkeypatch.setitem(
+        REGISTRY, "poison", ExperimentSpec("poison", "always exits 7", _poison)
+    )
+
+
+def _run_orchestrator_child(json_dir, marker_path):
+    """Child entry: a whole campaign run, fodder for SIGKILL."""
+    os.environ["HERD_TEST_MARKER"] = marker_path
+    with open(os.devnull, "w", encoding="utf-8") as sink:
+        herd.run_herd(GRID, json_dir, CONFIG, out=sink)
+
+
+def _reference_run(json_dir, marker_path, monkeypatch):
+    monkeypatch.setenv("HERD_TEST_MARKER", marker_path)
+    out = io.StringIO()
+    code = herd.run_herd(GRID, json_dir, CONFIG, out=out)
+    assert code == 1  # the poison point quarantines
+    return _load_summary(json_dir)
+
+
+def _load_summary(json_dir):
+    with open(summary_path(json_dir), "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _wait_for_first_done(json_dir, timeout=30.0):
+    """Poll the journal until some point completes, mid-campaign."""
+    path = journal_path(json_dir)
+    deadline = wall_clock() + timeout
+    while wall_clock() < deadline:
+        if os.path.isfile(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                if '"event":"done"' in handle.read():
+                    return
+        time.sleep(0.01)
+    raise AssertionError("campaign never completed a first point")
+
+
+class TestKillAndResume:
+    def test_kill_resume_matches_uninterrupted_run(
+        self, chaos_registry, tmp_path, monkeypatch
+    ):
+        ref_dir = str(tmp_path / "reference")
+        chaos_dir = str(tmp_path / "chaos")
+        reference = _reference_run(
+            ref_dir, str(tmp_path / "marker-ref"), monkeypatch
+        )
+
+        # Chaos run: same grid in a subprocess, SIGKILLed right after
+        # its first point completes.
+        chaos_marker = str(tmp_path / "marker-chaos")
+        # C002 analog (test-side): the child inherits the patched
+        # registry via fork; nothing else is shared.
+        orchestrator = multiprocessing.Process(
+            target=_run_orchestrator_child, args=(chaos_dir, chaos_marker)
+        )
+        orchestrator.start()
+        _wait_for_first_done(chaos_dir)
+        os.kill(orchestrator.pid, signal.SIGKILL)
+        orchestrator.join()
+        assert orchestrator.exitcode == -signal.SIGKILL
+
+        # The journal replays to a consistent mid-campaign state: at
+        # least one point done, not all of them concluded.
+        state = replay_journal(journal_path(chaos_dir))
+        assert state.counts()["done"] >= 1
+        assert state.counts()["done"] + state.counts()["failed"] < len(GRID)
+
+        # Resume finishes the campaign from the journal.
+        monkeypatch.setenv("HERD_TEST_MARKER", chaos_marker)
+        out = io.StringIO()
+        code = herd.resume_herd(chaos_dir, out=out)
+        assert code == 1  # poison quarantined here too
+        resumed = _load_summary(chaos_dir)
+
+        # Completed points were skipped, not re-run.
+        assert "already done" in out.getvalue()
+        assert resumed["herd"]["resumes"] >= 1
+
+        # The merged documents agree modulo wall times / attempt counts.
+        assert normalized_for_comparison(resumed) == (
+            normalized_for_comparison(reference)
+        )
+        # And the invariant is meaningful: both quarantined the poison
+        # point and completed everything else.
+        assert resumed["herd"]["quarantined"] == ["poison"]
+        statuses = {
+            p["name"]: p["status"] for p in resumed["herd"]["points"]
+        }
+        assert statuses == {
+            "table1": "done",
+            "sleepy": "done",
+            "flaky": "done",
+            "poison": "quarantined",
+            "table2": "done",
+        }
+
+    def test_repeated_resume_is_idempotent(
+        self, chaos_registry, tmp_path, monkeypatch
+    ):
+        """Kill, resume to completion, resume again: still converged."""
+        ref_dir = str(tmp_path / "reference")
+        chaos_dir = str(tmp_path / "chaos")
+        reference = _reference_run(
+            ref_dir, str(tmp_path / "marker-ref"), monkeypatch
+        )
+        chaos_marker = str(tmp_path / "marker-chaos")
+        orchestrator = multiprocessing.Process(
+            target=_run_orchestrator_child, args=(chaos_dir, chaos_marker)
+        )
+        orchestrator.start()
+        _wait_for_first_done(chaos_dir)
+        os.kill(orchestrator.pid, signal.SIGKILL)
+        orchestrator.join()
+
+        monkeypatch.setenv("HERD_TEST_MARKER", chaos_marker)
+        with open(os.devnull, "w", encoding="utf-8") as sink:
+            herd.resume_herd(chaos_dir, out=sink)
+        final = herd.resume_herd(chaos_dir, out=io.StringIO())
+        assert final == 1
+        resumed = _load_summary(chaos_dir)
+        assert normalized_for_comparison(resumed) == (
+            normalized_for_comparison(reference)
+        )

@@ -1,0 +1,223 @@
+"""SupervisedPool: genuine concurrency, timeouts, crash detection,
+SIGTERM-ignoring children, and the deterministic backoff policy."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.herd.backoff import BackoffError, BackoffPolicy
+from repro.herd.pool import PoolError, SupervisedPool, stop_child
+from repro.util import elapsed_since, wall_clock
+
+#: Sleep long enough that serialized execution is unambiguous, short
+#: enough that the suite stays fast.
+NAP_SEC = 0.4
+
+
+def _napper(payload, conn):
+    time.sleep(NAP_SEC)
+    conn.send(f"napped:{payload}")
+    conn.close()
+
+
+def _echoer(payload, conn):
+    conn.send(f"echo:{payload}")
+    conn.close()
+
+
+def _crasher(payload, conn):
+    os._exit(11)
+
+
+def _sleeper_forever(payload, conn):
+    time.sleep(600)
+
+
+def _sigterm_ignorer(payload, conn):
+    """The watchdog's worst case: a child that shrugs off terminate()."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    conn.send("armored")  # handshake: the handler is installed
+    time.sleep(600)
+
+
+def _drain(pool, expect):
+    outcomes = []
+    deadline = wall_clock() + 30.0
+    while len(outcomes) < expect:
+        assert wall_clock() < deadline, "pool never concluded its workers"
+        outcomes.extend(pool.wait(0.25))
+    return outcomes
+
+
+class TestConcurrency:
+    def test_two_supervised_workers_overlap(self):
+        """Two NAP_SEC sleepers under jobs=2 finish in ~1x NAP_SEC, not 2x."""
+        start = wall_clock()
+        with SupervisedPool(target=_napper, jobs=2, timeout_sec=30.0) as pool:
+            pool.launch("a", "a")
+            pool.launch("b", "b")
+            outcomes = _drain(pool, 2)
+        elapsed = elapsed_since(start)
+        assert sorted(o.result for o in outcomes) == ["napped:a", "napped:b"]
+        assert elapsed < 2 * NAP_SEC * 0.9, (
+            f"supervised workers ran serially ({elapsed:.2f}s for two "
+            f"{NAP_SEC}s jobs)"
+        )
+
+    def test_slot_accounting(self):
+        with SupervisedPool(target=_echoer, jobs=2) as pool:
+            assert pool.free_slots == 2
+            pool.launch("x", "x")
+            assert pool.active == 1
+            assert pool.free_slots == 1
+            _drain(pool, 1)
+            assert pool.active == 0
+
+    def test_overcommit_rejected(self):
+        with SupervisedPool(target=_napper, jobs=1, timeout_sec=30.0) as pool:
+            pool.launch("x", "x")
+            with pytest.raises(PoolError):
+                pool.launch("y", "y")
+            with pytest.raises(PoolError):
+                pool.launch("x", "x")
+            _drain(pool, 1)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(PoolError):
+            SupervisedPool(target=_echoer, jobs=0)
+        with pytest.raises(PoolError):
+            SupervisedPool(target=_echoer, jobs=1, timeout_sec=0.0)
+        with pytest.raises(PoolError):
+            SupervisedPool(target=_echoer, jobs=1, grace_sec=-1.0)
+
+
+class TestOutcomes:
+    def test_result_outcome(self):
+        with SupervisedPool(target=_echoer, jobs=1) as pool:
+            pool.launch("k", "payload")
+            (outcome,) = _drain(pool, 1)
+        assert outcome.key == "k"
+        assert outcome.kind == "result"
+        assert outcome.result == "echo:payload"
+
+    def test_crash_outcome_carries_exit_code(self):
+        with SupervisedPool(target=_crasher, jobs=1) as pool:
+            pool.launch("k", None)
+            (outcome,) = _drain(pool, 1)
+        assert outcome.kind == "crash"
+        assert outcome.result is None
+        assert outcome.exitcode == 11
+
+    def test_timeout_outcome(self):
+        start = wall_clock()
+        with SupervisedPool(
+            target=_sleeper_forever, jobs=1, timeout_sec=0.3, grace_sec=0.3
+        ) as pool:
+            pool.launch("k", None)
+            (outcome,) = _drain(pool, 1)
+        assert outcome.kind == "timeout"
+        assert outcome.wall_time_sec >= 0.3
+        assert elapsed_since(start) < 10.0
+
+    def test_shutdown_reaps_stragglers(self):
+        pool = SupervisedPool(target=_sleeper_forever, jobs=2, grace_sec=0.3)
+        pool.launch("a", None)
+        pool.launch("b", None)
+        processes = [w.process for w in pool._running.values()]
+        pool.shutdown()
+        assert pool.active == 0
+        assert all(not p.is_alive() for p in processes)
+
+
+class TestKillEscalation:
+    def test_sigterm_ignoring_child_is_sigkilled(self):
+        """terminate() bounces off; the bounded grace escalates to kill()."""
+        start = wall_clock()
+        with SupervisedPool(
+            target=_sigterm_ignorer, jobs=1, timeout_sec=0.3, grace_sec=0.4
+        ) as pool:
+            pool.launch("k", None)
+            outcomes = _drain(pool, 1)
+        elapsed = elapsed_since(start)
+        (outcome,) = outcomes
+        # The handshake concludes the worker as a "result"; what matters
+        # is that stopping it then required the SIGKILL escalation.
+        assert outcome.kind == "result"
+        # The child is dead even though it ignored SIGTERM, and the
+        # escalation honored the bounded grace (no 600s hang).
+        assert elapsed < 10.0
+
+    def test_stop_child_escalates_past_ignored_sigterm(self):
+        import multiprocessing
+
+        child = multiprocessing.Process(target=_sigterm_ignorer, args=(None, _NullConn()))
+        child.start()
+        time.sleep(0.3)  # give the handler time to install
+        start = wall_clock()
+        stop_child(child, grace_sec=0.4)
+        assert not child.is_alive()
+        assert elapsed_since(start) < 10.0
+        assert child.exitcode == -signal.SIGKILL
+
+
+class _NullConn:
+    """Connection stand-in for children whose send we don't care about."""
+
+    def send(self, obj):
+        pass
+
+    def close(self):
+        pass
+
+
+class TestBackoffPolicy:
+    def test_raw_delays_exponential_and_capped(self):
+        policy = BackoffPolicy(
+            base_delay_sec=0.5, multiplier=2.0, max_delay_sec=3.0,
+            jitter_frac=0.0,
+        )
+        assert [policy.raw_delay_sec(k) for k in (1, 2, 3, 4, 5)] == [
+            0.5, 1.0, 2.0, 3.0, 3.0,
+        ]
+
+    def test_jitter_is_deterministic_per_point_and_attempt(self):
+        policy = BackoffPolicy()
+        first = policy.delay_sec(42, "p1", 1)
+        assert policy.delay_sec(42, "p1", 1) == first  # pure function
+        assert policy.delay_sec(42, "p1", 2) != first  # attempt matters
+        assert policy.delay_sec(42, "p2", 1) != first  # point matters
+        assert policy.delay_sec(43, "p1", 1) != first  # seed matters
+
+    def test_jitter_stays_within_band(self):
+        policy = BackoffPolicy(
+            base_delay_sec=1.0, multiplier=1.0, max_delay_sec=1.0,
+            jitter_frac=0.1,
+        )
+        for attempt in range(1, 50):
+            delay = policy.delay_sec(0, "p", attempt)
+            assert 0.9 <= delay <= 1.1
+
+    def test_zero_jitter_is_exact(self):
+        policy = BackoffPolicy(jitter_frac=0.0)
+        assert policy.delay_sec(0, "p", 1) == policy.raw_delay_sec(1)
+
+    def test_round_trips_through_journal_header_shape(self):
+        policy = BackoffPolicy(
+            base_delay_sec=0.05, multiplier=3.0, max_delay_sec=1.0,
+            jitter_frac=0.2,
+        )
+        assert BackoffPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(BackoffError):
+            BackoffPolicy(base_delay_sec=-0.1)
+        with pytest.raises(BackoffError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(BackoffError):
+            BackoffPolicy(base_delay_sec=2.0, max_delay_sec=1.0)
+        with pytest.raises(BackoffError):
+            BackoffPolicy(jitter_frac=1.0)
+        with pytest.raises(BackoffError):
+            BackoffPolicy().raw_delay_sec(0)

@@ -134,7 +134,12 @@ class TestCampaign:
         assert summary["num_failed"] == 0
 
     def test_artifact_filename_sanitizes_paths(self):
-        assert campaign.artifact_filename("a/b.toml#1") == "a_b.toml_1.json"
+        # A sanitized name carries a short content hash so distinct
+        # tokens can never collide on the same artifact file.
+        assert (
+            campaign.artifact_filename("a/b.toml#1")
+            == "a_b.toml_1-3f117ee6.json"
+        )
         assert (
             campaign.artifact_filename("tiny@system.seed=1")
             == "tiny@system.seed=1.json"

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""CI smoke test for the herd: kill a campaign mid-run, resume, compare.
+
+Usage::
+
+    PYTHONPATH=src python tools/herd_smoke.py [scratch_dir]
+
+Runs the herd's central guarantee end-to-end against the real CLI:
+
+1. an uninterrupted **reference** run of a small mixed campaign
+   (fast registry experiments + the ``chaos_sweep.toml`` sweep grid),
+2. the same campaign in a subprocess, SIGKILLed right after its first
+   point completes,
+3. ``repro herd resume`` on the killed campaign,
+4. a byte-for-byte comparison of the two merged summaries after
+   :func:`repro.herd.normalized_for_comparison` strips wall times and
+   attempt bookkeeping.
+
+Exits non-zero on any mismatch.  Journals and summaries are left in
+``scratch_dir`` (default ``herd-smoke-artifacts/``) for CI upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.herd import normalized_for_comparison, summary_path
+from repro.herd.journal import journal_path, replay_journal
+from repro.util import wall_clock
+
+#: Fast wins first (quick kill trigger), the ~6s-per-point sweep after.
+GRID = ["table1", "table2", "examples/scenarios/chaos_sweep.toml"]
+JOBS = "2"
+SEED = "20160101"
+
+FIRST_DONE_TIMEOUT_SEC = 120.0
+RUN_TIMEOUT_SEC = 600.0
+
+
+def _herd(*args: str) -> list:
+    return [sys.executable, "-m", "repro", "herd", *args]
+
+
+def _run_args(json_dir: str) -> list:
+    return _herd(
+        "run", *GRID, "--json", json_dir, "--jobs", JOBS, "--seed", SEED,
+        "--timeout-sec", "300",
+    )
+
+
+def _load_summary(json_dir: str) -> dict:
+    with open(summary_path(json_dir), "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _wait_for_first_done(json_dir: str) -> None:
+    path = journal_path(json_dir)
+    deadline = wall_clock() + FIRST_DONE_TIMEOUT_SEC
+    while wall_clock() < deadline:
+        if os.path.isfile(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                if '"event":"done"' in handle.read():
+                    return
+        time.sleep(0.05)
+    raise SystemExit("herd-smoke: campaign never completed a first point")
+
+
+def main() -> int:
+    scratch = sys.argv[1] if len(sys.argv) > 1 else "herd-smoke-artifacts"
+    ref_dir = os.path.join(scratch, "reference")
+    chaos_dir = os.path.join(scratch, "chaos")
+    os.makedirs(scratch, exist_ok=True)
+
+    print("herd-smoke: reference run (uninterrupted)")
+    subprocess.run(_run_args(ref_dir), check=True, timeout=RUN_TIMEOUT_SEC)
+    reference = _load_summary(ref_dir)
+
+    print("herd-smoke: chaos run (SIGKILL after first completed point)")
+    orchestrator = subprocess.Popen(_run_args(chaos_dir))
+    try:
+        _wait_for_first_done(chaos_dir)
+    finally:
+        if orchestrator.poll() is None:
+            os.kill(orchestrator.pid, signal.SIGKILL)
+        orchestrator.wait(timeout=60)
+    if orchestrator.returncode != -signal.SIGKILL:
+        raise SystemExit(
+            "herd-smoke: orchestrator was not killed mid-run "
+            f"(exit {orchestrator.returncode}); grid too small?"
+        )
+
+    state = replay_journal(journal_path(chaos_dir))
+    counts = state.counts()
+    terminal = counts["done"] + counts["failed"] + counts["quarantined"]
+    print(
+        f"herd-smoke: journal at kill time: {counts['done']} done, "
+        f"{terminal}/{len(state.points)} terminal"
+    )
+    if counts["done"] < 1 or terminal >= len(state.points):
+        raise SystemExit("herd-smoke: kill did not land mid-campaign")
+
+    print("herd-smoke: resuming the killed campaign")
+    subprocess.run(
+        _herd("resume", chaos_dir), check=True, timeout=RUN_TIMEOUT_SEC
+    )
+    resumed = _load_summary(chaos_dir)
+
+    if normalized_for_comparison(resumed) != normalized_for_comparison(
+        reference
+    ):
+        print("herd-smoke: FAIL — resumed summary diverges from reference")
+        return 1
+    print(
+        "herd-smoke: OK — resumed summary matches the uninterrupted "
+        f"reference across {len(resumed['herd']['points'])} points "
+        f"(resumes={resumed['herd']['resumes']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Each benchmark builds its system-under-test from fixed seeds inside
 * ``tick_loop_{2,8,32}vcpu`` — the full tick loop (scheduler placement,
   sub-step execution, LLC relaxation, accounting) at three consolidation
   ratios on the paper's 4-core machine,
+* ``vm_churn_soak`` — the service loop's dynamic lifecycle (admit,
+  batched-slot rebuild, retire) on the 4x16-core machine,
 * ``occupancy_relax`` — the per-substep shared-LLC relaxation alone,
 * ``credit_pick_steal`` — credit-scheduler placement: ``_pick`` on a
   loaded core plus the ``_steal`` scan from idle cores,
@@ -40,6 +42,12 @@ from repro.hardware.specs import (
 from repro.hypervisor.system import VirtualizedSystem
 from repro.hypervisor.vm import VmConfig
 from repro.schedulers.credit import CreditScheduler
+from repro.service import (
+    CapacityCapAdmission,
+    ChurnGenerator,
+    ServiceLoop,
+    VmTemplate,
+)
 from repro.workloads.profiles import application_workload
 
 from .runner import Benchmark
@@ -133,6 +141,51 @@ def _tick_loop_wide_benchmark(num_vcpus: int, ticks: int) -> Benchmark:
         setup=lambda: _tick_loop_wide_system(num_vcpus),
         body=lambda system: _run_tick_loop(system, ticks),
     )
+
+
+# -- vm churn soak -----------------------------------------------------------
+
+_CHURN_SOAK_TICKS = 150
+
+
+def _churn_soak_setup() -> ServiceLoop:
+    """A churning fleet on the 64-core machine: the dynamic-lifecycle
+    hot path — admit, batched-slot rebuild, retire with occupancy flush
+    and series compaction — at service-mode rates."""
+    system = VirtualizedSystem(CreditScheduler(), _wide_machine())
+    churn = ChurnGenerator(
+        system.rng.stream("bench.churn.arrivals"),
+        system.rng.stream("bench.churn.lifetimes"),
+        rate_per_tick=0.25,
+        lifetime_kind="exponential",
+        lifetime_mean_ticks=200.0,
+    )
+    templates = [
+        VmTemplate(
+            name=app,
+            make_workload=lambda app=app: application_workload(app),
+            memory_node=node,
+        )
+        for node, app in enumerate(_WIDE_APPS)
+    ]
+    return ServiceLoop(
+        system,
+        churn,
+        CapacityCapAdmission(max_vcpus=128),
+        templates,
+        system.rng.stream("bench.churn.templates"),
+    )
+
+
+def _churn_soak_body(loop: ServiceLoop) -> List[Any]:
+    summary = loop.run(_CHURN_SOAK_TICKS)
+    return [
+        summary["admitted"],
+        summary["retired"],
+        summary["drained"],
+        summary["peak_live_vms"],
+        summary["context_switches"],
+    ]
 
 
 # -- occupancy relax ---------------------------------------------------------
@@ -297,6 +350,15 @@ BENCHMARKS: Tuple[Benchmark, ...] = (
     _tick_loop_benchmark(8, 500),
     _tick_loop_benchmark(32, 300),
     _tick_loop_wide_benchmark(256, 40),
+    Benchmark(
+        name="vm_churn_soak",
+        description=(
+            f"service loop churn: Poisson admits/retires on 4x16 cores, "
+            f"{_CHURN_SOAK_TICKS} ticks with batched-slot rebuilds"
+        ),
+        setup=_churn_soak_setup,
+        body=_churn_soak_body,
+    ),
     Benchmark(
         name="occupancy_relax",
         description=(

@@ -9,6 +9,7 @@ Run any of the paper's reproduced experiments from a shell::
     python -m repro run examples/scenarios/colocation.toml
     python -m repro campaign out/ --output BENCH.json
     python -m repro scenario validate examples/scenarios/*.toml
+    python -m repro serve examples/scenarios/vm_churn.toml --ticks 100000
     python -m repro herd run all --jobs 4 --json herd-out/
     python -m repro herd resume herd-out/
 
@@ -263,6 +264,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEC",
         help="per-scenario watchdog (see 'repro run --timeout-sec')",
     )
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run a churn-driven IaaS service soak (docs/service.md)",
+    )
+    serve_parser.add_argument(
+        "spec",
+        metavar="SPEC",
+        help="scenario file with a [service] section (*.toml, *.json)",
+    )
+    serve_parser.add_argument(
+        "--ticks",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="soak length in scheduler ticks (default: 100000)",
+    )
+    serve_parser.add_argument(
+        "--json",
+        dest="json_dir",
+        metavar="DIR",
+        help="write the repro.service/1 summary JSON into DIR",
+    )
+    serve_parser.add_argument(
+        "--stop-when-idle",
+        dest="stop_when_idle",
+        action="store_true",
+        help=(
+            "end early once the fleet is empty and the arrival process "
+            "can produce no further VMs"
+        ),
+    )
     bench_parser = subparsers.add_parser(
         "bench", help="run the hot-path benchmark suite (docs/performance.md)"
     )
@@ -503,6 +535,69 @@ def run_herd_command(args, out=sys.stdout) -> int:
         return 2
 
 
+def run_serve(args, out=sys.stdout) -> int:
+    """The ``repro serve`` subcommand (docs/service.md).
+
+    Materializes a ``[service]`` scenario and drives its
+    :class:`~repro.service.loop.ServiceLoop` for ``--ticks`` ticks.
+    Exit codes: 0 ok, 2 usage errors (bad file, no service section).
+    """
+    from repro.scenario import load_scenario
+    from repro.scenario.materialize import materialize
+    from repro.telemetry import MetricsRecorder, recording
+
+    try:
+        spec = load_scenario(args.spec)
+    except ScenarioError as exc:
+        sys.stderr.write(f"repro serve: error:\n{exc}\n")
+        return 2
+    if spec.service is None:
+        sys.stderr.write(
+            f"repro serve: error: {args.spec} has no [service] section; "
+            "add one (docs/service.md) or use 'repro scenario run'\n"
+        )
+        return 2
+    if args.ticks < 0:
+        sys.stderr.write(
+            f"repro serve: error: --ticks must be >= 0, got {args.ticks}\n"
+        )
+        return 2
+    if spec.telemetry.enabled:
+        recorder = MetricsRecorder(
+            max_series_points=spec.telemetry.series_capacity
+        )
+        with recording(recorder):
+            built = materialize(spec)
+    else:
+        built = materialize(spec)
+    service = built.service
+    assert service is not None  # spec.service checked above
+    service.stop_when_idle = args.stop_when_idle or service.stop_when_idle
+    out.write(
+        f"serving {spec.name}: {args.ticks} ticks, "
+        f"{service.churn.process} arrivals at "
+        f"{service.churn.rate_per_tick:g}/tick, "
+        f"{service.admission.name} admission\n"
+    )
+    summary = service.run(args.ticks)
+    summary["scenario"] = spec.name
+    out.write(
+        f"ticks {summary['ticks_run']}  admitted {summary['admitted']}  "
+        f"rejected {summary['rejected']}  retired {summary['retired']}  "
+        f"drained {summary['drained']}  peak live {summary['peak_live_vms']}  "
+        f"final live {summary['final_live_vms']}\n"
+    )
+    if args.json_dir is not None:
+        out_dir = pathlib.Path(args.json_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        artifact = out_dir / f"{spec.name}.service.json"
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write(f"service summary written to {artifact}\n")
+    return 0
+
+
 def run_bench(args, out=sys.stdout) -> int:
     """The ``repro bench`` subcommand (see repro.bench, docs/performance.md).
 
@@ -633,6 +728,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_lint(args)
     if args.command == "bench":
         return run_bench(args)
+    if args.command == "serve":
+        return run_serve(args)
     if args.command == "scenario":
         return run_scenario_command(args)
     if args.command == "herd":

@@ -105,6 +105,29 @@ class KyotoEngine:
         """The VM's pollution account, or None if it is not managed."""
         return self.accounts.get(vm.vm_id)
 
+    def retire_vm(self, vm: "VirtualMachine") -> None:
+        """Close a VM's account with a final settlement debit.
+
+        The inverse of :meth:`register_vm`, called while the VM is still
+        live and measurable (before the hypervisor tears down its perfctr
+        accounts).  Pollution produced since the last monitoring sample
+        is debited now — without settlement, a VM could emit a burst and
+        retire before the period boundary bills it, breaking the quota
+        bank's conservation story.  Unmanaged VMs (no ``llc_cap``) have
+        nothing to settle.
+        """
+        account = self.accounts.get(vm.vm_id)
+        if account is not None:
+            ran = vm.cycles_run != self._cycles_at_last_sample.get(vm.vm_id, 0)
+            if ran:
+                measured = self._sample_or_estimate(vm)
+                account.debit(measured * self.monitor_period_ticks)
+                self.recorder.inc("kyoto.settlement_debits")
+            del self.accounts[vm.vm_id]
+            self.recorder.inc("kyoto.accounts_retired")
+        self._cycles_at_last_sample.pop(vm.vm_id, None)
+        self._estimates.pop(vm.vm_id, None)
+
     # -- enforcement ----------------------------------------------------------------
 
     def is_parked(self, vm: "VirtualMachine") -> bool:

@@ -249,6 +249,33 @@ class BatchTickEngine:
             self._ver_after[socket_id] = -1
             self._dirty[socket_id] = True
 
+    # -- fleet lifecycle -----------------------------------------------------
+
+    def invalidate_fleet(self) -> None:
+        """Drop every slot's occupant mirror and step memo.
+
+        Called by the system between ticks when the fleet changes
+        (:meth:`~repro.hypervisor.system.VirtualizedSystem.admit_vm` /
+        ``retire_vm``): retired vCPUs must not survive in slot mirrors or
+        memo keys, and every socket's relax-elision proof is stale once
+        occupancies changed under it.  ``execute_tick`` re-primes each
+        slot from ``core.running``, so the next tick rebuilds exactly the
+        state a freshly constructed engine would hold — bit-identical to
+        the scalar path.
+        """
+        for slot in self.slots:
+            slot.vcpu = None
+            slot.gid = -1
+            slot.m_vcpu = None
+            slot.m_behavior = None
+            slot.last_exec_stamp = _NEVER
+            slot.executed = False
+        num_sockets = len(self._prev_nop)
+        for socket_id in range(num_sockets):
+            self._prev_nop[socket_id] = False
+            self._ver_after[socket_id] = -1
+            self._dirty[socket_id] = True
+
     # -- occupant priming ----------------------------------------------------
 
     def _prime(self, slot: _CoreSlot, vcpu: "VCpu") -> None:

@@ -132,6 +132,13 @@ class VirtualizedSystem:
         self.engine = Engine(recorder=self.recorder)
         self.vms: List[VirtualMachine] = []
         self.vcpus: List[VCpu] = []
+        # Monotonic id counters: ids are never reused, so a retired VM's
+        # vm_id/gids stay dead forever (stale references cannot alias a
+        # later admission).  For a static fleet these produce exactly the
+        # ids the old len()-based scheme did.
+        self._next_vm_id = 0
+        self._next_gid = 0
+        self._vm_by_name: Dict[str, VirtualMachine] = {}
         self.tick_index = 0
         self._tick_observers: List[TickObserver] = []
         #: Optional pre-migration hook (fault injection): called with
@@ -187,6 +194,7 @@ class VirtualizedSystem:
         # The batch engine's per-core slots are built lazily on the
         # first tick: systems that are constructed but never run (spec
         # materialization, validation passes) pay nothing for it.
+        self._batch_engine = None
         self._tick_executor: Optional[Callable[[], None]] = (
             self._execute_tick if tick_engine == "scalar" else None
         )
@@ -230,7 +238,13 @@ class VirtualizedSystem:
 
     def create_vm(self, config: VmConfig) -> VirtualMachine:
         """Instantiate a VM, its vCPUs, and register with the scheduler."""
-        vm = VirtualMachine(vm_id=len(self.vms), config=config)
+        if config.name in self._vm_by_name:
+            raise HypervisorError(
+                f"a VM named {config.name!r} already exists; VM names must "
+                f"be unique while the VM is live"
+            )
+        vm = VirtualMachine(vm_id=self._next_vm_id, config=config)
+        self._next_vm_id += 1
         for index in range(config.num_vcpus):
             pinned = (
                 config.pinned_cores[index] if config.pinned_cores is not None else None
@@ -238,23 +252,84 @@ class VirtualizedSystem:
             if pinned is not None:
                 self.machine.core(pinned)  # validates the id
             vcpu = VCpu(
-                gid=len(self.vcpus),
+                gid=self._next_gid,
                 vm=vm,
                 index=index,
                 workload=config.workload,
                 pinned_core=pinned,
             )
+            self._next_gid += 1
             vm.vcpus.append(vcpu)
             self.vcpus.append(vcpu)
             self.scheduler.register_vcpu(vcpu)
         self.vms.append(vm)
+        self._vm_by_name[vm.name] = vm
+        if self._batch_engine is not None:
+            self._batch_engine.invalidate_fleet()
         return vm
 
+    def admit_vm(self, config: VmConfig) -> VirtualMachine:
+        """Admit a VM into a (possibly already running) system.
+
+        Semantically :meth:`create_vm`; the separate name marks the
+        service-mode entry point.  Admission happens *between* ticks —
+        the new VM is schedulable from the next tick onward.
+        """
+        vm = self.create_vm(config)
+        self.recorder.inc("service.vms_admitted")
+        return vm
+
+    def retire_vm(self, vm: VirtualMachine) -> None:
+        """Remove a VM from the system mid-run.
+
+        Runs between ticks.  Ordering matters:
+
+        1. the scheduler's VM-retire hook runs first, while the vCPUs are
+           still registered and measurable — Kyoto settlement samples the
+           monitor, which needs live perfctr accounts;
+        2. each vCPU is descheduled (its pending context-switch penalty
+           dies with it), its LLC occupancy is flushed, its perfctr
+           account retired, and the scheduler unregisters it;
+        3. the VM leaves the fleet, and the batch engine's core slots are
+           invalidated so no mirror retains a stale reference.
+        """
+        if self._vm_by_name.get(vm.name) is not vm:
+            raise HypervisorError(
+                f"VM {vm.name!r} (vm_id={vm.vm_id}) is not live in this system"
+            )
+        self.scheduler.on_vm_retiring(vm)
+        for vcpu in vm.vcpus:
+            if vcpu.current_core is not None:
+                core = self.machine.core(vcpu.current_core)
+                self.context_switch(core, None)
+                self._pending_penalty_cycles.pop(core.core_id, None)
+            if vcpu.blocked_until_usec is not None:
+                vcpu.blocked_until_usec = None
+                self._sleeping_count -= 1
+            # A retired vCPU must never look runnable again, even to code
+            # holding a stale reference.
+            vcpu.paused = True
+            for domain in self.llc_domains:
+                domain.flush_owner(vcpu.gid)
+            self.perfctr.retire_account(vcpu.gid)
+            self.scheduler.unregister_vcpu(vcpu)
+            self.last_tick_cycles.pop(vcpu.gid, None)
+            self.last_tick_misses.pop(vcpu.gid, None)
+            self.last_tick_instructions.pop(vcpu.gid, None)
+        retired_gids = {vcpu.gid for vcpu in vm.vcpus}
+        self.vcpus = [v for v in self.vcpus if v.gid not in retired_gids]
+        self.vms.remove(vm)
+        del self._vm_by_name[vm.name]
+        if self._batch_engine is not None:
+            self._batch_engine.invalidate_fleet()
+        self.recorder.inc("service.vms_retired")
+        self.recorder.compact_retired_series(f"kyoto.quota.{vm.name}")
+
     def vm_by_name(self, name: str) -> VirtualMachine:
-        for vm in self.vms:
-            if vm.name == name:
-                return vm
-        raise HypervisorError(f"no VM named {name!r}")
+        try:
+            return self._vm_by_name[name]
+        except KeyError:
+            raise HypervisorError(f"no VM named {name!r}") from None
 
     # -- placement / context switching -----------------------------------------
 
@@ -389,13 +464,29 @@ class VirtualizedSystem:
         start = self.tick_index
         finite_vms = [vm for vm in self.vms if vm.config.workload.is_finite]
         if not finite_vms:
+            offenders = ", ".join(
+                f"{vm.name} ({type(vm.config.workload).__name__})"
+                for vm in self.vms
+            )
             raise HypervisorError(
-                "run_until_finished needs at least one finite workload"
+                "run_until_finished needs at least one finite workload; "
+                + (
+                    f"every VM runs an infinite one: {offenders}"
+                    if offenders
+                    else "the system has no VMs (use run_ticks or the "
+                    "service loop for open-ended runs)"
+                )
             )
         while not all(vm.finished for vm in finite_vms):
             if self.tick_index - start >= max_ticks:
+                unfinished = ", ".join(
+                    f"{vm.name} ({type(vm.config.workload).__name__})"
+                    for vm in finite_vms
+                    if not vm.finished
+                )
                 raise HypervisorError(
-                    f"workloads did not finish within {max_ticks} ticks"
+                    f"workloads did not finish within {max_ticks} ticks; "
+                    f"still running: {unfinished}"
                 )
             self._do_tick()
         return self.tick_index - start

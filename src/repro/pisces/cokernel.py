@@ -78,6 +78,16 @@ class PiscesCoKernel(Scheduler):
                 )
             )
 
+    def on_vcpu_unregistered(self, vcpu: "VCpu", core_id: int) -> None:
+        self._dedicated.pop(core_id, None)
+        for enclave in self.enclaves:
+            if enclave.vm is vcpu.vm:
+                if core_id in enclave.cores:
+                    enclave.cores.remove(core_id)
+                if not enclave.cores:
+                    self.enclaves.remove(enclave)
+                break
+
     def enclave_of(self, vm: "VirtualMachine") -> Enclave:
         for enclave in self.enclaves:
             if enclave.vm is vm:

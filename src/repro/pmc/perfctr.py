@@ -62,6 +62,20 @@ class PerfctrVirtualizer:
             self._accounts[vcpu_id] = VcpuPmcAccount(vcpu_id)
         return self._accounts[vcpu_id]
 
+    def retire_account(self, vcpu_id: int) -> None:
+        """Drop a retired vCPU's cumulative account.
+
+        The vCPU must already be switched out (the hypervisor deschedules
+        it before retiring): retiring a still-active vCPU would silently
+        lose its un-banked deltas.
+        """
+        if vcpu_id in self._active:
+            raise PerfctrError(
+                f"vCPU {vcpu_id} is still switched in; deschedule it "
+                f"before retiring its account"
+            )
+        self._accounts.pop(vcpu_id, None)
+
     def context_switch_in(self, vcpu_id: int, core_id: int) -> None:
         """Record counter baselines when ``vcpu_id`` starts on ``core_id``."""
         if vcpu_id in self._active:

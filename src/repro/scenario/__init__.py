@@ -38,8 +38,11 @@ from .serialize import (
 )
 from .spec import (
     SCENARIO_SCHEMA,
+    AdmissionSpec,
+    ArrivalSpec,
     FaultSiteSpec,
     FaultsSpec,
+    LifetimeSpec,
     MachineSpecChoice,
     MigrationSpec,
     MonitorSpec,
@@ -47,6 +50,8 @@ from .spec import (
     ScenarioError,
     ScenarioSpec,
     SchedulerChoice,
+    ServiceSpec,
+    ServiceTemplateSpec,
     SystemSpec,
     TelemetrySpec,
     VmSpec,
@@ -62,8 +67,11 @@ __all__ = [
     "PAPER_LLC_CAP",
     "PAPER_SMALL_LLC_CAP",
     "SCENARIO_SCHEMA",
+    "AdmissionSpec",
+    "ArrivalSpec",
     "FaultSiteSpec",
     "FaultsSpec",
+    "LifetimeSpec",
     "MachineSpecChoice",
     "Materialized",
     "MigrationSpec",
@@ -72,6 +80,8 @@ __all__ = [
     "ScenarioError",
     "ScenarioSpec",
     "SchedulerChoice",
+    "ServiceSpec",
+    "ServiceTemplateSpec",
     "SystemSpec",
     "TelemetrySpec",
     "VmSpec",

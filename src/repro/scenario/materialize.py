@@ -40,14 +40,25 @@ from repro.schedulers.credit import CreditScheduler
 from repro.schedulers.rtds import RtdsScheduler
 from repro.pisces.cokernel import PiscesCoKernel
 from repro.pisces.ks4pisces import KS4Pisces
+from repro.service import (
+    AdmissionController,
+    CapacityCapAdmission,
+    ChurnGenerator,
+    NaiveAdmission,
+    PermitBudgetAdmission,
+    ServiceLoop,
+    VmTemplate,
+)
 from repro.workloads.base import Workload
 from repro.workloads.micro import micro_workload
 from repro.workloads.profiles import application_workload
 
 from .spec import (
+    AdmissionSpec,
     MonitorSpec,
     ScenarioError,
     ScenarioSpec,
+    ServiceSpec,
     VmSpec,
     WorkloadSpec,
 )
@@ -65,6 +76,8 @@ class Materialized:
     fault_plan: Optional[FaultPlan] = None
     monitor: Optional[PollutionMonitor] = None
     migrator: Optional[PeriodicMigrator] = None
+    #: The churn-driven service loop (only with a [service] section).
+    service: Optional[ServiceLoop] = None
     #: Uninstall hooks for the fault injectors, in install order.
     _uninstallers: List[Callable[[], None]] = field(default_factory=list)
 
@@ -172,6 +185,70 @@ def vm_configs_for(spec: VmSpec, total_cores: int) -> List[VmConfig]:
             )
         )
     return configs
+
+
+def admission_for(spec: AdmissionSpec) -> AdmissionController:
+    """Construct the admission controller an :class:`AdmissionSpec` asks for."""
+    if spec.policy == "naive":
+        return NaiveAdmission()
+    if spec.policy == "capacity":
+        assert spec.max_vcpus is not None  # enforced by validate()
+        return CapacityCapAdmission(spec.max_vcpus)
+    if spec.policy == "permit_budget":
+        assert spec.llc_budget is not None
+        return PermitBudgetAdmission(spec.llc_budget)
+    raise ScenarioError(
+        [f"service.admission.policy: unknown policy {spec.policy!r}"]
+    )
+
+
+def service_loop_for(
+    service: ServiceSpec, system: VirtualizedSystem
+) -> ServiceLoop:
+    """Build the churn generator, admission policy and service loop.
+
+    All stochastic draws come from rng streams derived from the scenario
+    seed (``service.arrivals``, ``service.lifetimes``,
+    ``service.templates``), so a soak run is bit-reproducible.
+    """
+    arrivals = service.arrivals
+    lifetime = service.lifetime
+    churn = ChurnGenerator(
+        system.rng.stream("service.arrivals"),
+        system.rng.stream("service.lifetimes"),
+        process=arrivals.process,
+        rate_per_tick=arrivals.rate_per_tick,
+        burst_probability=arrivals.burst_probability,
+        burst_size=arrivals.burst_size,
+        diurnal_amplitude=arrivals.diurnal_amplitude,
+        diurnal_period_ticks=arrivals.diurnal_period_ticks,
+        lifetime_kind=lifetime.kind,
+        lifetime_mean_ticks=lifetime.mean_ticks,
+        lifetime_sigma=lifetime.sigma,
+    )
+    templates = [
+        VmTemplate(
+            name=template.name,
+            # Bound per template: every admission stamps a fresh workload.
+            make_workload=lambda workload=template.workload: workload_for(
+                workload
+            ),
+            num_vcpus=template.num_vcpus,
+            weight=template.weight,
+            cap_percent=template.cap_percent,
+            llc_cap=template.llc_cap,
+            memory_node=template.memory_node,
+        )
+        for template in service.templates
+    ]
+    return ServiceLoop(
+        system,
+        churn,
+        admission_for(service.admission),
+        templates,
+        system.rng.stream("service.templates"),
+        drain_at_end=service.drain_at_end,
+    )
 
 
 def _fault_plan_for(spec: ScenarioSpec, system: VirtualizedSystem) -> FaultPlan:
@@ -296,6 +373,9 @@ def materialize(spec: ScenarioSpec) -> Materialized:
                             ]
                         )
             built.vms[config.name] = system.create_vm(config)
+
+    if spec.service is not None:
+        built.service = service_loop_for(spec.service, system)
 
     if spec.migration is not None:
         migration = spec.migration

@@ -27,8 +27,11 @@ except ImportError:  # pragma: no cover - exercised only on Python < 3.11
 
 from .spec import (
     SCENARIO_SCHEMA,
+    AdmissionSpec,
+    ArrivalSpec,
     FaultSiteSpec,
     FaultsSpec,
+    LifetimeSpec,
     MachineSpecChoice,
     MigrationSpec,
     MonitorSpec,
@@ -36,6 +39,8 @@ from .spec import (
     ScenarioError,
     ScenarioSpec,
     SchedulerChoice,
+    ServiceSpec,
+    ServiceTemplateSpec,
     SystemSpec,
     TelemetrySpec,
     VmSpec,
@@ -239,6 +244,74 @@ def _read_faults(reader: _Reader) -> FaultsSpec:
     return spec
 
 
+def _read_service(reader: _Reader) -> ServiceSpec:
+    arrivals = ArrivalSpec()
+    arrivals_reader = reader.table("arrivals")
+    if arrivals_reader is not None:
+        arrivals = ArrivalSpec(
+            process=arrivals_reader.str_("process", "poisson"),
+            rate_per_tick=arrivals_reader.float_("rate_per_tick", 0.01),
+            burst_probability=arrivals_reader.float_("burst_probability", 0.0),
+            burst_size=arrivals_reader.int_("burst_size", 3),
+            diurnal_amplitude=arrivals_reader.float_("diurnal_amplitude", 0.0),
+            diurnal_period_ticks=arrivals_reader.int_("diurnal_period_ticks", 0),
+        )
+        arrivals_reader.check_unknown()
+
+    lifetime = LifetimeSpec()
+    lifetime_reader = reader.table("lifetime")
+    if lifetime_reader is not None:
+        lifetime = LifetimeSpec(
+            kind=lifetime_reader.str_("kind", "exponential"),
+            mean_ticks=lifetime_reader.float_("mean_ticks", 1_000.0),
+            sigma=lifetime_reader.float_("sigma", 0.5),
+        )
+        lifetime_reader.check_unknown()
+
+    admission = AdmissionSpec()
+    admission_reader = reader.table("admission")
+    if admission_reader is not None:
+        admission = AdmissionSpec(
+            policy=admission_reader.str_("policy", "naive"),
+            max_vcpus=admission_reader.opt_int("max_vcpus"),
+            llc_budget=admission_reader.opt_float("llc_budget"),
+        )
+        admission_reader.check_unknown()
+
+    templates = []
+    for template_reader in reader.tables("templates"):
+        workload_reader = template_reader.table("workload")
+        if workload_reader is None:
+            template_reader.errors.append(
+                f"{template_reader.path}.workload: missing required table"
+            )
+            workload = WorkloadSpec()
+        else:
+            workload = _read_workload(workload_reader)
+        templates.append(
+            ServiceTemplateSpec(
+                name=template_reader.str_("name"),
+                workload=workload,
+                num_vcpus=template_reader.int_("num_vcpus", 1),
+                weight=template_reader.int_("weight", 256),
+                cap_percent=template_reader.opt_float("cap_percent"),
+                llc_cap=template_reader.opt_float("llc_cap"),
+                memory_node=template_reader.int_("memory_node", 0),
+            )
+        )
+        template_reader.check_unknown()
+
+    spec = ServiceSpec(
+        arrivals=arrivals,
+        lifetime=lifetime,
+        admission=admission,
+        templates=tuple(templates),
+        drain_at_end=reader.bool_("drain_at_end", True),
+    )
+    reader.check_unknown()
+    return spec
+
+
 def from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
     """Build a validated :class:`ScenarioSpec` from a plain document.
 
@@ -339,6 +412,11 @@ def from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
         )
         telemetry_reader.check_unknown()
 
+    service = None
+    service_reader = root.table("service")
+    if service_reader is not None:
+        service = _read_service(service_reader)
+
     spec = ScenarioSpec(
         name=root.str_("name"),
         description=root.str_("description", ""),
@@ -352,6 +430,7 @@ def from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
         migration=migration,
         protocol=protocol,
         telemetry=telemetry,
+        service=service,
     )
     root.check_unknown()
     if errors:

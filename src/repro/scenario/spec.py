@@ -54,6 +54,15 @@ WORKLOAD_KINDS = ("application", "micro")
 
 PROTOCOL_MODES = ("measure", "execution_time")
 
+#: Arrival processes the service-mode churn generator implements.
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+#: VM lifetime distributions.
+LIFETIME_KINDS = ("exponential", "lognormal", "fixed")
+
+#: Admission-control policies (docs/service.md).
+ADMISSION_POLICIES = ("naive", "capacity", "permit_budget")
+
 
 class ScenarioError(ValueError):
     """Invalid scenario definition; carries every collected error."""
@@ -506,6 +515,215 @@ class TelemetrySpec:
 
 
 @dataclass(frozen=True)
+class ArrivalSpec:
+    """The service mode's VM arrival process.
+
+    ``poisson`` draws per-tick arrival counts from a Poisson law at
+    ``rate_per_tick``; ``bursty`` layers rare bursts of ``burst_size``
+    simultaneous arrivals on top (cloud "thundering herd" admission).
+    A nonzero ``diurnal_amplitude`` modulates the rate sinusoidally over
+    ``diurnal_period_ticks`` (day/night load).
+    """
+
+    process: str = "poisson"
+    rate_per_tick: float = 0.01
+    burst_probability: float = 0.0
+    burst_size: int = 3
+    diurnal_amplitude: float = 0.0
+    diurnal_period_ticks: int = 0
+
+    def validate(self, path: str, errors: _Errors) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            errors.add(
+                f"{path}.process",
+                f"unknown arrival process {self.process!r}; "
+                f"expected one of {', '.join(ARRIVAL_PROCESSES)}",
+            )
+        if self.rate_per_tick < 0:
+            errors.add(
+                f"{path}.rate_per_tick",
+                f"must be >= 0, got {self.rate_per_tick}",
+            )
+        if not 0.0 <= self.burst_probability <= 1.0:
+            errors.add(
+                f"{path}.burst_probability",
+                f"must be in [0, 1], got {self.burst_probability}",
+            )
+        if self.burst_size < 1:
+            errors.add(
+                f"{path}.burst_size", f"must be >= 1, got {self.burst_size}"
+            )
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            errors.add(
+                f"{path}.diurnal_amplitude",
+                f"must be in [0, 1], got {self.diurnal_amplitude}",
+            )
+        if self.diurnal_amplitude > 0.0 and self.diurnal_period_ticks <= 0:
+            errors.add(
+                f"{path}.diurnal_period_ticks",
+                "must be positive when diurnal_amplitude is set, got "
+                f"{self.diurnal_period_ticks}",
+            )
+
+
+@dataclass(frozen=True)
+class LifetimeSpec:
+    """How long an admitted VM lives before the service retires it."""
+
+    kind: str = "exponential"
+    mean_ticks: float = 1_000.0
+    sigma: float = 0.5
+
+    def validate(self, path: str, errors: _Errors) -> None:
+        if self.kind not in LIFETIME_KINDS:
+            errors.add(
+                f"{path}.kind",
+                f"unknown lifetime kind {self.kind!r}; "
+                f"expected one of {', '.join(LIFETIME_KINDS)}",
+            )
+        if self.mean_ticks <= 0:
+            errors.add(
+                f"{path}.mean_ticks",
+                f"must be positive, got {self.mean_ticks}",
+            )
+        if self.kind == "lognormal" and self.sigma <= 0:
+            errors.add(
+                f"{path}.sigma",
+                f"must be positive for lognormal lifetimes, got {self.sigma}",
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """Which admission controller gates arrivals.
+
+    ``naive`` admits everything; ``capacity`` caps the number of live
+    vCPUs at ``max_vcpus``; ``permit_budget`` caps the summed booked
+    ``llc_cap`` of live VMs at ``llc_budget`` (the paper's permits as an
+    admission currency).
+    """
+
+    policy: str = "naive"
+    max_vcpus: Optional[int] = None
+    llc_budget: Optional[float] = None
+
+    def validate(self, path: str, errors: _Errors) -> None:
+        if self.policy not in ADMISSION_POLICIES:
+            errors.add(
+                f"{path}.policy",
+                f"unknown admission policy {self.policy!r}; "
+                f"expected one of {', '.join(ADMISSION_POLICIES)}",
+            )
+            return
+        if self.policy == "capacity":
+            if self.max_vcpus is None or self.max_vcpus < 1:
+                errors.add(
+                    f"{path}.max_vcpus",
+                    "capacity admission needs max_vcpus >= 1, got "
+                    f"{self.max_vcpus}",
+                )
+        elif self.max_vcpus is not None:
+            errors.add(
+                f"{path}.max_vcpus",
+                "only applies to policy=\"capacity\"",
+            )
+        if self.policy == "permit_budget":
+            if self.llc_budget is None or self.llc_budget <= 0:
+                errors.add(
+                    f"{path}.llc_budget",
+                    "permit_budget admission needs a positive llc_budget, "
+                    f"got {self.llc_budget}",
+                )
+        elif self.llc_budget is not None:
+            errors.add(
+                f"{path}.llc_budget",
+                "only applies to policy=\"permit_budget\"",
+            )
+
+
+@dataclass(frozen=True)
+class ServiceTemplateSpec:
+    """One entry of the service's VM template pool.
+
+    Admitted VMs are stamped from a template (chosen round-robin by
+    weight-free draw order) and named ``{name}-s{seq}`` with a global
+    monotonic sequence number.  Templates carry no ``count`` and no
+    pinning: placement is the scheduler's job in a churning fleet.
+    """
+
+    name: str
+    workload: WorkloadSpec
+    num_vcpus: int = 1
+    weight: int = 256
+    cap_percent: Optional[float] = None
+    llc_cap: Optional[float] = None
+    memory_node: int = 0
+
+    def validate(self, path: str, errors: _Errors) -> None:
+        if not self.name:
+            errors.add(f"{path}.name", "template name must be non-empty")
+        self.workload.validate(f"{path}.workload", errors)
+        if self.num_vcpus < 1:
+            errors.add(
+                f"{path}.num_vcpus", f"must be >= 1, got {self.num_vcpus}"
+            )
+        if self.weight <= 0:
+            errors.add(f"{path}.weight", f"must be positive, got {self.weight}")
+        if self.cap_percent is not None and not (
+            0 <= self.cap_percent <= 100 * self.num_vcpus
+        ):
+            errors.add(
+                f"{path}.cap_percent",
+                f"must be in [0, {100 * self.num_vcpus}], got {self.cap_percent}",
+            )
+        if self.llc_cap is not None and self.llc_cap < 0:
+            errors.add(f"{path}.llc_cap", f"must be >= 0, got {self.llc_cap}")
+        if self.memory_node < 0:
+            errors.add(
+                f"{path}.memory_node", f"must be >= 0, got {self.memory_node}"
+            )
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """The optional ``[service]`` section: churn-driven IaaS mode.
+
+    Present, it turns the scenario into an open system — VMs from
+    ``templates`` arrive under ``arrivals``, live for a ``lifetime``
+    draw, and are gated by ``admission``.  Any static ``[[vms]]`` still
+    materialize at tick 0 and churn alongside.  All stochastic draws
+    come from the scenario seed via named rng streams
+    (``service.arrivals``, ``service.lifetimes``, ``service.templates``).
+    """
+
+    arrivals: ArrivalSpec = field(default_factory=ArrivalSpec)
+    lifetime: LifetimeSpec = field(default_factory=LifetimeSpec)
+    admission: AdmissionSpec = field(default_factory=AdmissionSpec)
+    templates: Tuple[ServiceTemplateSpec, ...] = ()
+    #: Retire every live VM at the end of the soak (settles all accounts).
+    drain_at_end: bool = True
+
+    def validate(self, path: str, errors: _Errors) -> None:
+        self.arrivals.validate(f"{path}.arrivals", errors)
+        self.lifetime.validate(f"{path}.lifetime", errors)
+        self.admission.validate(f"{path}.admission", errors)
+        if not self.templates:
+            errors.add(
+                f"{path}.templates",
+                "service mode needs at least one VM template",
+            )
+        names = set()
+        for i, template in enumerate(self.templates):
+            template.validate(f"{path}.templates[{i}]", errors)
+            if template.name in names:
+                errors.add(
+                    f"{path}.templates[{i}].name",
+                    f"duplicate template name {template.name!r}",
+                )
+            names.add(template.name)
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One complete, self-contained experiment definition."""
 
@@ -521,6 +739,7 @@ class ScenarioSpec:
     migration: Optional[MigrationSpec] = None
     protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+    service: Optional[ServiceSpec] = None
 
     def validate(self) -> "ScenarioSpec":
         """Raise :class:`ScenarioError` listing every problem found."""
@@ -537,8 +756,11 @@ class ScenarioSpec:
         self.scheduler.validate("scheduler", errors)
         self.system.validate("system", errors)
         self.monitor.validate("monitor", errors)
-        if not self.vms:
-            errors.add("vms", "a scenario needs at least one VM")
+        if not self.vms and self.service is None:
+            errors.add(
+                "vms",
+                "a scenario needs at least one VM (or a [service] section)",
+            )
         names = set()
         for i, vm in enumerate(self.vms):
             vm.validate(f"vms[{i}]", errors)
@@ -549,6 +771,12 @@ class ScenarioSpec:
             self.faults.validate("faults", errors)
         if self.migration is not None:
             self.migration.validate("migration", errors)
+            if not self.vms:
+                errors.add(
+                    "migration",
+                    "periodic migration targets the static fleet; a "
+                    "service-only scenario has no VM at tick 0 to migrate",
+                )
             if self.migration.vm is not None and self.migration.vm not in names:
                 errors.add(
                     "migration.vm",
@@ -556,6 +784,8 @@ class ScenarioSpec:
                 )
         self.protocol.validate("protocol", errors)
         self.telemetry.validate("telemetry", errors)
+        if self.service is not None:
+            self.service.validate("service", errors)
         if self.protocol.target_vm is not None and self.vms:
             expanded = set()
             for vm in self.vms:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hypervisor.system import VirtualizedSystem
     from repro.hypervisor.vcpu import VCpu
+    from repro.hypervisor.vm import VirtualMachine
 
 
 class Scheduler(ABC):
@@ -60,6 +61,32 @@ class Scheduler(ABC):
             loads[core_id] = loads.get(core_id, 0) + 1
         return min(loads, key=lambda cid: (loads[cid], cid))
 
+    def unregister_vcpu(self, vcpu: "VCpu") -> None:
+        """Retire a vCPU: drop it from the run state and all queues.
+
+        The inverse of :meth:`register_vcpu`.  The system deschedules the
+        vCPU before calling this, so no core is running it.
+        """
+        gid = vcpu.gid
+        if gid not in self._vcpu_by_gid:
+            raise RuntimeError(f"vCPU gid {gid} is not registered")
+        self._vcpus.remove(vcpu)
+        del self._vcpu_by_gid[gid]
+        core_id = self.assigned_core.pop(gid)
+        self.on_vcpu_unregistered(vcpu, core_id)
+
+    def on_vm_retiring(self, vm: "VirtualMachine") -> None:
+        """Called by the system at the start of :meth:`retire_vm`, while
+        the VM's vCPUs are still schedulable and measurable.
+
+        The default settles the VM's pollution account when a Kyoto
+        engine is attached (every KS4* strategy exposes ``self.kyoto``),
+        so all four Kyoto schedulers get settlement without overriding.
+        """
+        kyoto = getattr(self, "kyoto", None)
+        if kyoto is not None:
+            kyoto.retire_vm(vm)
+
     def reassign_vcpu(self, vcpu: "VCpu", core_id: int) -> None:
         """Move a vCPU's static assignment (used after migration)."""
         old_core = self.assigned_core.get(vcpu.gid)
@@ -84,6 +111,10 @@ class Scheduler(ABC):
 
     def on_vcpu_registered(self, vcpu: "VCpu", core_id: int) -> None:
         """Per-scheduler admission bookkeeping (optional)."""
+
+    def on_vcpu_unregistered(self, vcpu: "VCpu", core_id: int) -> None:
+        """Per-scheduler retirement bookkeeping (optional).  ``core_id``
+        is the core the vCPU was assigned to when it was retired."""
 
     def on_vcpu_wake(self, vcpu: "VCpu") -> None:
         """Called when a blocked vCPU becomes runnable again (optional;

@@ -55,6 +55,9 @@ class CfsScheduler(Scheduler):
     def account(self, vcpu: "VCpu") -> CfsAccount:
         return self.accounts[vcpu.gid]
 
+    def on_vcpu_unregistered(self, vcpu: "VCpu", core_id: int) -> None:
+        del self.accounts[vcpu.gid]
+
     def _pick(self, core_id: int) -> Optional["VCpu"]:
         candidates = [
             v

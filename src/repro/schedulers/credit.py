@@ -94,6 +94,20 @@ class CreditScheduler(Scheduler):
     def account(self, vcpu: "VCpu") -> CreditAccount:
         return self.accounts[vcpu.gid]
 
+    def on_vcpu_unregistered(self, vcpu: "VCpu", core_id: int) -> None:
+        gid = vcpu.gid
+        del self.accounts[gid]
+        order = self._rr_order.get(core_id)
+        if order is not None and gid in order:
+            order.remove(gid)
+        self._boosted.discard(gid)
+        # A retired vCPU must not be charged to a successor's stint, nor
+        # keep owning a core's slice.
+        for stint_core, stint_gid in list(self._stint_gid.items()):
+            if stint_gid == gid:
+                self._stint[stint_core] = 0
+                self._stint_gid[stint_core] = None
+
     def on_vcpu_reassigned(self, vcpu, old_core, new_core) -> None:
         if old_core is not None and vcpu.gid in self._rr_order.get(old_core, []):
             self._rr_order[old_core].remove(vcpu.gid)

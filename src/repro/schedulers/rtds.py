@@ -84,6 +84,9 @@ class RtdsScheduler(Scheduler):
     def server_of(self, vcpu: "VCpu") -> RtServer:
         return self.servers[vcpu.gid]
 
+    def on_vcpu_unregistered(self, vcpu: "VCpu", core_id: int) -> None:
+        del self.servers[vcpu.gid]
+
     def set_server(self, vcpu: "VCpu", budget_ticks: int, period_ticks: int) -> None:
         """Reconfigure a vCPU's server (xl sched-rtds equivalent)."""
         server = RtServer(budget_ticks=budget_ticks, period_ticks=period_ticks)

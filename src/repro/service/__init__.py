@@ -1,0 +1,39 @@
+"""Churn-driven IaaS service mode (docs/service.md).
+
+Everything else in the repo runs a *closed* system: a fleet frozen
+before tick 0, measured, then thrown away.  This package models the
+open system the paper's claims are actually about — an IaaS where VMs
+arrive, run and depart continuously:
+
+* :class:`~repro.service.churn.ChurnGenerator` — Poisson/bursty VM
+  arrivals with optional diurnal modulation, plus lifetime draws, all
+  from injected :mod:`repro.simulation.rng` streams;
+* :class:`~repro.service.admission.AdmissionController` — pluggable
+  admission policies (naive, capacity-capped, permit-budget);
+* :class:`~repro.service.loop.ServiceLoop` — drives a
+  :class:`~repro.hypervisor.system.VirtualizedSystem` through a soak
+  run, admitting and retiring VMs between ticks and emitting a
+  ``repro.service/1`` summary.
+
+Exposed on the command line as ``repro serve SPEC --ticks N``.
+"""
+
+from .admission import (
+    AdmissionController,
+    CapacityCapAdmission,
+    NaiveAdmission,
+    PermitBudgetAdmission,
+)
+from .churn import ChurnGenerator
+from .loop import SERVICE_SCHEMA, ServiceLoop, VmTemplate
+
+__all__ = [
+    "AdmissionController",
+    "CapacityCapAdmission",
+    "ChurnGenerator",
+    "NaiveAdmission",
+    "PermitBudgetAdmission",
+    "SERVICE_SCHEMA",
+    "ServiceLoop",
+    "VmTemplate",
+]

@@ -1,0 +1,74 @@
+"""Admission control: which arriving VMs get in.
+
+VUPIC-style usage-based admission only makes sense once VMs have
+lifecycles; these controllers gate :meth:`VirtualizedSystem.admit_vm`
+calls in the service loop.  Each one answers a single question — *does
+this machine take this VM right now?* — against the live fleet, and
+records its verdicts so a soak run's rejection rate is observable.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.system import VirtualizedSystem
+    from repro.hypervisor.vm import VmConfig
+
+
+class AdmissionController(ABC):
+    """Base class of all admission policies."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def admits(self, system: "VirtualizedSystem", config: "VmConfig") -> bool:
+        """True when the system should take the VM."""
+
+
+class NaiveAdmission(AdmissionController):
+    """Admit everything — the paper's unmanaged IaaS baseline."""
+
+    name = "naive"
+
+    def admits(self, system: "VirtualizedSystem", config: "VmConfig") -> bool:
+        return True
+
+
+class CapacityCapAdmission(AdmissionController):
+    """Cap the number of live vCPUs (a fixed consolidation ratio)."""
+
+    name = "capacity"
+
+    def __init__(self, max_vcpus: int) -> None:
+        if max_vcpus < 1:
+            raise ValueError(f"max_vcpus must be >= 1, got {max_vcpus}")
+        self.max_vcpus = max_vcpus
+
+    def admits(self, system: "VirtualizedSystem", config: "VmConfig") -> bool:
+        return len(system.vcpus) + config.num_vcpus <= self.max_vcpus
+
+
+class PermitBudgetAdmission(AdmissionController):
+    """Cap the summed booked ``llc_cap`` of live VMs.
+
+    The Kyoto principle turned into an admission currency: the machine
+    sells pollution permits up to ``llc_budget`` (misses/ms) and refuses
+    VMs once they are sold out.  VMs without a booked cap consume no
+    budget — they are the unmanaged best-effort tier.
+    """
+
+    name = "permit_budget"
+
+    def __init__(self, llc_budget: float) -> None:
+        if llc_budget <= 0:
+            raise ValueError(f"llc_budget must be positive, got {llc_budget}")
+        self.llc_budget = llc_budget
+
+    def admits(self, system: "VirtualizedSystem", config: "VmConfig") -> bool:
+        booked = sum(
+            vm.llc_cap for vm in system.vms if vm.llc_cap is not None
+        )
+        asking = config.llc_cap if config.llc_cap is not None else 0.0
+        return booked + asking <= self.llc_budget

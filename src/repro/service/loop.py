@@ -1,0 +1,226 @@
+"""The service loop: a soak run over a churning fleet.
+
+Drives a :class:`~repro.hypervisor.system.VirtualizedSystem` tick by
+tick, performing all lifecycle operations *between* ticks (the admit /
+retire contract): expired and finished VMs retire, the churn generator
+draws arrivals, the admission controller gates them, and admitted VMs
+are stamped from the template pool.  Fleet telemetry goes through the
+system's bounded recorder, so memory stays bounded over million-tick
+runs; the loop's own counters feed the ``repro.service/1`` summary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.hypervisor.vm import VmConfig
+from repro.telemetry import RETIRED_SERIES_COUNTER
+
+from .admission import AdmissionController
+from .churn import ChurnGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.system import VirtualizedSystem
+    from repro.hypervisor.vm import VirtualMachine
+    from repro.workloads.base import Workload
+
+#: Schema identifier of a service-run summary document.
+SERVICE_SCHEMA = "repro.service/1"
+
+#: Default tick period of the fleet-size snapshot series.
+DEFAULT_SNAPSHOT_PERIOD_TICKS = 64
+
+
+@dataclass
+class VmTemplate:
+    """One stampable entry of the service's VM pool.
+
+    ``make_workload`` is a factory, not an instance: every admitted VM
+    gets a fresh workload object, so per-VM progress state can never be
+    shared across admissions.
+    """
+
+    name: str
+    make_workload: Callable[[], "Workload"]
+    num_vcpus: int = 1
+    weight: int = 256
+    cap_percent: Optional[float] = None
+    llc_cap: Optional[float] = None
+    memory_node: int = 0
+
+    def config(self, vm_name: str) -> VmConfig:
+        return VmConfig(
+            name=vm_name,
+            workload=self.make_workload(),
+            num_vcpus=self.num_vcpus,
+            weight=self.weight,
+            cap_percent=self.cap_percent,
+            llc_cap=self.llc_cap,
+            memory_node=self.memory_node,
+        )
+
+
+class ServiceLoop:
+    """Admit, run, retire — the IaaS-shaped open-system driver.
+
+    Terminate policy: the loop runs a fixed tick budget (never
+    ``run_until_finished`` — an open system has no "all done").  With
+    ``stop_when_idle`` it ends early once the fleet is empty *and* the
+    generator can produce no further arrivals; ``drain_at_end`` retires
+    every remaining VM when the loop ends, settling all accounts.
+    """
+
+    def __init__(
+        self,
+        system: "VirtualizedSystem",
+        churn: ChurnGenerator,
+        admission: AdmissionController,
+        templates: List[VmTemplate],
+        template_rng: random.Random,
+        *,
+        drain_at_end: bool = True,
+        stop_when_idle: bool = False,
+        snapshot_period_ticks: int = DEFAULT_SNAPSHOT_PERIOD_TICKS,
+    ) -> None:
+        if not templates:
+            raise ValueError("the service needs at least one VM template")
+        if snapshot_period_ticks <= 0:
+            raise ValueError(
+                f"snapshot_period_ticks must be positive, got "
+                f"{snapshot_period_ticks}"
+            )
+        self.system = system
+        self.churn = churn
+        self.admission = admission
+        self.templates = templates
+        self._template_rng = template_rng
+        self.drain_at_end = drain_at_end
+        self.stop_when_idle = stop_when_idle
+        self.snapshot_period_ticks = snapshot_period_ticks
+        #: vm_id -> tick index at which the VM's lifetime expires.
+        self._expiry: Dict[int, int] = {}
+        self._seq = 0
+        self.ticks_run = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.retired = 0
+        self.drained = 0
+        self.peak_live_vms = len(system.vms)
+
+    # -- lifecycle steps -------------------------------------------------------
+
+    def _retire_due(self) -> None:
+        """Retire every VM whose lifetime expired or workload finished."""
+        system = self.system
+        now = system.tick_index
+        due = [
+            vm
+            for vm in system.vms
+            if self._expiry.get(vm.vm_id, now + 1) <= now or vm.finished
+        ]
+        for vm in due:
+            system.retire_vm(vm)
+            self._expiry.pop(vm.vm_id, None)
+            self.retired += 1
+
+    def _admit_arrivals(self) -> None:
+        system = self.system
+        count = self.churn.arrivals_at(system.tick_index)
+        for _ in range(count):
+            template = (
+                self.templates[0]
+                if len(self.templates) == 1
+                else self._template_rng.choice(self.templates)
+            )
+            self._seq += 1
+            config = template.config(f"{template.name}-s{self._seq}")
+            if not self.admission.admits(system, config):
+                self.rejected += 1
+                system.recorder.inc("service.vms_rejected")
+                continue
+            vm = system.admit_vm(config)
+            self.admitted += 1
+            lifetime = self.churn.draw_lifetime_ticks()
+            self._expiry[vm.vm_id] = system.tick_index + lifetime
+
+    def _snapshot(self) -> None:
+        system = self.system
+        recorder = system.recorder
+        if not recorder.enabled:
+            return
+        tick = system.tick_index
+        recorder.record("service.live_vms", tick, float(len(system.vms)))
+        recorder.record("service.live_vcpus", tick, float(len(system.vcpus)))
+
+    @property
+    def _quiescent(self) -> bool:
+        """True when the generator can never produce another arrival."""
+        churn = self.churn
+        return churn.rate_per_tick == 0.0 and (
+            churn.process != "bursty" or churn.burst_probability == 0.0
+        )
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, num_ticks: int) -> Dict[str, object]:
+        """Soak for up to ``num_ticks`` ticks; returns the summary dict."""
+        if num_ticks < 0:
+            raise ValueError(f"num_ticks must be >= 0, got {num_ticks}")
+        system = self.system
+        for _ in range(num_ticks):
+            self._retire_due()
+            self._admit_arrivals()
+            if len(system.vms) > self.peak_live_vms:
+                self.peak_live_vms = len(system.vms)
+            if system.tick_index % self.snapshot_period_ticks == 0:
+                self._snapshot()
+            if (
+                self.stop_when_idle
+                and not system.vms
+                and self._quiescent
+            ):
+                break
+            system.run_ticks(1)
+            self.ticks_run += 1
+        if self.drain_at_end:
+            self._drain()
+        return self.summary()
+
+    def _drain(self) -> None:
+        """Retire every remaining VM, settling all pollution accounts."""
+        system = self.system
+        for vm in list(system.vms):
+            system.retire_vm(vm)
+            self._expiry.pop(vm.vm_id, None)
+            self.drained += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """The ``repro.service/1`` summary of the run so far."""
+        system = self.system
+        recorder = system.recorder
+        live_vm_names = sorted(vm.name for vm in system.vms)
+        return {
+            "schema": SERVICE_SCHEMA,
+            "ticks_run": self.ticks_run,
+            "final_tick": system.tick_index,
+            "arrival_process": self.churn.process,
+            "admission_policy": self.admission.name,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "retired": self.retired,
+            "drained": self.drained,
+            "peak_live_vms": self.peak_live_vms,
+            "final_live_vms": len(system.vms),
+            "final_live_vcpus": len(system.vcpus),
+            "final_live_vm_names": live_vm_names,
+            "retired_series_compactions": recorder.counters.get(
+                RETIRED_SERIES_COUNTER, 0.0
+            ),
+            "context_switches": recorder.counters.get(
+                "sys.context_switches", 0.0
+            ),
+        }

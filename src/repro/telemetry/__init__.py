@@ -13,6 +13,7 @@ from .recorder import (
     COMPACTION_COUNTER,
     DEFAULT_MAX_SERIES_POINTS,
     NULL_RECORDER,
+    RETIRED_SERIES_COUNTER,
     BoundedSeries,
     MetricsRecorder,
     NullRecorder,
@@ -33,6 +34,7 @@ __all__ = [
     "MetricsRecorder",
     "NULL_RECORDER",
     "NullRecorder",
+    "RETIRED_SERIES_COUNTER",
     "TELEMETRY_SCHEMA",
     "TelemetrySchemaError",
     "current_recorder",

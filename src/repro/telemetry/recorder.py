@@ -36,6 +36,10 @@ DEFAULT_MAX_SERIES_POINTS = 4096
 #: compacts its reservoir (truncation is logged, not silent).
 COMPACTION_COUNTER = "telemetry.series_compactions"
 
+#: Counter bumped by :meth:`MetricsRecorder.compact_retired_series` per
+#: series dropped when a VM retires (docs/service.md).
+RETIRED_SERIES_COUNTER = "service.retired_series_compactions"
+
 
 class BoundedSeries:
     """A per-tick series whose storage never exceeds ``max_points``.
@@ -122,6 +126,28 @@ class MetricsRecorder:
         if series.append(tick, value):
             self.inc(COMPACTION_COUNTER)
 
+    def compact_retired_series(self, prefix: str) -> int:
+        """Drop series named ``prefix`` or dotted under ``prefix.``.
+
+        Called when a VM retires: its per-VM series (``kyoto.quota.<vm>``
+        and friends) would otherwise accumulate forever on churny soak
+        runs.  Matching respects the dot boundary so retiring ``vm-1``
+        never compacts a live ``vm-12``.  Each dropped series bumps
+        :data:`RETIRED_SERIES_COUNTER`, so the compaction is observable,
+        never silent.  Returns the number of series dropped.
+        """
+        subtree = prefix + "."
+        doomed = [
+            name
+            for name in self._series
+            if name == prefix or name.startswith(subtree)
+        ]
+        for name in doomed:
+            del self._series[name]
+        if doomed:
+            self.inc(RETIRED_SERIES_COUNTER, float(len(doomed)))
+        return len(doomed)
+
     # -- reading ---------------------------------------------------------------
 
     def series(self, name: str) -> Optional[BoundedSeries]:
@@ -146,6 +172,9 @@ class NullRecorder(MetricsRecorder):
 
     def record(self, name: str, tick: int, value: float) -> None:
         return None
+
+    def compact_retired_series(self, prefix: str) -> int:
+        return 0
 
 
 #: Shared stateless no-op instance used as the default hook everywhere.

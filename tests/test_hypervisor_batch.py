@@ -247,6 +247,153 @@ class TestEngineEquivalence:
             )
 
 
+# -- churn equivalence --------------------------------------------------------
+
+churn_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("run"), st.integers(min_value=1, max_value=5)),
+        st.tuples(
+            st.just("admit"),
+            behaviors,
+            st.sampled_from(["plain", "finite", "interactive"]),
+            st.integers(min_value=0, max_value=1),  # memory node
+        ),
+        st.tuples(st.just("retire"), st.integers(min_value=0, max_value=7)),
+    ),
+    min_size=5,
+    max_size=16,
+)
+
+
+def _churn_fingerprint(engine, ops, seed):
+    """Drive one admit/run/retire interleaving; capture every observable.
+
+    Also asserts the churn invariants on every tick: the scheduler never
+    dispatches a retired vCPU, and every LLC line is owned by a live gid
+    (occupancy conservation — retirement flushed the rest).
+    """
+    system = VirtualizedSystem(
+        CreditScheduler(),
+        two_socket_machine(),
+        seed=seed,
+        tick_engine=engine,
+    )
+    trail = []
+    retired_final = []
+
+    def observe(s, tick):
+        live_gids = {vcpu.gid for vcpu in s.vcpus}
+        for core in s.machine.cores:
+            if core.running is not None:
+                assert core.running.gid in live_gids, (
+                    f"retired gid {core.running.gid} dispatched on "
+                    f"core {core.core_id}"
+                )
+        for domain in s.llc_domains:
+            snap = domain.snapshot()
+            held = sum(snap.values())
+            assert held <= domain.total_lines * (1 + 1e-9)
+            for gid, lines in snap.items():
+                if lines > 0.0:
+                    assert gid in live_gids, (
+                        f"retired gid {gid} still owns {lines} LLC lines"
+                    )
+        trail.append(
+            (
+                dict(s.last_tick_cycles),
+                dict(s.last_tick_instructions),
+                dict(s.last_tick_misses),
+                tuple(
+                    tuple(sorted(d.snapshot().items()))
+                    for d in s.llc_domains
+                ),
+            )
+        )
+
+    system.add_tick_observer(observe)
+    admitted = 0
+    for op in ops:
+        if op[0] == "admit":
+            _, behavior, kind, node = op
+            admitted += 1
+            system.admit_vm(
+                VmConfig(
+                    name=f"churn{admitted}",
+                    workload=_workload(kind, admitted, behavior, behavior),
+                    memory_node=node,
+                )
+            )
+        elif op[0] == "retire":
+            if system.vms:
+                vm = system.vms[op[1] % len(system.vms)]
+                vcpu = vm.vcpus[0]
+                system.retire_vm(vm)
+                retired_final.append(
+                    (
+                        vm.vm_id,
+                        vcpu.gid,
+                        vcpu.cycles_run,
+                        vcpu.instructions_retired,
+                        vcpu.llc_misses,
+                        vcpu.progress.instructions_done,
+                    )
+                )
+                for domain in system.llc_domains:
+                    assert domain.occupancy_of(vcpu.gid) == 0.0
+        else:
+            system.run_ticks(op[1])
+    final = []
+    for vm in system.vms:
+        for vcpu in vm.vcpus:
+            system.perfctr.flush_running(vcpu.gid)
+            account = system.perfctr.account(vcpu.gid)
+            final.append(
+                (
+                    vcpu.gid,
+                    vcpu.cycles_run,
+                    vcpu.instructions_retired,
+                    vcpu.llc_accesses,
+                    vcpu.llc_misses,
+                    vcpu.progress.instructions_done,
+                    vcpu.batch_mirror(),
+                    tuple(account.read(event) for event in PmcEvent),
+                )
+            )
+    return trail, retired_final, final
+
+
+class TestChurnEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        ops=churn_ops,
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_engines_bit_identical_under_churn(self, ops, seed):
+        """Random admit/retire interleavings leave all three engines
+        bit-identical: the batched slot mirrors rebuild correctly after
+        every fleet invalidation."""
+        reference = _churn_fingerprint("scalar", ops, seed)
+        for engine in ENGINES[1:]:
+            assert _churn_fingerprint(engine, ops, seed) == reference, engine
+
+    def test_admit_between_ticks_matches_cold_start(self):
+        """Deterministic pin: a VM admitted after the batch engine primed
+        produces the same trajectory on every engine."""
+        behavior = CacheBehavior(wss_lines=80_000.0, lapki=20.0)
+        late = CacheBehavior(wss_lines=40_000.0, lapki=8.0)
+        ops = [
+            ("admit", behavior, "plain", 0),
+            ("run", 5),
+            ("admit", late, "finite", 1),
+            ("run", 5),
+            ("retire", 0),
+            ("run", 5),
+        ]
+        reference = _churn_fingerprint("scalar", ops, 11)
+        for engine in ENGINES[1:]:
+            assert _churn_fingerprint(engine, ops, 11) == reference, engine
+
+
 # -- multi-socket accounting bugfixes -----------------------------------------
 
 class TestSocketFrequencyAccounting:

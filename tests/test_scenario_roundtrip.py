@@ -16,14 +16,19 @@ hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st  # noqa: E402
 
 from repro.scenario import (  # noqa: E402
+    AdmissionSpec,
+    ArrivalSpec,
     FaultSiteSpec,
     FaultsSpec,
+    LifetimeSpec,
     MachineSpecChoice,
     MigrationSpec,
     MonitorSpec,
     ProtocolSpec,
     ScenarioSpec,
     SchedulerChoice,
+    ServiceSpec,
+    ServiceTemplateSpec,
     SystemSpec,
     TelemetrySpec,
     VmSpec,
@@ -193,6 +198,119 @@ def migrations(draw, vm_names):
     )
 
 
+@st.composite
+def arrival_specs(draw):
+    process = draw(st.sampled_from(("poisson", "bursty")))
+    amplitude = draw(
+        st.floats(
+            min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+        )
+    )
+    return ArrivalSpec(
+        process=process,
+        rate_per_tick=draw(
+            st.floats(
+                min_value=0.0,
+                max_value=2.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        ),
+        burst_probability=draw(
+            st.floats(
+                min_value=0.0,
+                max_value=1.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        ),
+        burst_size=draw(st.integers(min_value=1, max_value=8)),
+        diurnal_amplitude=amplitude,
+        diurnal_period_ticks=(
+            draw(st.integers(min_value=1, max_value=10**6))
+            if amplitude > 0.0
+            else 0
+        ),
+    )
+
+
+lifetime_specs = st.one_of(
+    st.builds(
+        LifetimeSpec,
+        kind=st.sampled_from(("exponential", "fixed")),
+        mean_ticks=positive_floats,
+    ),
+    st.builds(
+        LifetimeSpec,
+        kind=st.just("lognormal"),
+        mean_ticks=positive_floats,
+        sigma=st.floats(
+            min_value=1e-3, max_value=4.0, allow_nan=False, allow_infinity=False
+        ),
+    ),
+)
+
+admission_specs = st.one_of(
+    st.builds(AdmissionSpec, policy=st.just("naive")),
+    st.builds(
+        AdmissionSpec,
+        policy=st.just("capacity"),
+        max_vcpus=st.integers(min_value=1, max_value=64),
+    ),
+    st.builds(
+        AdmissionSpec,
+        policy=st.just("permit_budget"),
+        llc_budget=positive_floats,
+    ),
+)
+
+
+@st.composite
+def service_template_specs(draw, name):
+    num_vcpus = draw(st.integers(min_value=1, max_value=3))
+    return ServiceTemplateSpec(
+        name=name,
+        workload=draw(workloads),
+        num_vcpus=num_vcpus,
+        weight=draw(st.integers(min_value=1, max_value=1024)),
+        cap_percent=draw(
+            st.none()
+            | st.floats(
+                min_value=0,
+                max_value=100 * num_vcpus,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        ),
+        llc_cap=draw(
+            st.none()
+            | st.floats(
+                min_value=0,
+                max_value=1e7,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        ),
+        memory_node=draw(st.integers(min_value=0, max_value=1)),
+    )
+
+
+@st.composite
+def service_specs(draw):
+    template_names = draw(
+        st.lists(names, min_size=1, max_size=3, unique=True)
+    )
+    return ServiceSpec(
+        arrivals=draw(arrival_specs()),
+        lifetime=draw(lifetime_specs),
+        admission=draw(admission_specs),
+        templates=tuple(
+            draw(service_template_specs(name)) for name in template_names
+        ),
+        drain_at_end=draw(st.booleans()),
+    )
+
+
 systems = st.builds(
     SystemSpec,
     tick_usec=st.integers(min_value=1, max_value=100_000),
@@ -248,6 +366,7 @@ def scenario_specs(draw):
                 series_capacity=st.integers(min_value=1, max_value=4096),
             )
         ),
+        service=draw(st.none() | service_specs()),
     )
 
 

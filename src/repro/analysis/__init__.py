@@ -1,5 +1,10 @@
-"""Analysis: Kendall's tau, degradation metrics, aggressiveness campaigns
-and plain-text reporting."""
+"""Analysis: Kendall's tau, degradation metrics, aggressiveness campaigns,
+downsampling and plain-text reporting.
+
+The ``repro report`` engine lives in :mod:`repro.analysis.report` and is
+*not* re-exported here: it imports the experiments layer (which imports
+this package), so it binds late — the CLI imports it directly.
+"""
 
 from .aggressiveness import (
     AggressivenessReport,
@@ -18,6 +23,11 @@ from .calibration import (
     format_calibration,
     run_calibration,
 )
+from .downsample import (
+    DownsampleError,
+    downsample_lttb,
+    downsample_stride_mean,
+)
 from .kendall import kendall_tau, ranking_from_scores
 from .metrics import (
     SeriesStats,
@@ -26,19 +36,28 @@ from .metrics import (
     slowdown_percent,
 )
 from .reporting import format_series, format_table
-from .statistics import LinearFit, linear_fit, mean_confidence_interval
+from .statistics import (
+    LinearFit,
+    linear_fit,
+    mean_confidence_interval,
+    student_t_critical,
+)
 
 __all__ = [
     "AggressivenessReport",
     "CalibrationEntry",
     "CalibrationReport",
     "CampaignConfig",
+    "DownsampleError",
     "LinearFit",
     "SOLO_TARGETS",
+    "downsample_lttb",
+    "downsample_stride_mean",
     "format_calibration",
     "linear_fit",
     "mean_confidence_interval",
     "run_calibration",
+    "student_t_critical",
     "OrderingComparison",
     "SeriesStats",
     "SoloProfile",

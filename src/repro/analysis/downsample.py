@@ -1,0 +1,132 @@
+"""Principled offline downsampling for full-resolution streams.
+
+The streaming sink (:mod:`repro.telemetry.stream`) captures every
+point; figures and report tables want a few hundred.  The *online*
+reservoir's stride-doubling decimation is the right tool while a run is
+live (O(1), deterministic), but offline we can afford better:
+
+* :func:`downsample_lttb` — Largest-Triangle-Three-Buckets (Steinarsson
+  2013): picks, per bucket, the point forming the largest triangle with
+  the previously kept point and the next bucket's average, preserving
+  visual extrema (spikes, cliffs) that plain striding erases.  The
+  canonical choice for plotting.
+* :func:`downsample_stride_mean` — fixed buckets, mean tick and mean
+  value per bucket: the right tool when downstream code *averages*
+  anyway (an unbiased coarse series, at the cost of flattened spikes).
+
+Both are pure functions of their inputs — no RNG, no wall clock — so a
+downsampled series is as reproducible as the stream it came from, and
+ties break deterministically (first point wins).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+class DownsampleError(ValueError):
+    """Raised on invalid downsampling inputs."""
+
+
+def _check_inputs(
+    ticks: Sequence[int], values: Sequence[float], n_out: int
+) -> None:
+    if len(ticks) != len(values):
+        raise DownsampleError(
+            f"length mismatch: {len(ticks)} ticks vs {len(values)} values"
+        )
+    if n_out < 2:
+        raise DownsampleError(f"n_out must be >= 2, got {n_out}")
+
+
+def downsample_lttb(
+    ticks: Sequence[int], values: Sequence[float], n_out: int
+) -> Tuple[List[int], List[float]]:
+    """Largest-Triangle-Three-Buckets to at most ``n_out`` points.
+
+    The first and last points are always kept.  Interior points are
+    partitioned into ``n_out - 2`` equal buckets; from each bucket the
+    point maximising the triangle area spanned by (previously kept
+    point, candidate, next bucket's centroid) is kept.  A series with
+    ``<= n_out`` points is returned unchanged (copied).  Deterministic:
+    equal areas keep the earliest candidate.
+    """
+    _check_inputs(ticks, values, n_out)
+    n = len(ticks)
+    if n <= n_out:
+        return list(ticks), list(values)
+    out_ticks: List[int] = [ticks[0]]
+    out_values: List[float] = [values[0]]
+    buckets = n_out - 2
+    # Interior points [1, n-1) split into `buckets` equal-width ranges.
+    span = (n - 2) / buckets
+    kept = 0  # index of the previously kept point
+    for bucket in range(buckets):
+        start = 1 + int(bucket * span)
+        stop = 1 + int((bucket + 1) * span)
+        stop = min(stop, n - 1)
+        if start >= stop:
+            continue
+        # Centroid of the *next* bucket (or the final point).
+        next_start = stop
+        next_stop = 1 + int((bucket + 2) * span) if bucket + 1 < buckets else n - 1
+        next_stop = min(max(next_stop, next_start + 1), n)
+        count = next_stop - next_start
+        avg_tick = sum(ticks[next_start:next_stop]) / count
+        avg_value = sum(values[next_start:next_stop]) / count
+        base_tick = float(ticks[kept])
+        base_value = values[kept]
+        best_index = start
+        best_area = -1.0
+        for index in range(start, stop):
+            area = abs(
+                (base_tick - avg_tick) * (values[index] - base_value)
+                - (base_tick - float(ticks[index])) * (avg_value - base_value)
+            )
+            if area > best_area:
+                best_area = area
+                best_index = index
+        out_ticks.append(ticks[best_index])
+        out_values.append(values[best_index])
+        kept = best_index
+    out_ticks.append(ticks[-1])
+    out_values.append(values[-1])
+    return out_ticks, out_values
+
+
+def downsample_stride_mean(
+    ticks: Sequence[int], values: Sequence[float], n_out: int
+) -> Tuple[List[int], List[float]]:
+    """Equal-width bucket means to at most ``n_out`` points.
+
+    Each bucket contributes one point: the (floor-)mean tick and the
+    mean value of its members.  Unlike decimation, every input point
+    influences the output, so sums and means computed downstream are
+    unbiased.  A series with ``<= n_out`` points is returned unchanged
+    (copied).
+    """
+    _check_inputs(ticks, values, n_out)
+    n = len(ticks)
+    if n <= n_out:
+        return list(ticks), list(values)
+    out_ticks: List[int] = []
+    out_values: List[float] = []
+    span = n / n_out
+    for bucket in range(n_out):
+        start = int(bucket * span)
+        stop = min(int((bucket + 1) * span), n)
+        if bucket == n_out - 1:
+            stop = n
+        if start >= stop:
+            continue
+        count = stop - start
+        out_ticks.append(int(sum(ticks[start:stop]) // count))
+        out_values.append(sum(values[start:stop]) / count)
+    return out_ticks, out_values
+
+
+__all__ = [
+    "DownsampleError",
+    "downsample_lttb",
+    "downsample_stride_mean",
+]

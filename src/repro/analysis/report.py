@@ -1,0 +1,683 @@
+"""The ``repro report`` engine (schema ``repro.report/1``).
+
+Every other subcommand *produces* artifacts: ``repro run --json``
+campaign directories of ``repro.artifact/1`` files, ``repro herd`` a
+journal plus merged summary, ``repro serve`` a ``repro.service/1``
+soak summary, ``--stream`` full-resolution ``repro.telemetry.stream/1``
+directories.  This module is the layer that *reads* them all back and
+turns a pile of directories into the paper-shaped deliverables:
+
+* **comparison tables** — sweep points (``name@axis=value,...``) are
+  grouped by base experiment and pivoted into one row per point with
+  the sweep axes as columns plus the telemetry counters that actually
+  vary across the group (scheduler x fault-rate x fleet-size grids
+  become readable degradation tables);
+* **service-run tables** — one row per ``repro.service/1`` soak;
+* **herd status** — journal replay counts and the quarantined set;
+* **per-series summaries** — count/mean/min/max plus deterministic
+  offline downsampling (:mod:`repro.analysis.downsample`) for stream
+  series, so a million-tick trace plots as a few hundred points.
+
+Determinism is a hard requirement, not a nicety: the report of a
+directory is a pure function of its *simulated* contents.  Wall times —
+the only nondeterministic field an artifact carries — are excluded
+everywhere, so two runs of the same campaign produce byte-identical
+reports (pinned by tests and the CI report-smoke job).
+
+This module is intentionally **not** imported by
+``repro.analysis.__init__``: it imports the experiments/campaign layer
+(which itself imports ``repro.analysis``), so it binds late — the CLI
+imports it inside :func:`repro.cli.run_report`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
+
+from repro.experiments.campaign import scan_artifacts
+from repro.herd.journal import journal_path, replay_journal
+from repro.service.loop import SERVICE_SCHEMA
+from repro.telemetry.stream import is_stream_dir, read_stream
+
+from .downsample import downsample_lttb, downsample_stride_mean
+from .reporting import format_table
+
+#: Schema identifier of the emitted report document.
+REPORT_SCHEMA = "repro.report/1"
+
+#: Cap on auto-selected counter columns per comparison table.
+MAX_AUTO_METRICS = 8
+
+#: Default downsampled points per stream series in the JSON document.
+DEFAULT_MAX_POINTS = 256
+
+
+class ReportError(ValueError):
+    """Raised on unusable report inputs (no sources, bad directories)."""
+
+
+# -- ingestion ---------------------------------------------------------------
+
+
+def parse_axes(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split a sweep-point name into ``(base, axes)``.
+
+    ``chaos-sweep@faults.uniform_rate=0.5,scheduler.kind=ks4xen`` maps
+    to ``("chaos-sweep", {"faults.uniform_rate": "0.5", ...})``; a name
+    without ``@`` (or with a malformed suffix) has no axes.  Axis values
+    stay strings — the sweep grid wrote them, so exact text is the
+    robust identity.
+    """
+    base, sep, suffix = name.partition("@")
+    if not sep or not suffix:
+        return name, {}
+    axes: Dict[str, str] = {}
+    for part in suffix.split(","):
+        key, eq, value = part.partition("=")
+        if not eq or not key:
+            return name, {}
+        axes[key] = value
+    return base, axes
+
+
+def _axis_sort_key(value: str) -> Tuple[int, float, str]:
+    """Numeric-aware, deterministic ordering for axis values."""
+    try:
+        return (0, float(value), value)
+    except ValueError:
+        return (1, 0.0, value)
+
+
+def ingest_sources(paths: Sequence[str]) -> Dict[str, Any]:
+    """Load every recognized artifact kind under ``paths``.
+
+    Each path may be (simultaneously) an artifact directory, a herd
+    campaign directory, a holder of ``repro.service/1`` summaries, a
+    stream directory, or a parent of stream directories — every kind
+    found is ingested.  A path that yields nothing is an error: a
+    report over silently-empty sources would look authoritative while
+    covering nothing.
+    """
+    sources: List[Dict[str, Any]] = []
+    artifacts: List[Dict[str, Any]] = []
+    corrupt: List[str] = []
+    service_runs: List[Dict[str, Any]] = []
+    herds: List[Dict[str, Any]] = []
+    streams: List[Tuple[str, Any]] = []
+    for path in paths:
+        if not os.path.isdir(path):
+            raise ReportError(f"no such directory: {path}")
+        kinds: List[str] = []
+        found_artifacts, found_corrupt = scan_artifacts(path)
+        if found_artifacts or found_corrupt:
+            kinds.append("artifacts")
+            artifacts.extend(found_artifacts)
+            corrupt.extend(sorted(found_corrupt))
+        found_services = _scan_service_summaries(path)
+        if found_services:
+            kinds.append("service")
+            service_runs.extend(found_services)
+        if os.path.isfile(journal_path(path)):
+            kinds.append("herd")
+            herds.append(_herd_entry(path))
+        for stream_dir in _scan_stream_dirs(path):
+            if "stream" not in kinds:
+                kinds.append("stream")
+            streams.append((stream_dir, read_stream(stream_dir)))
+        if not kinds:
+            raise ReportError(
+                f"nothing reportable in {path}: no repro.artifact/1 "
+                "files, service summaries, herd journal or stream chunks"
+            )
+        sources.append({"path": path, "kinds": kinds})
+    return {
+        "sources": sources,
+        "artifacts": artifacts,
+        "corrupt": corrupt,
+        "service_runs": service_runs,
+        "herds": herds,
+        "streams": streams,
+    }
+
+
+def _scan_service_summaries(path: str) -> List[Dict[str, Any]]:
+    summaries: List[Dict[str, Any]] = []
+    for entry in sorted(os.listdir(path)):
+        if not entry.endswith(".json"):
+            continue
+        try:
+            with open(
+                os.path.join(path, entry), "r", encoding="utf-8"
+            ) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue  # scan_artifacts already reports corrupt JSON
+        if isinstance(data, dict) and data.get("schema") == SERVICE_SCHEMA:
+            data["_file"] = entry
+            summaries.append(data)
+    return summaries
+
+
+def _scan_stream_dirs(path: str) -> List[str]:
+    """Stream directories at ``path``, one or two levels below it.
+
+    Depth two covers the natural campaign layout
+    (``out/streams/<experiment>/chunk-*.jsonl`` next to ``out/*.json``)
+    so ``repro report out/`` sees the streams without a second argument.
+    """
+    if is_stream_dir(path):
+        return [path]
+    found: List[str] = []
+    for entry in sorted(os.listdir(path)):
+        child = os.path.join(path, entry)
+        if is_stream_dir(child):
+            found.append(child)
+        elif os.path.isdir(child):
+            found.extend(
+                os.path.join(child, nested)
+                for nested in sorted(os.listdir(child))
+                if is_stream_dir(os.path.join(child, nested))
+            )
+    return found
+
+
+def _herd_entry(path: str) -> Dict[str, Any]:
+    state = replay_journal(journal_path(path))
+    quarantined = sorted(
+        record.name
+        for record in state.points.values()
+        if record.status == "quarantined"
+    )
+    return {
+        "path": path,
+        "clean": state.clean,
+        "resumes": state.resumes,
+        "counts": state.counts(),
+        "quarantined": quarantined,
+    }
+
+
+# -- document assembly -------------------------------------------------------
+
+
+def build_report(
+    paths: Sequence[str],
+    *,
+    counters: Optional[Sequence[str]] = None,
+    series_filter: Optional[Sequence[str]] = None,
+    max_points: int = DEFAULT_MAX_POINTS,
+    method: str = "lttb",
+) -> Dict[str, Any]:
+    """Assemble the ``repro.report/1`` document for ``paths``.
+
+    ``counters`` fixes the comparison tables' metric columns (default:
+    auto — the counters that vary across each group, capped at
+    :data:`MAX_AUTO_METRICS`).  ``series_filter`` keeps only series
+    whose name equals a filter or extends it across a dot boundary.
+    ``max_points``/``method`` control the embedded downsampled arrays
+    for stream series.
+    """
+    if max_points < 2:
+        raise ReportError(f"max_points must be >= 2, got {max_points}")
+    if method not in ("lttb", "stride-mean"):
+        raise ReportError(
+            f"unknown downsampling method {method!r}; "
+            "use 'lttb' or 'stride-mean'"
+        )
+    loaded = ingest_sources(paths)
+    experiments = [
+        _experiment_entry(artifact) for artifact in loaded["artifacts"]
+    ]
+    experiments.sort(
+        key=lambda entry: (
+            entry["base"],
+            [
+                (key, _axis_sort_key(value))
+                for key, value in sorted(entry["axes"].items())
+            ],
+            entry["name"],
+        )
+    )
+    document: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "sources": loaded["sources"],
+        "experiments": experiments,
+        "comparisons": _build_comparisons(experiments, counters),
+        "service_runs": [
+            _service_entry(summary) for summary in loaded["service_runs"]
+        ],
+        "herds": loaded["herds"],
+        "series": _build_series(
+            loaded, series_filter, max_points, method
+        ),
+    }
+    if loaded["corrupt"]:
+        document["corrupt_artifacts"] = loaded["corrupt"]
+    return document
+
+
+def _experiment_entry(artifact: Dict[str, Any]) -> Dict[str, Any]:
+    import hashlib
+
+    name = str(artifact.get("name", ""))
+    base, axes = parse_axes(name)
+    report_text = artifact.get("report", "") or ""
+    telemetry = artifact.get("telemetry", {}) or {}
+    raw_counters = telemetry.get("counters", {}) or {}
+    return {
+        "name": name,
+        "base": base,
+        "axes": axes,
+        "ok": bool(artifact.get("ok")),
+        "error": artifact.get("error"),
+        "report_sha256": hashlib.sha256(
+            report_text.encode("utf-8")
+        ).hexdigest(),
+        "counters": {
+            key: float(raw_counters[key]) for key in sorted(raw_counters)
+        },
+    }
+
+
+def _build_comparisons(
+    experiments: List[Dict[str, Any]],
+    requested_counters: Optional[Sequence[str]],
+) -> List[Dict[str, Any]]:
+    """Pivot swept experiment groups into axis-by-metric tables."""
+    groups: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in experiments:
+        if entry["axes"]:
+            groups.setdefault(entry["base"], []).append(entry)
+    comparisons: List[Dict[str, Any]] = []
+    for base in sorted(groups):
+        members = groups[base]
+        if len(members) < 2:
+            continue
+        axes = sorted({key for entry in members for key in entry["axes"]})
+        metrics = _metric_columns(members, requested_counters)
+        rows = []
+        for entry in members:
+            rows.append(
+                {
+                    "name": entry["name"],
+                    "axes": {
+                        key: entry["axes"].get(key, "") for key in axes
+                    },
+                    "ok": entry["ok"],
+                    "metrics": {
+                        key: entry["counters"].get(key) for key in metrics
+                    },
+                }
+            )
+        rows.sort(
+            key=lambda row: [
+                _axis_sort_key(row["axes"][key]) for key in axes
+            ]
+        )
+        comparisons.append(
+            {"base": base, "axes": axes, "metrics": metrics, "rows": rows}
+        )
+    return comparisons
+
+
+def _metric_columns(
+    members: List[Dict[str, Any]],
+    requested: Optional[Sequence[str]],
+) -> List[str]:
+    if requested:
+        return sorted(dict.fromkeys(requested))
+    # Auto mode: the counters that *vary* across the group carry the
+    # comparison's information; constant ones are noise columns.
+    names = sorted({
+        name for entry in members for name in entry["counters"]
+    })
+    varying = []
+    for name in names:
+        seen = {entry["counters"].get(name) for entry in members}
+        if len(seen) > 1:
+            varying.append(name)
+    return varying[:MAX_AUTO_METRICS]
+
+
+#: repro.service/1 fields surfaced in the service-run table, in order.
+SERVICE_FIELDS = (
+    "ticks_run",
+    "admitted",
+    "rejected",
+    "retired",
+    "drained",
+    "peak_live_vms",
+    "final_live_vms",
+    "retired_series_compactions",
+)
+
+
+def _service_entry(summary: Dict[str, Any]) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "scenario": summary.get("scenario", summary.get("_file", "?")),
+        "arrival_process": summary.get("arrival_process"),
+        "admission_policy": summary.get("admission_policy"),
+    }
+    for field in SERVICE_FIELDS:
+        entry[field] = summary.get(field)
+    if "stream" in summary:
+        entry["stream"] = summary["stream"]
+    return entry
+
+
+def _build_series(
+    loaded: Dict[str, Any],
+    series_filter: Optional[Sequence[str]],
+    max_points: int,
+    method: str,
+) -> List[Dict[str, Any]]:
+    downsampler = (
+        downsample_lttb if method == "lttb" else downsample_stride_mean
+    )
+    entries: List[Dict[str, Any]] = []
+    streamed: set = set()
+    for directory, data in loaded["streams"]:
+        label = os.path.basename(os.path.normpath(directory))
+        for name in data.series_names():
+            if not _series_selected(name, series_filter):
+                continue
+            streamed.add((label, name))
+            series = data.series[name]
+            entry = _series_summary(
+                label, name, series.ticks, series.values
+            )
+            entry["kind"] = "stream"
+            entry["resolution"] = "full"
+            entry["clean"] = data.clean
+            if len(series.ticks) > max_points:
+                ds_ticks, ds_values = downsampler(
+                    series.ticks, series.values, max_points
+                )
+                entry["downsampled"] = {
+                    "method": method,
+                    "ticks": ds_ticks,
+                    "values": ds_values,
+                }
+            entries.append(entry)
+    for artifact in loaded["artifacts"]:
+        source = str(artifact.get("name", ""))
+        telemetry = artifact.get("telemetry", {}) or {}
+        all_series = telemetry.get("series", {}) or {}
+        for name in sorted(all_series):
+            if not _series_selected(name, series_filter):
+                continue
+            if (source, name) in streamed:
+                # The stream is the same series at full resolution; the
+                # artifact's bounded reservoir adds nothing.
+                continue
+            entry_data = all_series[name]
+            entry = _series_summary(
+                source,
+                name,
+                entry_data.get("ticks", []),
+                entry_data.get("values", []),
+            )
+            dropped = int(entry_data.get("dropped", 0))
+            entry["kind"] = "artifact"
+            entry["resolution"] = (
+                "full" if dropped == 0
+                else f"1-in-{int(entry_data.get('stride', 1))}"
+            )
+            entries.append(entry)
+    entries.sort(key=lambda entry: (entry["source"], entry["series"]))
+    return entries
+
+
+def _series_selected(
+    name: str, series_filter: Optional[Sequence[str]]
+) -> bool:
+    if not series_filter:
+        return True
+    return any(
+        name == wanted or name.startswith(wanted + ".")
+        for wanted in series_filter
+    )
+
+
+def _series_summary(
+    source: str, name: str, ticks: Sequence[int], values: Sequence[float]
+) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "source": source,
+        "series": name,
+        "points": len(ticks),
+    }
+    if ticks:
+        entry["first_tick"] = int(ticks[0])
+        entry["last_tick"] = int(ticks[-1])
+        entry["mean"] = sum(values) / len(values)
+        entry["min"] = min(values)
+        entry["max"] = max(values)
+    return entry
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render_json(document: Dict[str, Any]) -> str:
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_text(document: Dict[str, Any]) -> str:
+    """Aligned ASCII tables — the figure-class view."""
+    blocks: List[str] = []
+    for comparison in document["comparisons"]:
+        headers = (
+            list(comparison["axes"]) + ["ok"] + list(comparison["metrics"])
+        )
+        rows = []
+        for row in comparison["rows"]:
+            cells: List[Any] = [
+                row["axes"][key] for key in comparison["axes"]
+            ]
+            cells.append("yes" if row["ok"] else "NO")
+            for metric in comparison["metrics"]:
+                value = row["metrics"][metric]
+                cells.append("-" if value is None else value)
+            rows.append(cells)
+        blocks.append(
+            format_table(
+                headers, rows, title=f"comparison: {comparison['base']}"
+            )
+        )
+    if document["service_runs"]:
+        headers = ["scenario", "process", "admission"] + list(SERVICE_FIELDS)
+        rows = []
+        for entry in document["service_runs"]:
+            rows.append(
+                [
+                    entry["scenario"],
+                    entry.get("arrival_process") or "-",
+                    entry.get("admission_policy") or "-",
+                ]
+                + [
+                    "-" if entry.get(field) is None else entry[field]
+                    for field in SERVICE_FIELDS
+                ]
+            )
+        blocks.append(format_table(headers, rows, title="service runs"))
+    for herd in document["herds"]:
+        counts = herd["counts"]
+        status_line = "  ".join(
+            f"{status}={counts[status]}" for status in sorted(counts)
+        )
+        lines = [
+            f"herd: {herd['path']}",
+            f"  resumes={herd['resumes']}  clean={herd['clean']}",
+            f"  {status_line}",
+        ]
+        if herd["quarantined"]:
+            lines.append(
+                "  quarantined: " + ", ".join(herd["quarantined"])
+            )
+        blocks.append("\n".join(lines))
+    if document["series"]:
+        headers = [
+            "source", "series", "points", "resolution",
+            "mean", "min", "max",
+        ]
+        rows = []
+        for entry in document["series"]:
+            rows.append(
+                [
+                    entry["source"],
+                    entry["series"],
+                    entry["points"],
+                    entry.get("resolution", "-"),
+                    entry.get("mean", "-"),
+                    entry.get("min", "-"),
+                    entry.get("max", "-"),
+                ]
+            )
+        blocks.append(format_table(headers, rows, title="series"))
+    if document.get("corrupt_artifacts"):
+        blocks.append(
+            "corrupt artifacts: "
+            + ", ".join(document["corrupt_artifacts"])
+        )
+    if not blocks:
+        blocks.append("nothing to report")
+    return "\n\n".join(blocks) + "\n"
+
+
+def render_csv(document: Dict[str, Any]) -> str:
+    """CSV sections (one ``# title`` comment + header + rows each)."""
+    lines: List[str] = []
+    for comparison in document["comparisons"]:
+        lines.append(f"# comparison: {comparison['base']}")
+        headers = (
+            list(comparison["axes"]) + ["ok"] + list(comparison["metrics"])
+        )
+        lines.append(",".join(_csv_cell(cell) for cell in headers))
+        for row in comparison["rows"]:
+            cells: List[Any] = [
+                row["axes"][key] for key in comparison["axes"]
+            ]
+            cells.append("yes" if row["ok"] else "no")
+            for metric in comparison["metrics"]:
+                value = row["metrics"][metric]
+                cells.append("" if value is None else value)
+            lines.append(",".join(_csv_cell(cell) for cell in cells))
+        lines.append("")
+    if document["service_runs"]:
+        lines.append("# service runs")
+        headers = ["scenario", "process", "admission"] + list(SERVICE_FIELDS)
+        lines.append(",".join(_csv_cell(cell) for cell in headers))
+        for entry in document["service_runs"]:
+            cells = [
+                entry["scenario"],
+                entry.get("arrival_process") or "",
+                entry.get("admission_policy") or "",
+            ] + [
+                "" if entry.get(field) is None else entry[field]
+                for field in SERVICE_FIELDS
+            ]
+            lines.append(",".join(_csv_cell(cell) for cell in cells))
+        lines.append("")
+    if document["series"]:
+        lines.append("# series")
+        headers = [
+            "source", "series", "points", "resolution",
+            "first_tick", "last_tick", "mean", "min", "max",
+        ]
+        lines.append(",".join(_csv_cell(cell) for cell in headers))
+        for entry in document["series"]:
+            cells = [
+                entry["source"], entry["series"], entry["points"],
+                entry.get("resolution", ""),
+                entry.get("first_tick", ""), entry.get("last_tick", ""),
+                entry.get("mean", ""), entry.get("min", ""),
+                entry.get("max", ""),
+            ]
+            lines.append(",".join(_csv_cell(cell) for cell in cells))
+        lines.append("")
+    while lines and lines[-1] == "":
+        lines.pop()
+    return "\n".join(lines) + "\n"
+
+
+def _csv_cell(value: Any) -> str:
+    text = str(value)
+    if any(ch in text for ch in ',"\n'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "csv": render_csv,
+}
+
+
+def run_report(
+    paths: Sequence[str],
+    *,
+    fmt: str = "text",
+    output: Optional[str] = None,
+    counters: Optional[Sequence[str]] = None,
+    series_filter: Optional[Sequence[str]] = None,
+    max_points: int = DEFAULT_MAX_POINTS,
+    method: str = "lttb",
+    out: Optional[IO[str]] = None,
+) -> int:
+    """The ``repro report`` subcommand body.
+
+    Exit codes: 0 ok; 1 the report was produced but the sources carry
+    damage (corrupt artifacts, torn streams, an unclean herd journal);
+    2 unusable inputs.
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    try:
+        document = build_report(
+            paths,
+            counters=counters,
+            series_filter=series_filter,
+            max_points=max_points,
+            method=method,
+        )
+    except ReportError as exc:
+        sys.stderr.write(f"repro report: error: {exc}\n")
+        return 2
+    text = RENDERERS[fmt](document)
+    if output is not None:
+        from repro.util import atomic_write_text
+
+        atomic_write_text(output, text)
+        stream.write(f"report written to {output}\n")
+    else:
+        stream.write(text)
+    damaged = bool(document.get("corrupt_artifacts"))
+    damaged = damaged or any(
+        not entry.get("clean", True)
+        for entry in document["series"]
+        if entry.get("resolution") == "full"
+    )
+    damaged = damaged or any(
+        not herd["clean"] for herd in document["herds"]
+    )
+    return 1 if damaged else 0
+
+
+__all__ = [
+    "DEFAULT_MAX_POINTS",
+    "MAX_AUTO_METRICS",
+    "REPORT_SCHEMA",
+    "ReportError",
+    "build_report",
+    "ingest_sources",
+    "parse_axes",
+    "render_csv",
+    "render_json",
+    "render_text",
+    "run_report",
+]

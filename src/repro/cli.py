@@ -31,6 +31,17 @@ grid point.  The ``scenario`` subcommand works with the files
 themselves: ``list`` a directory, ``validate`` files, ``show`` the
 canonical form of one point, ``run`` files (same engine as ``run``).
 
+``--stream DIR`` (on ``run``, ``scenario run`` and ``serve``) spools
+every telemetry series point to a full-resolution on-disk stream
+(schema ``repro.telemetry.stream/1``, docs/telemetry.md) so long soaks
+keep bounded memory with zero resolution loss, and ``report`` turns
+artifact/stream/journal directories back into comparison tables and
+series summaries (docs/reporting.md)::
+
+    python -m repro serve examples/scenarios/vm_churn.toml --stream stream/
+    python -m repro run chaos-sweep.toml --json out/ --stream out/streams/
+    python -m repro report out/ stream/ --format json
+
 The repo's own static-analysis gate (docs/static_analysis.md) runs as::
 
     python -m repro lint [paths ...] [--format json] [--baseline FILE]
@@ -40,7 +51,6 @@ The repo's own static-analysis gate (docs/static_analysis.md) runs as::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
@@ -105,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
             "subprocess killed after SEC seconds (a hang is reported like "
             "a crash and the batch continues; combines with --jobs N for "
             "concurrent supervised workers)"
+        ),
+    )
+    run_parser.add_argument(
+        "--stream",
+        dest="stream_dir",
+        metavar="DIR",
+        help=(
+            "spool each experiment's full-resolution telemetry series "
+            "into DIR/<name>/ (repro.telemetry.stream/1, docs/telemetry.md)"
         ),
     )
     herd_parser = subparsers.add_parser(
@@ -264,6 +283,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEC",
         help="per-scenario watchdog (see 'repro run --timeout-sec')",
     )
+    sc_run.add_argument(
+        "--stream",
+        dest="stream_dir",
+        metavar="DIR",
+        help="full-resolution telemetry streams (see 'repro run --stream')",
+    )
     serve_parser = subparsers.add_parser(
         "serve",
         help="run a churn-driven IaaS service soak (docs/service.md)",
@@ -293,6 +318,84 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "end early once the fleet is empty and the arrival process "
             "can produce no further VMs"
+        ),
+    )
+    serve_parser.add_argument(
+        "--stream",
+        dest="stream_dir",
+        metavar="DIR",
+        help=(
+            "spool the soak's full-resolution telemetry series into DIR "
+            "(repro.telemetry.stream/1; retired VMs' series survive on "
+            "disk even after in-memory compaction)"
+        ),
+    )
+    report_parser = subparsers.add_parser(
+        "report",
+        help=(
+            "summarize artifact/stream/journal directories into "
+            "comparison tables (docs/reporting.md)"
+        ),
+    )
+    report_parser.add_argument(
+        "dirs",
+        nargs="+",
+        metavar="DIR",
+        help=(
+            "directories to ingest: 'run --json' artifacts, herd "
+            "campaigns, 'serve --json' summaries, '--stream' directories"
+        ),
+    )
+    report_parser.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="output format (default: text)",
+    )
+    report_parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE (atomically) instead of stdout",
+    )
+    report_parser.add_argument(
+        "--counter",
+        dest="counters",
+        action="append",
+        metavar="NAME",
+        help=(
+            "telemetry counter column for the comparison tables "
+            "(repeatable; default: every counter that varies in a group)"
+        ),
+    )
+    report_parser.add_argument(
+        "--series",
+        dest="series",
+        action="append",
+        metavar="NAME",
+        help=(
+            "only summarize series matching NAME exactly or dotted "
+            "under it (repeatable; default: all)"
+        ),
+    )
+    report_parser.add_argument(
+        "--max-points",
+        dest="max_points",
+        type=int,
+        default=256,
+        metavar="N",
+        help=(
+            "downsampled points embedded per stream series in JSON "
+            "output (default: 256)"
+        ),
+    )
+    report_parser.add_argument(
+        "--downsample",
+        choices=("lttb", "stride-mean"),
+        default="lttb",
+        help=(
+            "offline downsampler for stream series: lttb preserves "
+            "visual extrema, stride-mean preserves bucket means "
+            "(default: lttb)"
         ),
     )
     bench_parser = subparsers.add_parser(
@@ -408,6 +511,7 @@ def run_experiments(
     jobs: int = 1,
     json_dir: Optional[str] = None,
     timeout_sec: Optional[float] = None,
+    stream_dir: Optional[str] = None,
 ) -> int:
     """Run experiments (the ``repro run`` subcommand).
 
@@ -415,7 +519,8 @@ def run_experiments(
     names run once; a crashing experiment is reported and the batch
     continues (nonzero exit code).  ``jobs > 1`` fans out over worker
     processes without changing the report text; ``timeout_sec`` arms the
-    per-experiment watchdog.
+    per-experiment watchdog; ``stream_dir`` spools full-resolution
+    telemetry streams per experiment.
     """
     known, unknown = expand_names(names)
     if unknown:
@@ -424,7 +529,12 @@ def run_experiments(
         )
         return 2
     return campaign_mod.run_campaign(
-        known, jobs=jobs, json_dir=json_dir, out=out, timeout_sec=timeout_sec
+        known,
+        jobs=jobs,
+        json_dir=json_dir,
+        out=out,
+        timeout_sec=timeout_sec,
+        stream_dir=stream_dir,
     )
 
 
@@ -505,6 +615,7 @@ def run_scenario_command(args, out=sys.stdout) -> int:
         jobs=args.jobs,
         json_dir=args.json_dir,
         timeout_sec=args.timeout_sec,
+        stream_dir=args.stream_dir,
     )
 
 
@@ -540,11 +651,20 @@ def run_serve(args, out=sys.stdout) -> int:
 
     Materializes a ``[service]`` scenario and drives its
     :class:`~repro.service.loop.ServiceLoop` for ``--ticks`` ticks.
-    Exit codes: 0 ok, 2 usage errors (bad file, no service section).
+    ``--stream DIR`` spools every telemetry series point to a
+    full-resolution stream directory (implies telemetry even when the
+    scenario leaves it off).  Exit codes: 0 ok, 2 usage errors (bad
+    file, no service section, unusable stream directory).
     """
     from repro.scenario import load_scenario
     from repro.scenario.materialize import materialize
-    from repro.telemetry import MetricsRecorder, recording
+    from repro.telemetry import (
+        MetricsRecorder,
+        StreamError,
+        StreamingSink,
+        recording,
+    )
+    from repro.util import atomic_write_json
 
     try:
         spec = load_scenario(args.spec)
@@ -562,13 +682,21 @@ def run_serve(args, out=sys.stdout) -> int:
             f"repro serve: error: --ticks must be >= 0, got {args.ticks}\n"
         )
         return 2
-    if spec.telemetry.enabled:
+    sink = None
+    if args.stream_dir is not None:
+        try:
+            sink = StreamingSink(args.stream_dir)
+        except StreamError as exc:
+            sys.stderr.write(f"repro serve: error: {exc}\n")
+            return 2
+    if spec.telemetry.enabled or sink is not None:
         recorder = MetricsRecorder(
-            max_series_points=spec.telemetry.series_capacity
+            max_series_points=spec.telemetry.series_capacity, sink=sink
         )
         with recording(recorder):
             built = materialize(spec)
     else:
+        recorder = None
         built = materialize(spec)
     service = built.service
     assert service is not None  # spec.service checked above
@@ -581,6 +709,17 @@ def run_serve(args, out=sys.stdout) -> int:
     )
     summary = service.run(args.ticks)
     summary["scenario"] = spec.name
+    if sink is not None:
+        assert recorder is not None
+        sink.close(recorder)
+        summary["stream"] = {
+            "points_streamed": sink.points_streamed,
+            "chunks": sink.chunks_rolled,
+        }
+        out.write(
+            f"streamed {sink.points_streamed} series points "
+            f"({sink.chunks_rolled} chunks) to {args.stream_dir}\n"
+        )
     out.write(
         f"ticks {summary['ticks_run']}  admitted {summary['admitted']}  "
         f"rejected {summary['rejected']}  retired {summary['retired']}  "
@@ -588,12 +727,10 @@ def run_serve(args, out=sys.stdout) -> int:
         f"final live {summary['final_live_vms']}\n"
     )
     if args.json_dir is not None:
-        out_dir = pathlib.Path(args.json_dir)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        artifact = out_dir / f"{spec.name}.service.json"
-        with open(artifact, "w", encoding="utf-8") as handle:
-            json.dump(summary, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        artifact = pathlib.Path(args.json_dir) / f"{spec.name}.service.json"
+        # Atomic: a kill mid-write must never leave a truncated summary
+        # (the pre-fix plain open() could).
+        atomic_write_json(str(artifact), summary)
         out.write(f"service summary written to {artifact}\n")
     return 0
 
@@ -661,14 +798,39 @@ def run_bench(args, out=sys.stdout) -> int:
         if any(comparison.regressed for comparison in comparisons):
             exit_code = 1
     if args.json_path is not None:
-        parent = pathlib.Path(args.json_path).parent
-        if str(parent) not in ("", "."):
-            parent.mkdir(parents=True, exist_ok=True)
-        with open(args.json_path, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        from repro.util import atomic_write_json
+
+        # Atomic: BENCH_*.json baselines gate CI, so a kill mid-write
+        # must never leave a truncated document behind.
+        atomic_write_json(args.json_path, document)
         out.write(f"benchmark results written to {args.json_path}\n")
     return exit_code
+
+
+def run_report(args, out=sys.stdout) -> int:
+    """The ``repro report`` subcommand (docs/reporting.md).
+
+    Ingests artifact, herd, service and stream directories and emits
+    comparison tables, service-run tables, herd status and per-series
+    summaries as text, JSON or CSV.  The report is a pure function of
+    the simulated contents (wall times are excluded), so two runs of the
+    same campaign report byte-identically.  Exit codes: 0 ok, 1 report
+    produced but sources carry damage (corrupt artifacts, torn streams,
+    unclean journals), 2 unusable inputs.
+    """
+    # Late import: the report engine binds the experiments registry.
+    from repro.analysis.report import run_report as report_main
+
+    return report_main(
+        args.dirs,
+        fmt=args.format,
+        output=args.output,
+        counters=args.counters,
+        series_filter=args.series,
+        max_points=args.max_points,
+        method=args.downsample,
+        out=out,
+    )
 
 
 def run_lint(args, out=sys.stdout) -> int:
@@ -730,6 +892,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_bench(args)
     if args.command == "serve":
         return run_serve(args)
+    if args.command == "report":
+        return run_report(args)
     if args.command == "scenario":
         return run_scenario_command(args)
     if args.command == "herd":
@@ -741,6 +905,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         json_dir=args.json_dir,
         timeout_sec=args.timeout_sec,
+        stream_dir=args.stream_dir,
     )
 
 

@@ -24,18 +24,24 @@ simulated results.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import multiprocessing
 import os
 import sys
-import tempfile
 import traceback
-from typing import Any, Dict, IO, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, IO, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.scenario import ScenarioError
-from repro.telemetry import MetricsRecorder, recording, to_json_dict
-from repro.util import elapsed_since, wall_clock
+from repro.telemetry import (
+    MetricsRecorder,
+    StreamError,
+    StreamingSink,
+    recording,
+    to_json_dict,
+)
+from repro.util import atomic_write_json, atomic_write_text, elapsed_since, wall_clock
 
 from .registry import REGISTRY, expand_names, is_scenario_token, resolve
 
@@ -49,7 +55,32 @@ class CampaignError(ValueError):
     """Raised on invalid campaign inputs (bad names, empty directories)."""
 
 
-def run_one(name: str) -> Dict[str, Any]:
+def experiment_stream_dir(stream_root: str, name: str) -> str:
+    """Per-experiment stream directory under a campaign ``--stream`` root.
+
+    Reuses the artifact-filename sanitization (minus the ``.json``
+    suffix) so a sweep point's stream sits next to its artifact under a
+    recognizable, collision-free name.
+    """
+    stem = artifact_filename(name)[: -len(".json")]
+    return os.path.join(stream_root, stem)
+
+
+def _close_stream(
+    sink: Optional[StreamingSink], recorder: MetricsRecorder
+) -> Optional[Dict[str, Any]]:
+    """Seal an experiment's sink; returns the artifact ``stream`` stanza."""
+    if sink is None:
+        return None
+    sink.close(recorder)
+    return {
+        "directory": os.path.basename(os.path.normpath(sink.directory)),
+        "points_streamed": sink.points_streamed,
+        "chunks": sink.chunks_rolled,
+    }
+
+
+def run_one(name: str, stream_dir: Optional[str] = None) -> Dict[str, Any]:
     """Run one experiment (registry name or scenario token); return its artifact.
 
     Never raises for a failing experiment: the exception is captured in
@@ -57,24 +88,55 @@ def run_one(name: str) -> Dict[str, Any]:
     or invalid scenario file is surfaced the same way — as an
     ``ok: False`` artifact named after the token.  This function is the
     unit of work shipped to ``multiprocessing`` workers, so it must stay
-    picklable (module-level, name argument only).
+    picklable (module-level, plain arguments only).
+
+    With ``stream_dir`` the experiment's recorder gets a
+    :class:`~repro.telemetry.stream.StreamingSink` spooling every series
+    point at full resolution into ``stream_dir/<sanitized-name>/``; the
+    artifact then carries a ``stream`` stanza (directory basename,
+    points, chunks).  A sink that cannot be created (typically a reused
+    stream directory — streams are never appended to) fails the
+    experiment instead of crashing the batch.
     """
     start = wall_clock()
-    recorder = MetricsRecorder()
+    spec = None
+    resolve_error: Optional[Tuple[str, str]] = None
     try:
         spec = resolve(name)
     except (KeyError, ScenarioError) as exc:
-        return {
+        resolve_error = (f"{type(exc).__name__}: {exc}", traceback.format_exc())
+    sink: Optional[StreamingSink] = None
+    if stream_dir is not None:
+        # Streams are keyed by the *resolved* name (when there is one) so
+        # a sweep point's stream directory matches its artifact filename.
+        stream_key = spec.name if spec is not None else name
+        try:
+            sink = StreamingSink(experiment_stream_dir(stream_dir, stream_key))
+        except StreamError as exc:
+            return failure_artifact(
+                name,
+                f"stream setup failed for {name!r}",
+                f"StreamError: {exc}",
+                elapsed_since(start),
+            )
+    recorder = MetricsRecorder(sink=sink)
+    if spec is None:
+        assert resolve_error is not None
+        artifact = {
             "schema": ARTIFACT_SCHEMA,
             "name": name,
             "description": f"unresolvable experiment {name!r}",
             "ok": False,
             "report": "",
-            "error": f"{type(exc).__name__}: {exc}",
-            "traceback": traceback.format_exc(),
+            "error": resolve_error[0],
+            "traceback": resolve_error[1],
             "wall_time_sec": elapsed_since(start),
             "telemetry": to_json_dict(recorder),
         }
+        stream_info = _close_stream(sink, recorder)
+        if stream_info is not None:
+            artifact["stream"] = stream_info
+        return artifact
     ok = True
     report = ""
     error: Optional[str] = None
@@ -86,7 +148,8 @@ def run_one(name: str) -> Dict[str, Any]:
         ok = False
         error = f"{type(exc).__name__}: {exc}"
         failure_traceback = traceback.format_exc()
-    return {
+    stream_info = _close_stream(sink, recorder)
+    artifact = {
         "schema": ARTIFACT_SCHEMA,
         "name": spec.name,
         "description": spec.description,
@@ -97,6 +160,9 @@ def run_one(name: str) -> Dict[str, Any]:
         "wall_time_sec": elapsed_since(start),
         "telemetry": to_json_dict(recorder),
     }
+    if stream_info is not None:
+        artifact["stream"] = stream_info
+    return artifact
 
 
 def failure_artifact(
@@ -123,19 +189,35 @@ def failure_artifact(
     }
 
 
-def _run_one_into(name: str, conn: "multiprocessing.connection.Connection") -> None:
+#: Watchdog work payload: a bare experiment name, or ``(name, stream_dir)``.
+WorkPayload = Union[str, Tuple[str, Optional[str]]]
+
+
+def _run_one_into(
+    payload: WorkPayload, conn: "multiprocessing.connection.Connection"
+) -> None:
     """Watchdog child entry point: run the experiment, ship the artifact.
 
-    Module-level so it stays picklable under every start method.
+    Module-level so it stays picklable under every start method.  The
+    payload is either a bare name (the historical contract, kept so herd
+    journals replay unchanged) or ``(name, stream_dir)`` when the
+    campaign streams full-resolution telemetry.
     """
+    if isinstance(payload, tuple):
+        name, stream_dir = payload
+    else:
+        name, stream_dir = payload, None
     try:
-        conn.send(run_one(name))
+        conn.send(run_one(name, stream_dir))
     finally:
         conn.close()
 
 
 def run_one_with_timeout(
-    name: str, timeout_sec: float, grace_sec: float = 5.0
+    name: str,
+    timeout_sec: float,
+    grace_sec: float = 5.0,
+    stream_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one experiment in a subprocess, killed after ``timeout_sec``.
 
@@ -155,14 +237,17 @@ def run_one_with_timeout(
         spec = resolve(name)
     except (KeyError, ScenarioError):
         # Resolution failures need no watchdog; reuse run_one's artifact.
-        return run_one(name)
+        return run_one(name, stream_dir)
     start = wall_clock()
+    payload: WorkPayload = (
+        (name, stream_dir) if stream_dir is not None else name
+    )
     receiver, sender = multiprocessing.Pipe(duplex=False)
     # C002: the worker installs its own ambient telemetry recorder
     # (recording() rebinds _current per process); nothing flows back except
     # the pickled artifact, so per-process mutation is the design.
     child = multiprocessing.Process(  # kyotolint: disable=C002
-        target=_run_one_into, args=(name, sender)
+        target=_run_one_into, args=(payload, sender)
     )
     child.start()
     sender.close()
@@ -221,7 +306,10 @@ def _watchdog_artifact(
 
 
 def _watchdog_stream(
-    names: Sequence[str], jobs: int, timeout_sec: float
+    names: Sequence[str],
+    jobs: int,
+    timeout_sec: float,
+    stream_dir: Optional[str] = None,
 ) -> Iterator[Dict[str, Any]]:
     """Supervised watchdog workers, ``jobs`` at a time, request order out."""
     # Local import: campaign -> herd must not bind at import time (the
@@ -236,7 +324,12 @@ def _watchdog_stream(
     ) as pool:
         while next_index < len(names):
             while pool.free_slots > 0 and launched < len(names):
-                pool.launch(str(launched), names[launched])
+                payload: WorkPayload = (
+                    (names[launched], stream_dir)
+                    if stream_dir is not None
+                    else names[launched]
+                )
+                pool.launch(str(launched), payload)
                 launched += 1
             for outcome in pool.wait(0.25):
                 index = int(outcome.key)
@@ -254,7 +347,10 @@ def _watchdog_stream(
 
 
 def _artifact_stream(
-    names: Sequence[str], jobs: int, timeout_sec: Optional[float] = None
+    names: Sequence[str],
+    jobs: int,
+    timeout_sec: Optional[float] = None,
+    stream_dir: Optional[str] = None,
 ):
     """Yield artifacts for ``names`` in request order.
 
@@ -269,19 +365,28 @@ def _artifact_stream(
     if timeout_sec is not None:
         if jobs <= 1 or len(names) <= 1:
             for name in names:
-                yield run_one_with_timeout(name, timeout_sec)
+                yield run_one_with_timeout(
+                    name, timeout_sec, stream_dir=stream_dir
+                )
         else:
-            for artifact in _watchdog_stream(names, jobs, timeout_sec):
+            for artifact in _watchdog_stream(
+                names, jobs, timeout_sec, stream_dir
+            ):
                 yield artifact
         return
     if jobs <= 1 or len(names) <= 1:
         for name in names:
-            yield run_one(name)
+            yield run_one(name, stream_dir)
         return
+    worker = (
+        functools.partial(run_one, stream_dir=stream_dir)
+        if stream_dir is not None
+        else run_one
+    )
     with multiprocessing.Pool(processes=min(jobs, len(names))) as pool:
         # C002: run_one reaches recording()'s per-process ambient recorder
         # rebinding by design; results return only via pickled artifacts.
-        for artifact in pool.imap(run_one, list(names)):  # kyotolint: disable=C002
+        for artifact in pool.imap(worker, list(names)):  # kyotolint: disable=C002
             yield artifact
 
 
@@ -311,25 +416,13 @@ def write_artifact(json_dir: str, artifact: Dict[str, Any]) -> str:
     """Write one per-experiment artifact atomically; returns the path.
 
     The document lands in a temp file in the same directory and is
-    ``os.replace``d into place, so a kill mid-write can never leave a
-    truncated ``.json`` behind — readers see the old content or the new
-    content, never half a document.
+    ``os.replace``d into place (:func:`repro.util.atomic_write_json`),
+    so a kill mid-write can never leave a truncated ``.json`` behind —
+    readers see the old content or the new content, never half a
+    document.
     """
-    os.makedirs(json_dir, exist_ok=True)
     path = os.path.join(json_dir, artifact_filename(artifact["name"]))
-    handle_fd, tmp_path = tempfile.mkstemp(
-        dir=json_dir, prefix=".artifact-", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
-            json.dump(artifact, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp_path, path)
-    except BaseException:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
-        raise
-    return path
+    return atomic_write_json(path, artifact)
 
 
 def run_campaign(
@@ -338,6 +431,7 @@ def run_campaign(
     json_dir: Optional[str] = None,
     out: IO[str] = sys.stdout,
     timeout_sec: Optional[float] = None,
+    stream_dir: Optional[str] = None,
 ) -> int:
     """Run a campaign; returns the process exit code (0 ok, 1 failures).
 
@@ -346,7 +440,9 @@ def run_campaign(
     input — it also expands sweep files into point tokens).
     Reports stream to ``out`` in the legacy serial format; artifacts go
     to ``json_dir`` when given.  ``timeout_sec`` arms the per-experiment
-    watchdog (see :func:`run_one_with_timeout`).
+    watchdog (see :func:`run_one_with_timeout`).  ``stream_dir`` spools
+    each experiment's full-resolution telemetry into its own
+    subdirectory (see :func:`experiment_stream_dir`).
     """
     if jobs < 1:
         raise CampaignError(f"jobs must be >= 1, got {jobs}")
@@ -359,8 +455,10 @@ def run_campaign(
     ]
     if unknown:
         raise CampaignError(f"unknown experiment(s): {', '.join(unknown)}")
+    if stream_dir is not None:
+        os.makedirs(stream_dir, exist_ok=True)
     failed: List[str] = []
-    for artifact in _artifact_stream(names, jobs, timeout_sec):
+    for artifact in _artifact_stream(names, jobs, timeout_sec, stream_dir):
         out.write(f"== {artifact['name']}: {artifact['description']} ==\n")
         if artifact["ok"]:
             out.write(artifact["report"])
@@ -488,11 +586,9 @@ def summarize_campaign(
         return 2
     text = json.dumps(summary, indent=2, sort_keys=True) + "\n"
     if output is not None:
-        parent = os.path.dirname(output)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(output, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        # Atomic like every artifact write: a kill mid-summary must not
+        # leave a truncated JSON document for downstream tooling.
+        atomic_write_text(output, text)
         out.write(f"campaign summary written to {output}\n")
     else:
         out.write(text)

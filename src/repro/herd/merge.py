@@ -16,11 +16,11 @@ assert byte-identical normalized documents.
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Any, Dict, List, Mapping
 
 from repro.experiments.campaign import aggregate_artifacts, scan_artifacts
+from repro.util import atomic_write_json
 
 from .journal import JOURNAL_SCHEMA, HerdState
 
@@ -74,13 +74,7 @@ def merge_state(
 
 def write_summary(summary: Dict[str, Any], json_dir: str) -> str:
     """Write the merged summary atomically; returns the path written."""
-    path = summary_path(json_dir)
-    text = json.dumps(summary, indent=2, sort_keys=True) + "\n"
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        handle.write(text)
-    os.replace(tmp_path, path)
-    return path
+    return atomic_write_json(summary_path(json_dir), summary)
 
 
 def normalized_for_comparison(summary: Mapping[str, Any]) -> Dict[str, Any]:

@@ -14,6 +14,7 @@ from .recorder import (
     DEFAULT_MAX_SERIES_POINTS,
     NULL_RECORDER,
     RETIRED_SERIES_COUNTER,
+    RETIRED_SERIES_STREAMED_COUNTER,
     BoundedSeries,
     MetricsRecorder,
     NullRecorder,
@@ -26,6 +27,15 @@ from .export import (
     from_json_dict,
     to_json_dict,
 )
+from .stream import (
+    STREAM_SCHEMA,
+    StreamData,
+    StreamError,
+    StreamSeries,
+    StreamingSink,
+    is_stream_dir,
+    read_stream,
+)
 
 __all__ = [
     "BoundedSeries",
@@ -35,10 +45,18 @@ __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
     "RETIRED_SERIES_COUNTER",
+    "RETIRED_SERIES_STREAMED_COUNTER",
+    "STREAM_SCHEMA",
+    "StreamData",
+    "StreamError",
+    "StreamSeries",
+    "StreamingSink",
     "TELEMETRY_SCHEMA",
     "TelemetrySchemaError",
     "current_recorder",
     "from_json_dict",
+    "is_stream_dir",
+    "read_stream",
     "recording",
     "to_json_dict",
 ]

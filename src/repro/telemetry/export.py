@@ -63,7 +63,16 @@ def to_json_dict(recorder: MetricsRecorder) -> Dict[str, Any]:
 
 
 def from_json_dict(data: Dict[str, Any]) -> MetricsRecorder:
-    """Rebuild a :class:`MetricsRecorder` from :func:`to_json_dict` output."""
+    """Rebuild a :class:`MetricsRecorder` from :func:`to_json_dict` output.
+
+    The import *validates*, never repairs: a document that is internally
+    inconsistent — ragged series, ``offered`` smaller than the stored
+    point count, a non-positive ``stride``, a missing or sub-minimum
+    ``max_series_points`` — raises :class:`TelemetrySchemaError` instead
+    of silently restoring a recorder that would misbehave (a
+    ``max_series_points`` clamped to 2 compacts on the very next point;
+    an understated ``offered`` makes ``dropped`` negative).
+    """
     if not isinstance(data, dict):
         raise TelemetrySchemaError(f"telemetry document must be a dict, got {type(data).__name__}")
     schema = data.get("schema")
@@ -71,24 +80,55 @@ def from_json_dict(data: Dict[str, Any]) -> MetricsRecorder:
         raise TelemetrySchemaError(
             f"unsupported telemetry schema {schema!r}; expected {TELEMETRY_SCHEMA!r}"
         )
-    recorder = MetricsRecorder(
-        max_series_points=int(data.get("max_series_points", 0) or 2)
-    )
+    max_series_points = data.get("max_series_points")
+    if not isinstance(max_series_points, int) or isinstance(
+        max_series_points, bool
+    ):
+        raise TelemetrySchemaError(
+            "max_series_points must be an integer, got "
+            f"{max_series_points!r}"
+        )
+    if max_series_points < 2:
+        raise TelemetrySchemaError(
+            f"max_series_points must be >= 2, got {max_series_points}"
+        )
+    recorder = MetricsRecorder(max_series_points=max_series_points)
     for name, value in data.get("counters", {}).items():
         recorder.counters[name] = float(value)
     for name, value in data.get("gauges", {}).items():
         recorder.gauges[name] = float(value)
     for name, entry in data.get("series", {}).items():
+        if not isinstance(entry, dict):
+            raise TelemetrySchemaError(
+                f"series {name!r} must be an object, got "
+                f"{type(entry).__name__}"
+            )
         ticks = entry.get("ticks", [])
         values = entry.get("values", [])
         if len(ticks) != len(values):
             raise TelemetrySchemaError(
                 f"series {name!r} has {len(ticks)} ticks but {len(values)} values"
             )
-        series = BoundedSeries(name, recorder.max_series_points)
+        if len(ticks) > max_series_points:
+            raise TelemetrySchemaError(
+                f"series {name!r} stores {len(ticks)} points but "
+                f"max_series_points is {max_series_points}"
+            )
+        stride = int(entry.get("stride", 1))
+        if stride < 1:
+            raise TelemetrySchemaError(
+                f"series {name!r} has nonsensical stride {stride}"
+            )
+        offered = int(entry.get("offered", len(ticks)))
+        if offered < len(ticks):
+            raise TelemetrySchemaError(
+                f"series {name!r} claims {offered} offered points but "
+                f"stores {len(ticks)} — dropped would be negative"
+            )
+        series = BoundedSeries(name, max_series_points)
         series.ticks = [int(t) for t in ticks]
         series.values = [float(v) for v in values]
-        series.offered = int(entry.get("offered", len(ticks)))
-        series.stride = int(entry.get("stride", 1))
+        series.offered = offered
+        series.stride = stride
         recorder._series[name] = series
     return recorder

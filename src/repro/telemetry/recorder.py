@@ -27,7 +27,10 @@ telemetry without threading a parameter through every call site.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stream import StreamingSink
 
 #: Default cap on stored points per series.
 DEFAULT_MAX_SERIES_POINTS = 4096
@@ -39,6 +42,11 @@ COMPACTION_COUNTER = "telemetry.series_compactions"
 #: Counter bumped by :meth:`MetricsRecorder.compact_retired_series` per
 #: series dropped when a VM retires (docs/service.md).
 RETIRED_SERIES_COUNTER = "service.retired_series_compactions"
+
+#: Counter bumped by :meth:`MetricsRecorder.compact_retired_series` per
+#: retired series whose full history lives on in the attached streaming
+#: sink (docs/telemetry.md) — dropped from memory, preserved on disk.
+RETIRED_SERIES_STREAMED_COUNTER = "service.retired_series_streamed"
 
 
 class BoundedSeries:
@@ -99,12 +107,18 @@ class MetricsRecorder:
     enabled = True
 
     def __init__(
-        self, max_series_points: int = DEFAULT_MAX_SERIES_POINTS
+        self,
+        max_series_points: int = DEFAULT_MAX_SERIES_POINTS,
+        sink: Optional["StreamingSink"] = None,
     ) -> None:
         self.max_series_points = max_series_points
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self._series: Dict[str, BoundedSeries] = {}
+        #: Optional full-resolution spool (repro.telemetry.stream/1):
+        #: every offered point also streams to disk, so the bounded
+        #: in-memory reservoir can decimate without losing evidence.
+        self.sink = sink
 
     # -- writing ---------------------------------------------------------------
 
@@ -118,6 +132,8 @@ class MetricsRecorder:
 
     def record(self, name: str, tick: int, value: float) -> None:
         """Append one point to per-tick series ``name``."""
+        if self.sink is not None:
+            self.sink.append(name, tick, value)
         series = self._series.get(name)
         if series is None:
             series = self._series[name] = BoundedSeries(
@@ -135,6 +151,13 @@ class MetricsRecorder:
         never compacts a live ``vm-12``.  Each dropped series bumps
         :data:`RETIRED_SERIES_COUNTER`, so the compaction is observable,
         never silent.  Returns the number of series dropped.
+
+        Without a sink the drop is destructive — the decimated reservoir
+        was the only copy.  With a :class:`~repro.telemetry.stream.StreamingSink`
+        attached, each doomed series' buffered tail is flushed to disk
+        *before* the reservoir is dropped and
+        :data:`RETIRED_SERIES_STREAMED_COUNTER` counts it: the VM's full
+        history survives in the stream, only the live view is released.
         """
         subtree = prefix + "."
         doomed = [
@@ -143,9 +166,13 @@ class MetricsRecorder:
             if name == prefix or name.startswith(subtree)
         ]
         for name in doomed:
+            if self.sink is not None:
+                self.sink.flush_series(name)
             del self._series[name]
         if doomed:
             self.inc(RETIRED_SERIES_COUNTER, float(len(doomed)))
+            if self.sink is not None:
+                self.inc(RETIRED_SERIES_STREAMED_COUNTER, float(len(doomed)))
         return len(doomed)
 
     # -- reading ---------------------------------------------------------------
@@ -189,12 +216,34 @@ def current_recorder() -> MetricsRecorder:
 
 
 @contextmanager
-def recording(recorder: MetricsRecorder) -> Iterator[MetricsRecorder]:
-    """Make ``recorder`` the ambient recorder for the duration of a run."""
+def recording(
+    recorder: MetricsRecorder,
+    sink: Optional["StreamingSink"] = None,
+) -> Iterator[MetricsRecorder]:
+    """Make ``recorder`` the ambient recorder for the duration of a run.
+
+    With ``sink=`` the :class:`~repro.telemetry.stream.StreamingSink`
+    is attached to the recorder for the block and *closed on exit*
+    (flushing every buffered batch and writing the ``final``
+    counters/gauges record), so the whole full-resolution capture of a
+    run is one ``with`` statement.  A recorder that already carries a
+    different sink refuses the attach — silently swapping spools would
+    split one run's evidence across two directories.
+    """
     global _current
+    if sink is not None:
+        if recorder.sink is not None and recorder.sink is not sink:
+            raise ValueError(
+                "recorder already has a streaming sink attached; "
+                "one run spools to one stream directory"
+            )
+        recorder.sink = sink
     previous = _current
     _current = recorder
     try:
         yield recorder
     finally:
         _current = previous
+        if sink is not None:
+            recorder.sink = None
+            sink.close(recorder)

@@ -10,7 +10,11 @@ lives in :mod:`repro.simulation.clock`.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import time
+from typing import Any
 
 
 def wall_clock() -> float:
@@ -25,3 +29,37 @@ def wall_clock() -> float:
 def elapsed_since(start: float) -> float:
     """Wall-clock seconds elapsed since ``start`` (a wall_clock() value)."""
     return wall_clock() - start
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Write ``text`` to ``path`` atomically; returns ``path``.
+
+    The content lands in a temp file in the destination directory and is
+    ``os.replace``d into place, so a kill mid-write can never leave a
+    truncated file behind — readers see the old content or the new
+    content, never half a document.  Every CLI artifact write routes
+    through here (or :func:`repro.experiments.campaign.write_artifact`,
+    which follows the same discipline).
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    handle_fd, tmp_path = tempfile.mkstemp(
+        dir=parent or ".", prefix=".atomic-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle_fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    return path
+
+
+def atomic_write_json(path: str, document: Any) -> str:
+    """Serialise ``document`` (sorted keys, 2-space indent) atomically."""
+    return atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )

@@ -13,6 +13,7 @@ from repro.experiments.campaign import (
     CampaignError,
     aggregate_dir,
     artifact_filename,
+    experiment_stream_dir,
     load_artifacts,
     run_campaign,
     run_one,
@@ -397,6 +398,113 @@ class TestArtifactFilenames:
         artifacts, corrupt = scan_artifacts(str(tmp_path))
         assert corrupt == []
         assert sorted(a["name"] for a in artifacts) == ["a/b", "a_b"]
+
+
+def _chatty():
+    from repro.telemetry.recorder import current_recorder
+
+    recorder = current_recorder()
+    for tick in range(40):
+        recorder.record("sys.llc_misses_per_tick", tick, float(tick) * 2.0)
+    recorder.inc("kyoto.samples", 40)
+    return "chatty ran\n"
+
+
+@pytest.fixture
+def chatty(monkeypatch):
+    """Stub experiment that records a 40-point series."""
+    monkeypatch.setitem(
+        REGISTRY, "chatty", ExperimentSpec("chatty", "records points", _chatty)
+    )
+    return "chatty"
+
+
+class TestStreamingCampaign:
+    def test_run_one_streams_full_resolution(self, chatty, tmp_path):
+        from repro.telemetry.stream import read_stream
+
+        stream_dir = str(tmp_path / "streams")
+        artifact = run_one(chatty, stream_dir=stream_dir)
+        assert artifact["ok"] is True
+        stanza = artifact["stream"]
+        assert stanza["points_streamed"] == 40
+        assert stanza["chunks"] >= 1
+        assert stanza["directory"] == "chatty"
+        data = read_stream(experiment_stream_dir(stream_dir, chatty))
+        assert data.clean and data.finalized
+        series = data.series["sys.llc_misses_per_tick"]
+        assert series.ticks == list(range(40))
+        assert series.values == [float(t) * 2.0 for t in range(40)]
+        assert data.counters["kyoto.samples"] == 40.0
+
+    def test_stream_survives_recorder_reservoir(self, chatty, tmp_path):
+        # The artifact's telemetry copy is reservoir-bounded; the stream
+        # must not be.
+        from repro.telemetry.stream import read_stream
+
+        stream_dir = str(tmp_path / "streams")
+        artifact = run_one(chatty, stream_dir=stream_dir)
+        artifact_series = artifact["telemetry"]["series"][
+            "sys.llc_misses_per_tick"
+        ]
+        stream_series = read_stream(
+            experiment_stream_dir(stream_dir, chatty)
+        ).series["sys.llc_misses_per_tick"]
+        assert artifact_series["offered"] == 40
+        assert len(stream_series.ticks) == 40
+
+    def test_reused_stream_dir_fails_gracefully(self, chatty, tmp_path):
+        stream_dir = str(tmp_path / "streams")
+        assert run_one(chatty, stream_dir=stream_dir)["ok"] is True
+        again = run_one(chatty, stream_dir=stream_dir)
+        assert again["ok"] is False
+        assert "StreamError" in again["error"]
+
+    def test_campaign_stream_dir_threads_through(self, chatty, tmp_path):
+        json_dir = str(tmp_path / "json")
+        stream_dir = str(tmp_path / "streams")
+        code = run_campaign(
+            [chatty, "table1"],
+            jobs=1,
+            json_dir=json_dir,
+            stream_dir=stream_dir,
+            out=io.StringIO(),
+        )
+        assert code == 0
+        assert sorted(os.listdir(stream_dir)) == ["chatty", "table1"]
+        artifact = json.loads(
+            open(os.path.join(json_dir, "chatty.json")).read()
+        )
+        assert artifact["stream"]["points_streamed"] == 40
+
+    def test_parallel_streams_match_serial(self, chatty, tmp_path):
+        from repro.telemetry.stream import read_stream
+
+        def run(jobs, tag):
+            stream_dir = str(tmp_path / tag)
+            assert run_campaign(
+                [chatty], jobs=jobs, stream_dir=stream_dir, out=io.StringIO()
+            ) == 0
+            return read_stream(experiment_stream_dir(stream_dir, chatty))
+
+        serial = run(1, "s")
+        parallel = run(2, "p")
+        assert serial.series.keys() == parallel.series.keys()
+        for name in serial.series:
+            assert serial.series[name].ticks == parallel.series[name].ticks
+            assert serial.series[name].values == parallel.series[name].values
+
+    def test_watchdog_path_streams_too(self, chatty, tmp_path):
+        from repro.telemetry.stream import read_stream
+
+        stream_dir = str(tmp_path / "streams")
+        artifact = run_one_with_timeout(
+            chatty, timeout_sec=30.0, stream_dir=stream_dir
+        )
+        assert artifact["ok"] is True
+        assert artifact["stream"]["points_streamed"] == 40
+        data = read_stream(experiment_stream_dir(stream_dir, chatty))
+        assert data.finalized
 
 
 class TestAtomicArtifacts:

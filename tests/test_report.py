@@ -1,0 +1,519 @@
+"""Tests for ``repro report`` (repro.report/1) and the offline downsamplers.
+
+The acceptance property this file pins: a report is a pure function of a
+directory's *simulated* contents — two invocations over the same
+artifacts render byte-identical text/JSON/CSV, wall times excluded.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.analysis.downsample import (
+    DownsampleError,
+    downsample_lttb,
+    downsample_stride_mean,
+)
+from repro.analysis.report import (
+    REPORT_SCHEMA,
+    ReportError,
+    build_report,
+    ingest_sources,
+    parse_axes,
+    render_csv,
+    render_json,
+    render_text,
+    run_report,
+)
+from repro.cli import build_parser
+from repro.experiments.campaign import ARTIFACT_SCHEMA, write_artifact
+from repro.herd.journal import JOURNAL_SCHEMA, JournalWriter, journal_path
+from repro.service.loop import SERVICE_SCHEMA
+from repro.telemetry import TELEMETRY_SCHEMA, MetricsRecorder, StreamingSink
+from repro.util import atomic_write_json, atomic_write_text
+
+
+# -- fixture builders ---------------------------------------------------------
+
+
+def _telemetry(counters=None, series=None):
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "max_series_points": 4096,
+        "counters": counters or {},
+        "gauges": {},
+        "series": series or {},
+    }
+
+
+def _artifact(name, counters=None, series=None, ok=True, wall=1.0):
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "name": name,
+        "description": f"test artifact {name}",
+        "ok": ok,
+        "report": f"report body of {name}\n",
+        "error": None if ok else "RuntimeError: boom",
+        "traceback": None,
+        "wall_time_sec": wall,
+        "telemetry": _telemetry(counters, series),
+    }
+
+
+def _series_entry(ticks, values, dropped=0, stride=1):
+    return {
+        "ticks": ticks,
+        "values": values,
+        "offered": len(ticks) + dropped,
+        "dropped": dropped,
+        "stride": stride,
+    }
+
+
+def _sweep_dir(tmp_path, wall=1.0):
+    """Three sweep points + one unswept experiment, as a campaign dir."""
+    json_dir = str(tmp_path / "camp")
+    for rate, burned in (("0", 100.0), ("0.5", 250.0), ("0.25", 175.0)):
+        write_artifact(
+            json_dir,
+            _artifact(
+                f"base@faults.rate={rate}",
+                counters={
+                    "credit.burned": burned,
+                    "always.same": 5.0,
+                },
+                wall=wall,
+            ),
+        )
+    write_artifact(json_dir, _artifact("solo", counters={"x": 1.0}))
+    return json_dir
+
+
+def _stream_dir(tmp_path, name="soak", points=40):
+    directory = str(tmp_path / name)
+    sink = StreamingSink(directory, batch_points=8)
+    recorder = MetricsRecorder(sink=sink)
+    for tick in range(points):
+        recorder.record("sys.llc", tick, float(tick))
+    recorder.inc("kyoto.punishments", 3.0)
+    sink.close(recorder)
+    return directory
+
+
+def _service_dir(tmp_path):
+    directory = tmp_path / "svc"
+    directory.mkdir()
+    summary = {
+        "schema": SERVICE_SCHEMA,
+        "scenario": "vm_churn",
+        "arrival_process": "poisson",
+        "admission_policy": "capacity",
+        "ticks_run": 2000,
+        "admitted": 11,
+        "rejected": 39,
+        "retired": 7,
+        "drained": 4,
+        "peak_live_vms": 4,
+        "final_live_vms": 0,
+        "retired_series_compactions": 11.0,
+    }
+    atomic_write_json(str(directory / "vm_churn.service.json"), summary)
+    return str(directory)
+
+
+def _herd_dir(tmp_path):
+    directory = tmp_path / "herd"
+    directory.mkdir()
+    with JournalWriter(journal_path(str(directory))) as journal:
+        journal.append(
+            {
+                "event": "campaign",
+                "schema": JOURNAL_SCHEMA,
+                "points": [
+                    {"id": "p0", "name": "a"},
+                    {"id": "p1", "name": "b"},
+                ],
+            }
+        )
+        journal.append({"event": "started", "point": "p0", "attempt": 1})
+        journal.append({"event": "done", "point": "p0", "attempt": 1})
+        journal.append({"event": "started", "point": "p1", "attempt": 1})
+        journal.append(
+            {"event": "quarantined", "point": "p1", "error": "poison"}
+        )
+    return str(directory)
+
+
+# -- axes + ingestion ---------------------------------------------------------
+
+
+class TestParseAxes:
+    def test_plain_name_has_no_axes(self):
+        assert parse_axes("fig05") == ("fig05", {})
+
+    def test_sweep_point(self):
+        base, axes = parse_axes("chaos@faults.rate=0.5,sched.kind=ks4xen")
+        assert base == "chaos"
+        assert axes == {"faults.rate": "0.5", "sched.kind": "ks4xen"}
+
+    def test_malformed_suffix_treated_as_plain(self):
+        assert parse_axes("weird@novalue") == ("weird@novalue", {})
+        assert parse_axes("trailing@") == ("trailing@", {})
+
+
+class TestIngestion:
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ReportError):
+            ingest_sources([str(tmp_path / "nope")])
+
+    def test_empty_directory_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ReportError):
+            ingest_sources([str(empty)])
+
+    def test_kinds_detected(self, tmp_path):
+        loaded = ingest_sources(
+            [
+                _sweep_dir(tmp_path),
+                _stream_dir(tmp_path),
+                _service_dir(tmp_path),
+                _herd_dir(tmp_path),
+            ]
+        )
+        kinds = {
+            source["path"]: source["kinds"] for source in loaded["sources"]
+        }
+        assert kinds[str(tmp_path / "camp")] == ["artifacts"]
+        assert kinds[str(tmp_path / "soak")] == ["stream"]
+        assert kinds[str(tmp_path / "svc")] == ["service"]
+        assert kinds[str(tmp_path / "herd")] == ["herd"]
+
+    def test_nested_stream_dirs_found(self, tmp_path):
+        json_dir = _sweep_dir(tmp_path)
+        _stream_dir(tmp_path / "camp" / "streams", name="base@faults.rate=0")
+        loaded = ingest_sources([json_dir])
+        assert loaded["sources"][0]["kinds"] == ["artifacts", "stream"]
+        assert len(loaded["streams"]) == 1
+
+
+# -- document assembly --------------------------------------------------------
+
+
+class TestBuildReport:
+    def test_comparison_pivots_axes_and_varying_counters(self, tmp_path):
+        document = build_report([_sweep_dir(tmp_path)])
+        assert document["schema"] == REPORT_SCHEMA
+        (comparison,) = document["comparisons"]
+        assert comparison["base"] == "base"
+        assert comparison["axes"] == ["faults.rate"]
+        # Only the counter that varies becomes a column.
+        assert comparison["metrics"] == ["credit.burned"]
+        # Rows sort numerically by axis value, not lexically.
+        assert [row["axes"]["faults.rate"] for row in comparison["rows"]] == [
+            "0", "0.25", "0.5",
+        ]
+        assert [row["metrics"]["credit.burned"] for row in comparison["rows"]] == [
+            100.0, 175.0, 250.0,
+        ]
+
+    def test_counter_override_wins(self, tmp_path):
+        document = build_report(
+            [_sweep_dir(tmp_path)], counters=["always.same", "missing.one"]
+        )
+        (comparison,) = document["comparisons"]
+        assert comparison["metrics"] == ["always.same", "missing.one"]
+        assert comparison["rows"][0]["metrics"]["missing.one"] is None
+
+    def test_unswept_experiments_form_no_comparison(self, tmp_path):
+        json_dir = str(tmp_path / "camp")
+        write_artifact(json_dir, _artifact("solo", counters={"x": 1.0}))
+        write_artifact(json_dir, _artifact("duo", counters={"x": 2.0}))
+        document = build_report([json_dir])
+        assert document["comparisons"] == []
+
+    def test_wall_time_never_reaches_the_document(self, tmp_path):
+        document = build_report([_sweep_dir(tmp_path)])
+        document.pop("sources")  # source paths may legitimately contain it
+        assert "wall_time" not in json.dumps(document)
+
+    def test_service_runs_table(self, tmp_path):
+        document = build_report([_service_dir(tmp_path)])
+        (entry,) = document["service_runs"]
+        assert entry["scenario"] == "vm_churn"
+        assert entry["ticks_run"] == 2000
+        assert entry["retired_series_compactions"] == 11.0
+
+    def test_herd_section(self, tmp_path):
+        document = build_report([_herd_dir(tmp_path)])
+        (herd,) = document["herds"]
+        assert herd["clean"]
+        assert herd["counts"]["done"] == 1
+        assert herd["counts"]["quarantined"] == 1
+        assert herd["quarantined"] == ["b"]
+
+    def test_stream_series_summary_and_downsampling(self, tmp_path):
+        document = build_report(
+            [_stream_dir(tmp_path, points=40)], max_points=8
+        )
+        (entry,) = document["series"]
+        assert entry["kind"] == "stream"
+        assert entry["points"] == 40
+        assert entry["resolution"] == "full"
+        assert entry["mean"] == pytest.approx(19.5)
+        assert len(entry["downsampled"]["ticks"]) == 8
+        assert entry["downsampled"]["method"] == "lttb"
+
+    def test_stream_supersedes_artifact_series(self, tmp_path):
+        json_dir = str(tmp_path / "camp")
+        ticks = list(range(10))
+        write_artifact(
+            json_dir,
+            _artifact(
+                "soak",
+                series={"sys.llc": _series_entry(ticks, [float(t) for t in ticks])},
+            ),
+        )
+        _stream_dir(tmp_path / "camp" / "streams", name="soak", points=40)
+        document = build_report([json_dir])
+        (entry,) = document["series"]
+        assert entry["kind"] == "stream"
+        assert entry["points"] == 40
+
+    def test_decimated_artifact_series_resolution_labelled(self, tmp_path):
+        json_dir = str(tmp_path / "camp")
+        write_artifact(
+            json_dir,
+            _artifact(
+                "solo",
+                series={
+                    "x": _series_entry([0, 2], [1.0, 2.0], dropped=2, stride=2)
+                },
+            ),
+        )
+        document = build_report([json_dir])
+        (entry,) = document["series"]
+        assert entry["resolution"] == "1-in-2"
+
+    def test_series_filter_respects_dot_boundary(self, tmp_path):
+        json_dir = str(tmp_path / "camp")
+        write_artifact(
+            json_dir,
+            _artifact(
+                "solo",
+                series={
+                    "kyoto.quota.vm1": _series_entry([0], [1.0]),
+                    "kyoto.quota2": _series_entry([0], [1.0]),
+                },
+            ),
+        )
+        document = build_report([json_dir], series_filter=["kyoto.quota"])
+        names = [entry["series"] for entry in document["series"]]
+        assert names == ["kyoto.quota.vm1"]
+
+    def test_invalid_options_rejected(self, tmp_path):
+        json_dir = _sweep_dir(tmp_path)
+        with pytest.raises(ReportError):
+            build_report([json_dir], max_points=1)
+        with pytest.raises(ReportError):
+            build_report([json_dir], method="fourier")
+
+    def test_corrupt_artifacts_surface(self, tmp_path):
+        json_dir = _sweep_dir(tmp_path)
+        with open(
+            os.path.join(json_dir, "torn.json"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write('{"schema": "repro.artif')
+        document = build_report([json_dir])
+        assert document["corrupt_artifacts"] == ["torn.json"]
+
+
+# -- rendering + determinism --------------------------------------------------
+
+
+class TestRendering:
+    def test_two_runs_render_byte_identically(self, tmp_path):
+        # Different wall times — the one nondeterministic artifact field.
+        first = build_report([_sweep_dir(tmp_path, wall=1.0)])
+        second_dir = tmp_path / "again"
+        second = build_report([_sweep_dir(second_dir, wall=9.9)])
+        # Source paths differ by construction; compare everything else.
+        first.pop("sources")
+        second.pop("sources")
+        assert render_json(first) == render_json(second)
+        assert render_text(first) == render_text(second)
+        assert render_csv(first) == render_csv(second)
+
+    def test_text_contains_comparison_table(self, tmp_path):
+        text = render_text(build_report([_sweep_dir(tmp_path)]))
+        assert "comparison: base" in text
+        assert "faults.rate" in text
+        assert "credit.burned" in text
+
+    def test_csv_quotes_reserved_characters(self):
+        from repro.analysis.report import _csv_cell
+
+        assert _csv_cell("plain") == "plain"
+        assert _csv_cell('a,"b"') == '"a,""b"""'
+
+    def test_csv_sections(self, tmp_path):
+        csv = render_csv(
+            build_report([_sweep_dir(tmp_path), _service_dir(tmp_path)])
+        )
+        assert csv.startswith("# comparison: base\n")
+        assert "# service runs" in csv
+        assert "# series" not in csv  # no series in these sources
+
+
+class TestRunReport:
+    def test_cli_happy_path_text(self, tmp_path):
+        out = io.StringIO()
+        assert run_report([_sweep_dir(tmp_path)], out=out) == 0
+        assert "comparison: base" in out.getvalue()
+
+    def test_cli_unusable_input_exits_2(self, tmp_path):
+        assert run_report([str(tmp_path / "nope")], out=io.StringIO()) == 2
+
+    def test_cli_damage_exits_1(self, tmp_path):
+        json_dir = _sweep_dir(tmp_path)
+        with open(
+            os.path.join(json_dir, "torn.json"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write("{not json")
+        assert run_report([json_dir], out=io.StringIO()) == 1
+
+    def test_cli_torn_stream_exits_1(self, tmp_path):
+        directory = _stream_dir(tmp_path)
+        from repro.telemetry.stream import stream_chunks
+
+        path = stream_chunks(directory)[-1]
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-7])
+        assert run_report([directory], out=io.StringIO()) == 1
+
+    def test_cli_output_file(self, tmp_path):
+        out = io.StringIO()
+        target = str(tmp_path / "deep" / "report.json")
+        assert (
+            run_report(
+                [_sweep_dir(tmp_path)], fmt="json", output=target, out=out
+            )
+            == 0
+        )
+        document = json.loads(open(target, encoding="utf-8").read())
+        assert document["schema"] == REPORT_SCHEMA
+        assert "report written to" in out.getvalue()
+
+    def test_parser_wires_report(self):
+        args = build_parser().parse_args(
+            [
+                "report", "a", "b",
+                "--format", "csv",
+                "--counter", "x", "--counter", "y",
+                "--series", "sys.llc",
+                "--max-points", "64",
+                "--downsample", "stride-mean",
+                "--output", "r.csv",
+            ]
+        )
+        assert args.command == "report"
+        assert args.dirs == ["a", "b"]
+        assert args.format == "csv"
+        assert args.counters == ["x", "y"]
+        assert args.series == ["sys.llc"]
+        assert args.max_points == 64
+        assert args.downsample == "stride-mean"
+        assert args.output == "r.csv"
+
+
+# -- downsamplers -------------------------------------------------------------
+
+
+class TestDownsampleLttb:
+    def test_short_series_copied_unchanged(self):
+        ticks, values = [1, 2, 3], [4.0, 5.0, 6.0]
+        out_ticks, out_values = downsample_lttb(ticks, values, 10)
+        assert out_ticks == ticks and out_values == values
+        assert out_ticks is not ticks  # a copy, not an alias
+
+    def test_pinned_small_case_keeps_the_spike(self):
+        ticks = list(range(7))
+        values = [0.0, 0.0, 10.0, 0.0, 0.0, 0.0, 0.0]
+        out_ticks, out_values = downsample_lttb(ticks, values, 4)
+        assert out_ticks == [0, 2, 3, 6]
+        assert out_values == [0.0, 10.0, 0.0, 0.0]
+
+    def test_endpoints_always_kept_and_deterministic(self):
+        ticks = list(range(1000))
+        values = [float((t * 37) % 101) for t in ticks]
+        first = downsample_lttb(ticks, values, 50)
+        second = downsample_lttb(ticks, values, 50)
+        assert first == second
+        assert len(first[0]) == 50
+        assert first[0][0] == 0 and first[0][-1] == 999
+        # Output ticks are strictly increasing (a valid series).
+        assert all(a < b for a, b in zip(first[0], first[0][1:]))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DownsampleError):
+            downsample_lttb([0, 1], [1.0], 2)
+        with pytest.raises(DownsampleError):
+            downsample_lttb([0, 1, 2], [1.0, 2.0, 3.0], 1)
+
+
+class TestDownsampleStrideMean:
+    def test_short_series_copied_unchanged(self):
+        out = downsample_stride_mean([1, 2], [3.0, 4.0], 5)
+        assert out == ([1, 2], [3.0, 4.0])
+
+    def test_pinned_bucket_means(self):
+        ticks = list(range(10))
+        values = [float(t) for t in ticks]
+        assert downsample_stride_mean(ticks, values, 2) == (
+            [2, 7],
+            [2.0, 7.0],
+        )
+
+    def test_mean_is_preserved_on_even_buckets(self):
+        ticks = list(range(100))
+        values = [float((t * 13) % 7) for t in ticks]
+        __, out_values = downsample_stride_mean(ticks, values, 10)
+        assert sum(out_values) / len(out_values) == pytest.approx(
+            sum(values) / len(values)
+        )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(DownsampleError):
+            downsample_stride_mean([0], [1.0, 2.0], 2)
+        with pytest.raises(DownsampleError):
+            downsample_stride_mean([0, 1], [1.0, 2.0], 0)
+
+
+# -- the atomic write helper --------------------------------------------------
+
+
+class TestAtomicWrite:
+    def test_creates_parents_and_writes(self, tmp_path):
+        target = str(tmp_path / "a" / "b" / "f.txt")
+        assert atomic_write_text(target, "hello\n") == target
+        assert open(target, encoding="utf-8").read() == "hello\n"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = str(tmp_path / "f.json")
+        atomic_write_json(target, {"v": 1})
+        atomic_write_json(target, {"v": 2})
+        assert json.loads(open(target, encoding="utf-8").read()) == {"v": 2}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write_text(str(tmp_path / "f.txt"), "x")
+        assert sorted(os.listdir(tmp_path)) == ["f.txt"]
+
+    def test_json_is_sorted_and_newline_terminated(self, tmp_path):
+        target = str(tmp_path / "f.json")
+        atomic_write_json(target, {"b": 1, "a": 2})
+        text = open(target, encoding="utf-8").read()
+        assert text.index('"a"') < text.index('"b"')
+        assert text.endswith("\n")

@@ -5,7 +5,12 @@ import dataclasses
 
 import pytest
 
-from repro.analysis.statistics import LinearFit, linear_fit, mean_confidence_interval
+from repro.analysis.statistics import (
+    LinearFit,
+    linear_fit,
+    mean_confidence_interval,
+    student_t_critical,
+)
 from repro.core.ks4xen import KS4Xen
 from repro.core.monitor import DirectPmcMonitor, FaultInjectingMonitor
 from repro.hardware.specs import CacheSpec, KIB, paper_machine
@@ -58,6 +63,51 @@ class TestStatistics:
     def test_confidence_empty_rejected(self):
         with pytest.raises(ValueError):
             mean_confidence_interval([])
+
+    def test_default_interval_uses_student_t(self):
+        # n=4 → df=3 → t=3.182, not z=1.96: the t interval is ~62% wider.
+        values = [10.0, 12.0, 8.0, 10.0]
+        __, t_low, t_high = mean_confidence_interval(values)
+        __, z_low, z_high = mean_confidence_interval(values, z=1.96)
+        assert (t_high - t_low) / (z_high - z_low) == pytest.approx(
+            3.182 / 1.96, rel=1e-6
+        )
+
+    def test_explicit_z_restores_normal_interval(self):
+        # The documented escape hatch: z=1.96 is the pre-fix behavior.
+        values = [3.0, 5.0, 7.0, 5.0]
+        mean, low, high = mean_confidence_interval(values, z=1.96)
+        import math
+
+        se = math.sqrt((sum((v - 5.0) ** 2 for v in values) / 3) / 4)
+        assert mean == pytest.approx(5.0)
+        assert high - mean == pytest.approx(1.96 * se)
+
+    def test_t_table_pins(self):
+        assert student_t_critical(1) == pytest.approx(12.706)
+        assert student_t_critical(3) == pytest.approx(3.182)
+        assert student_t_critical(30) == pytest.approx(2.042)
+        assert student_t_critical(10, confidence=0.99) == pytest.approx(3.169)
+        assert student_t_critical(5, confidence=0.90) == pytest.approx(2.015)
+
+    def test_t_tail_approximation_is_tight_and_monotone(self):
+        # Cornish-Fisher beyond the table: close to the true quantile
+        # (t(40)=2.021, t(60)=2.000, t(120)=1.980) and approaching z.
+        assert student_t_critical(40) == pytest.approx(2.021, abs=1e-3)
+        assert student_t_critical(60) == pytest.approx(2.000, abs=1e-3)
+        assert student_t_critical(120) == pytest.approx(1.980, abs=1e-3)
+        assert student_t_critical(10**6) == pytest.approx(1.96, abs=1e-3)
+        previous = student_t_critical(31)
+        for df in (40, 60, 120, 1000):
+            current = student_t_critical(df)
+            assert current < previous
+            previous = current
+
+    def test_t_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            student_t_critical(0)
+        with pytest.raises(ValueError):
+            student_t_critical(5, confidence=0.42)
 
 
 class TestFaultInjectingMonitor:

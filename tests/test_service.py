@@ -567,6 +567,7 @@ class TestServeCli:
             ticks=200,
             json_dir=None,
             stop_when_idle=False,
+            stream_dir=None,
         )
         defaults.update(overrides)
         return argparse.Namespace(**defaults)

@@ -151,6 +151,53 @@ class TestJsonSchema:
         with pytest.raises(TelemetrySchemaError):
             from_json_dict(data)
 
+    def test_import_rejects_non_dict_document(self):
+        with pytest.raises(TelemetrySchemaError):
+            from_json_dict(["not", "a", "dict"])
+
+    def test_import_rejects_missing_max_series_points(self):
+        data = to_json_dict(self.make_recorder())
+        del data["max_series_points"]
+        with pytest.raises(TelemetrySchemaError, match="max_series_points"):
+            from_json_dict(data)
+
+    def test_import_rejects_bool_max_series_points(self):
+        data = to_json_dict(self.make_recorder())
+        data["max_series_points"] = True
+        with pytest.raises(TelemetrySchemaError, match="integer"):
+            from_json_dict(data)
+
+    def test_import_rejects_sub_minimum_max_series_points(self):
+        data = to_json_dict(self.make_recorder())
+        data["max_series_points"] = 1
+        with pytest.raises(TelemetrySchemaError, match=">= 2"):
+            from_json_dict(data)
+
+    def test_import_rejects_series_larger_than_budget(self):
+        data = to_json_dict(self.make_recorder())
+        data["max_series_points"] = 2
+        with pytest.raises(TelemetrySchemaError, match="stores"):
+            from_json_dict(data)
+
+    def test_import_rejects_nonsensical_stride(self):
+        data = to_json_dict(self.make_recorder())
+        data["series"]["sys.llc_misses_per_tick"]["stride"] = 0
+        with pytest.raises(TelemetrySchemaError, match="stride"):
+            from_json_dict(data)
+
+    def test_import_rejects_offered_below_stored(self):
+        data = to_json_dict(self.make_recorder())
+        entry = data["series"]["sys.llc_misses_per_tick"]
+        entry["offered"] = len(entry["ticks"]) - 1
+        with pytest.raises(TelemetrySchemaError, match="negative"):
+            from_json_dict(data)
+
+    def test_import_rejects_non_object_series_entry(self):
+        data = to_json_dict(self.make_recorder())
+        data["series"]["sys.llc_misses_per_tick"] = [1, 2, 3]
+        with pytest.raises(TelemetrySchemaError, match="object"):
+            from_json_dict(data)
+
 
 class TestSimulationIntegration:
     def run_system(self, recorder=None):

